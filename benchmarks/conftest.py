@@ -1,0 +1,88 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper: it runs the
+prediction toolchain (or analysis code), records the reproduced rows in the
+pytest-benchmark ``extra_info`` (so they end up in the benchmark JSON), prints
+them to stdout (visible with ``pytest benchmarks/ --benchmark-only -s``), and
+asserts the qualitative claims the paper draws from that table/figure.
+
+The performance numbers are produced with the analytical performance model so
+that the whole harness completes in minutes; set the environment variable
+``REPRO_BENCH_SIMULATE=1`` to use the cycle-accurate simulator instead
+(slower by orders of magnitude on the full-size scenarios).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.arch.knc import KNCScenario
+from repro.simulator.simulation import SimulationConfig
+from repro.toolchain.predict import PredictionToolchain
+from repro.toolchain.results import PredictionResult
+from repro.topologies.registry import applicable_topologies, make_topology
+
+
+def performance_mode() -> str:
+    """Select the toolchain performance mode for the benchmark harness."""
+    return "simulation" if os.environ.get("REPRO_BENCH_SIMULATE") == "1" else "analytical"
+
+
+def scenario_toolchain(scenario: KNCScenario) -> PredictionToolchain:
+    """Toolchain for one KNC scenario, honouring ``REPRO_BENCH_SIMULATE``."""
+    return PredictionToolchain(
+        scenario.parameters(),
+        performance_mode=performance_mode(),
+        simulation_config=SimulationConfig(warmup_cycles=300, measurement_cycles=500),
+    )
+
+
+def evaluate_scenario(scenario: KNCScenario) -> dict[str, PredictionResult]:
+    """Evaluate every applicable topology of one scenario (one Figure 6 panel)."""
+    toolchain = scenario_toolchain(scenario)
+    predictions: dict[str, PredictionResult] = {}
+    for name in applicable_topologies(scenario.rows, scenario.cols):
+        kwargs = {}
+        if name == "sparse_hamming":
+            kwargs = {"s_r": scenario.paper_s_r, "s_c": scenario.paper_s_c}
+        topology = make_topology(
+            name,
+            scenario.rows,
+            scenario.cols,
+            endpoints_per_tile=scenario.cores_per_tile,
+            **kwargs,
+        )
+        predictions[name] = toolchain.predict(topology)
+    return predictions
+
+
+def figure6_rows(predictions: dict[str, PredictionResult]) -> list[dict[str, float | str]]:
+    """Figure-6-style rows (one per topology) for reporting."""
+    return [prediction.as_row() for prediction in predictions.values()]
+
+
+def print_rows(title: str, rows: list[dict[str, float | str]]) -> None:
+    """Print reproduced rows in a readable aligned layout."""
+    print(f"\n=== {title}")
+    if not rows:
+        print("(no rows)")
+        return
+    columns = list(rows[0].keys())
+    widths = {c: max(len(c), *(len(str(r[c])) for r in rows)) for c in columns}
+    print(" | ".join(c.ljust(widths[c]) for c in columns))
+    for row in rows:
+        print(" | ".join(str(row[c]).ljust(widths[c]) for c in columns))
+
+
+@pytest.fixture
+def record_rows(benchmark):
+    """Attach reproduced rows to the benchmark record and print them."""
+
+    def _record(title: str, rows: list[dict[str, float | str]]) -> None:
+        benchmark.extra_info["title"] = title
+        benchmark.extra_info["rows"] = rows
+        print_rows(title, rows)
+
+    return _record

@@ -1,0 +1,78 @@
+"""Ablation benchmark: analytical performance model vs cycle-accurate simulation.
+
+The Figure 6 benchmarks use the fast analytical performance model; the paper
+uses cycle-accurate simulation (BookSim2).  This ablation runs both paths of
+our toolchain on a mid-size network and records their zero-load latency and
+saturation throughput side by side, demonstrating that the analytical model
+preserves the orderings the evaluation relies on (the calibration evidence for
+using it in the full-size benchmarks).
+"""
+
+from repro.core.sparse_hamming import SparseHammingGraph
+from repro.simulator.routing_tables import build_routing_tables
+from repro.simulator.simulation import SimulationConfig
+from repro.simulator.sweep import find_saturation_throughput
+from repro.toolchain.analytical import analytical_performance
+from repro.topologies.mesh import MeshTopology
+from repro.topologies.ring import RingTopology
+
+SIM_CONFIG = SimulationConfig(
+    warmup_cycles=200,
+    measurement_cycles=400,
+    drain_max_cycles=2000,
+    packet_size_flits=4,
+    num_vcs=8,
+    buffer_depth_flits=4,
+    seed=23,
+)
+
+TOPOLOGIES = {
+    "ring 6x6": RingTopology(6, 6),
+    "mesh 6x6": MeshTopology(6, 6),
+    "sparse hamming 6x6 (S_R={3}, S_C={3})": SparseHammingGraph(6, 6, s_r={3}, s_c={3}),
+}
+
+
+def _compare_models():
+    rows = []
+    for label, topology in TOPOLOGIES.items():
+        routing = build_routing_tables(topology)
+        analytical = analytical_performance(
+            topology,
+            routing=routing,
+            packet_size_flits=SIM_CONFIG.packet_size_flits,
+            router_pipeline_cycles=SIM_CONFIG.router_pipeline_cycles,
+        )
+        simulated = find_saturation_throughput(
+            topology, SIM_CONFIG, routing=routing, coarse_steps=4, refine_steps=1
+        )
+        rows.append(
+            {
+                "topology": label,
+                "analytical latency [cycles]": round(analytical.zero_load_latency_cycles, 1),
+                "simulated latency [cycles]": round(simulated.zero_load_latency, 1),
+                "analytical saturation [%]": round(100 * analytical.saturation_throughput, 1),
+                "simulated saturation [%]": round(100 * simulated.saturation_throughput, 1),
+            }
+        )
+    return rows
+
+
+def test_ablation_analytical_vs_simulation(benchmark, record_rows):
+    rows = benchmark.pedantic(_compare_models, rounds=1, iterations=1)
+    record_rows("Ablation — analytical model vs cycle-accurate simulation", rows)
+
+    by_name = {row["topology"]: row for row in rows}
+    ring = by_name["ring 6x6"]
+    mesh = by_name["mesh 6x6"]
+    shg = by_name["sparse hamming 6x6 (S_R={3}, S_C={3})"]
+
+    # Orderings agree between the two performance paths.
+    assert ring["analytical latency [cycles]"] > mesh["analytical latency [cycles]"]
+    assert ring["simulated latency [cycles]"] > mesh["simulated latency [cycles]"]
+    assert shg["analytical saturation [%]"] > ring["analytical saturation [%]"]
+    assert shg["simulated saturation [%]"] > ring["simulated saturation [%]"]
+    # Zero-load latencies agree within 40% for every topology.
+    for row in rows:
+        a, s = row["analytical latency [cycles]"], row["simulated latency [cycles]"]
+        assert abs(a - s) / s < 0.4

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Figure 6a (64 tiles, 35 MGE, 1 core per tile).
+
+Sparse Hamming graph configuration from the paper: ``S_R = {4}``,
+``S_C = {2, 5}``.
+"""
+
+from figure6_common import run_figure6_benchmark
+
+
+def test_figure6a(benchmark, record_rows):
+    predictions = run_figure6_benchmark(benchmark, record_rows, "a")
+    # Scenario a/b have 64 tiles, so SlimNoC is not applicable (Table I ‡).
+    assert "slimnoc" not in predictions

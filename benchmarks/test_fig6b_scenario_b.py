@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Figure 6b (64 tiles, 70 MGE, 2 cores per tile).
+
+Sparse Hamming graph configuration from the paper: ``S_R = {2, 4}``,
+``S_C = {2, 4}``.
+"""
+
+from figure6_common import run_figure6_benchmark
+
+
+def test_figure6b(benchmark, record_rows):
+    predictions = run_figure6_benchmark(benchmark, record_rows, "b")
+    assert "slimnoc" not in predictions
+    # Doubling the endpoint area makes the same NoC relatively cheaper: the
+    # sparse Hamming graph of scenario b is denser than scenario a's, yet its
+    # area overhead stays within the budget (checked inside the common runner).
+    assert predictions["sparse_hamming"].area_overhead <= 0.40

@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Figure 6c (128 tiles, 35 MGE, 1 core per tile).
+
+Sparse Hamming graph configuration from the paper: ``S_R = {3}``,
+``S_C = {2, 5}``.  With 128 = 2 * 8^2 tiles SlimNoC becomes applicable.
+"""
+
+from figure6_common import run_figure6_benchmark
+
+
+def test_figure6c(benchmark, record_rows):
+    predictions = run_figure6_benchmark(benchmark, record_rows, "c")
+    # SlimNoC is applicable for 128 tiles and, like the flattened butterfly,
+    # exceeds the area budget by a wide margin (its long non-aligned links are
+    # expensive to route).
+    assert "slimnoc" in predictions
+    assert predictions["slimnoc"].area_overhead > 0.40
+    assert predictions["slimnoc"].noc_power_w > predictions["sparse_hamming"].noc_power_w

@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Figure 6d (128 tiles, 70 MGE, 2 cores per tile).
+
+Sparse Hamming graph configuration from the paper: ``S_R = {2, 4}``,
+``S_C = {2, 4}``.
+"""
+
+from figure6_common import run_figure6_benchmark
+
+
+def test_figure6d(benchmark, record_rows):
+    predictions = run_figure6_benchmark(benchmark, record_rows, "d")
+    assert "slimnoc" in predictions
+    # Scaling both the tile count and the tile size keeps the qualitative
+    # picture of scenario b: the sparse Hamming graph offers the best
+    # throughput/latency combination within the 40% area budget.
+    assert predictions["sparse_hamming"].area_overhead <= 0.40

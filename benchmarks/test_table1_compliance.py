@@ -1,0 +1,56 @@
+"""Benchmark: regenerate Table I (design-principle compliance of all topologies).
+
+The paper's Table I lists, for every topology, the router radix, the four
+routability criteria, the network diameter, the minimal-path columns and the
+number of configurations.  This benchmark recomputes the table for the 8x8
+grid of the primary evaluation scenario (and the 8x16 grid where SlimNoC is
+applicable) and checks the claims the paper derives from it.
+"""
+
+from repro.analysis.compliance import compliance_table
+from repro.core.design_principles import Compliance
+
+
+def _rows(rows: int, cols: int):
+    return compliance_table(rows, cols)
+
+
+def test_table1_8x8(benchmark, record_rows):
+    table = benchmark.pedantic(_rows, args=(8, 8), rounds=1, iterations=1)
+    record_rows("Table I — 8x8 grid", [row.as_dict() for row in table])
+
+    by_name = {row.topology_name: row for row in table}
+    # Radix and diameter columns of Table I.
+    assert by_name["2D Mesh"].scores.properties.router_radix == 5
+    assert by_name["2D Mesh"].scores.properties.diameter == 14
+    assert by_name["2D Torus"].scores.properties.diameter == 8
+    assert by_name["Flattened Butterfly"].scores.properties.diameter == 2
+    assert by_name["Flattened Butterfly"].scores.properties.router_radix == 15
+    assert by_name["Ring"].scores.properties.diameter == 32
+    # Configuration count column: the sparse Hamming graph offers 2^(R+C-4).
+    assert by_name["Sparse Hamming Graph"].configurations == 2**12
+    assert all(row.configurations == 1 for row in table if row.topology_key != "sparse_hamming")
+    # Routability claims: mesh fulfils everything, torus violates short links,
+    # the flattened butterfly violates low radix.
+    assert by_name["2D Mesh"].scores.short_links is Compliance.YES
+    assert by_name["2D Torus"].scores.short_links is Compliance.NO
+    assert by_name["Flattened Butterfly"].scores.low_radix is not Compliance.YES
+    # Minimal paths: present+used for mesh, present-but-unused for torus.
+    assert by_name["2D Mesh"].scores.minimal_paths_used is Compliance.YES
+    assert by_name["2D Torus"].scores.minimal_paths_present is Compliance.YES
+    assert by_name["2D Torus"].scores.minimal_paths_used is Compliance.NO
+
+
+def test_table1_8x16_includes_slimnoc(benchmark, record_rows):
+    table = benchmark.pedantic(_rows, args=(8, 16), rounds=1, iterations=1)
+    record_rows("Table I — 8x16 grid (SlimNoC applicable)", [row.as_dict() for row in table])
+
+    by_name = {row.topology_name: row for row in table}
+    assert "SlimNoC" in by_name
+    slimnoc = by_name["SlimNoC"].scores
+    # SlimNoC: diameter ~2, radix ~sqrt(N), non-aligned links, non-uniform density.
+    assert by_name["SlimNoC"].scores.properties.diameter <= 3
+    assert slimnoc.aligned_links is Compliance.NO
+    assert slimnoc.low_radix is not Compliance.YES
+    # Sparse Hamming graph configuration count scales to 2^(R+C-4) = 2^20.
+    assert by_name["Sparse Hamming Graph"].configurations == 2**20

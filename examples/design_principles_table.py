@@ -1,0 +1,33 @@
+#!/usr/bin/env python3
+"""Reproduce Table I: compliance of topologies with the design principles.
+
+The table is recomputed from the actual graph structure of every topology
+(router radix, diameter, link alignment, link-density uniformity, port
+placement, minimal-path analysis) rather than copied from the paper, so it can
+be generated for any grid size.
+
+Run with:  python examples/design_principles_table.py [rows] [cols]   (default 8 8)
+"""
+
+import sys
+
+from repro.analysis import compliance_table, format_compliance_table
+
+
+def main() -> None:
+    rows = int(sys.argv[1]) if len(sys.argv) > 1 else 8
+    cols = int(sys.argv[2]) if len(sys.argv) > 2 else 8
+    table = compliance_table(rows, cols)
+    print(f"Design-principle compliance for an {rows}x{cols} tile grid (Table I)")
+    print()
+    print(format_compliance_table(table))
+    print()
+    print(
+        "Note: SlimNoC only appears when R*C = 2*q^2 for a prime power q "
+        "(e.g. 8x16 = 128 = 2*8^2), and the hypercube only for power-of-two "
+        "dimensions — the same applicability rules as in the paper."
+    )
+
+
+if __name__ == "__main__":
+    main()

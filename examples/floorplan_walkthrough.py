@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Walk through the five steps of the physical model (Figure 4/5).
+
+For one topology and one architecture this example runs each model step
+separately and prints its intermediate artifacts: tile geometry (step 1),
+global-routing channel loads (step 2), channel spacings (step 3), unit-cell
+discretization (step 4), and detailed-routing wire lengths / link latencies
+(step 5).
+
+Run with:  python examples/floorplan_walkthrough.py
+"""
+
+from repro import SparseHammingGraph
+from repro.arch import scenario_parameters
+from repro.physical import (
+    build_floorplan,
+    detailed_route,
+    discretize_chip,
+    estimate_area,
+    estimate_link_latencies,
+    estimate_power,
+    estimate_tile_geometry,
+    global_route,
+)
+from repro.viz import render_channel_loads, render_floorplan
+from repro.physical.model import NoCPhysicalModel
+
+
+def main() -> None:
+    params = scenario_parameters("a")
+    topology = SparseHammingGraph(8, 8, s_r={4}, s_c={2, 5})
+    print(f"architecture: {params.name}, topology: {topology.describe_configuration()}")
+    print()
+
+    # Step 1: tile area estimate.
+    geometry = estimate_tile_geometry(params, topology)
+    print("step 1 — tile area estimate")
+    print(f"  endpoint area: {geometry.endpoint_area_ge / 1e6:.1f} MGE")
+    print(f"  router area:   {geometry.router_area_ge / 1e6:.2f} MGE ({geometry.router_ports} ports)")
+    print(f"  tile:          {geometry.width_mm:.3f} x {geometry.height_mm:.3f} mm")
+    print()
+
+    # Step 2: global routing.
+    floorplan = build_floorplan(topology, geometry)
+    routing = global_route(topology, floorplan)
+    print("step 2 — global routing in the grid of tiles")
+    print(render_channel_loads(routing))
+    print()
+
+    # Steps 3-4: spacing estimation and unit-cell discretization.
+    grid = discretize_chip(params, floorplan, routing)
+    print("steps 3-4 — spacing estimation and unit-cell discretization")
+    print(f"  unit cell: {grid.cell_width_mm * 1000:.1f} x {grid.cell_height_mm * 1000:.1f} um")
+    print(f"  chip: {grid.chip_width_mm:.2f} x {grid.chip_height_mm:.2f} mm, {grid.total_cells} cells")
+    print()
+
+    # Step 5: detailed routing and the derived estimates.
+    detailed = detailed_route(grid, routing)
+    area = estimate_area(params, grid)
+    power = estimate_power(params, grid, detailed)
+    latencies = estimate_link_latencies(params, grid, detailed)
+    print("step 5 — detailed routing and model outputs")
+    print(f"  total wire length: {detailed.total_wire_length_mm():.1f} mm")
+    print(f"  area overhead:     {area.area_overhead * 100:.2f}%")
+    print(f"  NoC power:         {power.noc_power_w:.2f} W")
+    print(f"  link latency:      min 1, max {max(latencies.values())} cycles")
+    print()
+
+    # The same, through the one-call model interface.
+    result = NoCPhysicalModel(params).evaluate(topology)
+    print("summary (NoCPhysicalModel.evaluate):")
+    print(render_floorplan(result))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,29 @@
+#!/usr/bin/env python3
+"""Render the established NoC topologies as ASCII art (Figure 1 analogue).
+
+Draws every applicable topology on a small grid: grid-adjacent links are shown
+inline, longer links (skip, wrap-around, non-aligned) are listed below each
+drawing.
+
+Run with:  python examples/visualize_topologies.py [rows] [cols]   (default 4 4)
+"""
+
+import sys
+
+from repro.topologies import applicable_topologies, make_topology
+from repro.viz import render_topology
+
+
+def main() -> None:
+    rows = int(sys.argv[1]) if len(sys.argv) > 1 else 4
+    cols = int(sys.argv[2]) if len(sys.argv) > 2 else 4
+    names = applicable_topologies(rows, cols)
+    for name in names:
+        kwargs = {"s_r": {2}, "s_c": {2}} if name == "sparse_hamming" else {}
+        topology = make_topology(name, rows, cols, **kwargs)
+        print(render_topology(topology, max_listed_links=12))
+        print()
+
+
+if __name__ == "__main__":
+    main()

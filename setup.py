@@ -1,0 +1,10 @@
+"""Setup shim for environments without PEP 517 build isolation (offline installs).
+
+The project is fully described by ``pyproject.toml``; this file only exists so
+that ``pip install -e . --no-build-isolation --no-use-pep517`` works on
+machines without network access to fetch build backends.
+"""
+
+from setuptools import setup
+
+setup()

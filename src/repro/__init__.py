@@ -1,0 +1,49 @@
+"""Reproduction of "Sparse Hamming Graph: A Customizable Network-on-Chip Topology".
+
+The library is organised as:
+
+* :mod:`repro.core` — the sparse Hamming graph topology, the design-principle
+  scoring and the customization strategy (the paper's contributions);
+* :mod:`repro.topologies` — the established baseline topologies and graph
+  analysis;
+* :mod:`repro.physical` — the area/power/link-latency model (approximate
+  floorplanning and link routing);
+* :mod:`repro.simulator` — the cycle-accurate VC-router simulator (BookSim2
+  substitute);
+* :mod:`repro.toolchain` — the end-to-end prediction toolchain;
+* :mod:`repro.arch` — the KNC-like evaluation scenarios and the MemPool
+  validation target;
+* :mod:`repro.analysis` — Table I compliance, Pareto analysis, design-space
+  sweeps;
+* :mod:`repro.viz` — text rendering of topologies and floorplans.
+"""
+
+from repro.core import (
+    CustomizationGoal,
+    CustomizationResult,
+    SparseHammingGraph,
+    customize_sparse_hamming,
+)
+from repro.physical import ArchitecturalParameters, NoCPhysicalModel
+from repro.simulator import SimulationConfig, Simulator
+from repro.toolchain import PredictionResult, PredictionToolchain, predict
+from repro.topologies import Topology, make_topology
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SparseHammingGraph",
+    "CustomizationGoal",
+    "CustomizationResult",
+    "customize_sparse_hamming",
+    "ArchitecturalParameters",
+    "NoCPhysicalModel",
+    "SimulationConfig",
+    "Simulator",
+    "PredictionToolchain",
+    "PredictionResult",
+    "predict",
+    "Topology",
+    "make_topology",
+    "__version__",
+]

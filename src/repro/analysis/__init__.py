@@ -1,0 +1,27 @@
+"""Analysis utilities: Table I compliance, Pareto fronts, design-space stats."""
+
+from repro.analysis.compliance import ComplianceRow, compliance_table, format_compliance_table
+from repro.analysis.pareto import (
+    ParetoPoint,
+    pareto_front,
+    best_within_area_budget,
+    latency_rank,
+)
+from repro.analysis.design_space import (
+    DesignSpaceSample,
+    sweep_sparse_hamming_configurations,
+    trade_off_curve,
+)
+
+__all__ = [
+    "ComplianceRow",
+    "compliance_table",
+    "format_compliance_table",
+    "ParetoPoint",
+    "pareto_front",
+    "best_within_area_budget",
+    "latency_rank",
+    "DesignSpaceSample",
+    "sweep_sparse_hamming_configurations",
+    "trade_off_curve",
+]

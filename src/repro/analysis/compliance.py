@@ -1,0 +1,100 @@
+"""Table I reproduction: compliance of topologies with the design principles.
+
+For a given grid size this module instantiates every applicable topology,
+scores it against the four design principles of Section II (using the
+graph-derived ratings of :mod:`repro.core.design_principles`), and adds the
+closed-form columns of Table I (router radix formula, diameter formula, number
+of configurations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config_space import configuration_count
+from repro.core.design_principles import DesignPrincipleScores, score_design_principles
+from repro.topologies.base import Topology
+from repro.topologies.registry import (
+    DISPLAY_NAMES,
+    PAPER_COMPARISON_ORDER,
+    is_applicable,
+    make_topology,
+)
+
+
+@dataclass(frozen=True)
+class ComplianceRow:
+    """One row of the Table I reproduction."""
+
+    topology_key: str
+    topology_name: str
+    scores: DesignPrincipleScores
+    configurations: int
+
+    def as_dict(self) -> dict[str, str]:
+        """Row in the same column layout as Table I."""
+        row = self.scores.as_row()
+        row["Topology"] = self.topology_name
+        row["#Configurations"] = str(self.configurations)
+        return row
+
+
+def _num_configurations(key: str, rows: int, cols: int) -> int:
+    """Number of distinct configurations of a topology family (Table I, last column)."""
+    if key == "sparse_hamming":
+        return configuration_count(rows, cols)
+    # The established topologies have exactly one configuration per grid when
+    # they are applicable at all (0 otherwise — handled by the caller skipping
+    # inapplicable topologies).
+    return 1
+
+
+def compliance_table(
+    rows: int,
+    cols: int,
+    topology_names: tuple[str, ...] | None = None,
+    sparse_hamming_kwargs: dict | None = None,
+) -> list[ComplianceRow]:
+    """Compute the Table I rows for all applicable topologies on an ``R x C`` grid.
+
+    ``sparse_hamming_kwargs`` selects which sparse-Hamming-graph configuration
+    is scored for the principle columns (Table I reports achievable *ranges*;
+    the default scores a mid-density configuration with ``S_R = {2}``,
+    ``S_C = {2}``).
+    """
+    names = topology_names if topology_names is not None else PAPER_COMPARISON_ORDER
+    results: list[ComplianceRow] = []
+    for key in names:
+        if not is_applicable(key, rows, cols):
+            continue
+        kwargs: dict = {}
+        if key == "sparse_hamming":
+            kwargs = sparse_hamming_kwargs or {"s_r": {2}, "s_c": {2}}
+        topology: Topology = make_topology(key, rows, cols, **kwargs)
+        scores = score_design_principles(topology)
+        results.append(
+            ComplianceRow(
+                topology_key=key,
+                topology_name=DISPLAY_NAMES[key],
+                scores=scores,
+                configurations=_num_configurations(key, rows, cols),
+            )
+        )
+    return results
+
+
+def format_compliance_table(table: list[ComplianceRow]) -> str:
+    """Render the compliance table as aligned plain text (Table I layout)."""
+    if not table:
+        return "(no applicable topologies)"
+    columns = list(table[0].as_dict().keys())
+    rows = [row.as_dict() for row in table]
+    widths = {
+        column: max(len(column), *(len(str(row[column])) for row in rows)) for column in columns
+    }
+    header = " | ".join(column.ljust(widths[column]) for column in columns)
+    separator = "-+-".join("-" * widths[column] for column in columns)
+    lines = [header, separator]
+    for row in rows:
+        lines.append(" | ".join(str(row[column]).ljust(widths[column]) for column in columns))
+    return "\n".join(lines)

@@ -1,0 +1,123 @@
+"""Design-space exploration over sparse-Hamming-graph configurations.
+
+The defining feature of the sparse Hamming graph is its ``2^(R+C-4)``-point
+configuration space spanning the range between the 2D mesh and the flattened
+butterfly.  This module sweeps (exhaustively for small grids, sampled for
+large ones) over configurations and records the cost/performance trade-off of
+each — the data behind the customization strategy and the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.core.config_space import enumerate_configurations, random_configuration
+from repro.core.sparse_hamming import SparseHammingGraph
+from repro.toolchain.results import PredictionResult
+from repro.utils.rng import make_rng
+from repro.utils.validation import ValidationError, check_type
+
+
+@dataclass(frozen=True)
+class DesignSpaceSample:
+    """Prediction of one sparse-Hamming-graph configuration."""
+
+    s_r: frozenset[int]
+    s_c: frozenset[int]
+    num_links: int
+    prediction: PredictionResult
+
+    @property
+    def area_overhead(self) -> float:
+        """NoC area overhead of this configuration."""
+        return self.prediction.area_overhead
+
+    @property
+    def saturation_throughput(self) -> float:
+        """Saturation throughput of this configuration."""
+        return self.prediction.saturation_throughput
+
+
+Predictor = Callable[[SparseHammingGraph], PredictionResult]
+
+
+def sweep_sparse_hamming_configurations(
+    rows: int,
+    cols: int,
+    predictor: Predictor,
+    endpoints_per_tile: int = 1,
+    max_configurations: int | None = None,
+    seed: int = 0,
+) -> list[DesignSpaceSample]:
+    """Evaluate sparse-Hamming-graph configurations with ``predictor``.
+
+    If the configuration space is small enough (or ``max_configurations`` is
+    ``None``) it is enumerated exhaustively; otherwise ``max_configurations``
+    distinct configurations are sampled uniformly at random (always including
+    the mesh and the flattened butterfly endpoints of the design space).
+    """
+    check_type("rows", rows, int)
+    check_type("cols", cols, int)
+    if max_configurations is not None and max_configurations < 2:
+        raise ValidationError("max_configurations must be >= 2 (mesh + flattened butterfly)")
+
+    configurations: list[tuple[frozenset[int], frozenset[int]]] = []
+    total = 2 ** (max(cols - 2, 0) + max(rows - 2, 0))
+    if max_configurations is None or total <= max_configurations:
+        configurations = list(enumerate_configurations(rows, cols))
+    else:
+        seen: set[tuple[frozenset[int], frozenset[int]]] = set()
+        mesh = (frozenset(), frozenset())
+        butterfly = (frozenset(range(2, cols)), frozenset(range(2, rows)))
+        for endpoint in (mesh, butterfly):
+            seen.add(endpoint)
+            configurations.append(endpoint)
+        rng = make_rng(seed, stream="design-space")
+        while len(configurations) < max_configurations:
+            candidate = random_configuration(rows, cols, rng=rng)
+            if candidate not in seen:
+                seen.add(candidate)
+                configurations.append(candidate)
+
+    samples: list[DesignSpaceSample] = []
+    for s_r, s_c in configurations:
+        topology = SparseHammingGraph(
+            rows, cols, s_r=s_r, s_c=s_c, endpoints_per_tile=endpoints_per_tile
+        )
+        prediction = predictor(topology)
+        samples.append(
+            DesignSpaceSample(
+                s_r=s_r,
+                s_c=s_c,
+                num_links=topology.num_links,
+                prediction=prediction,
+            )
+        )
+    return samples
+
+
+def trade_off_curve(samples: Iterable[DesignSpaceSample]) -> list[DesignSpaceSample]:
+    """Return the cost-performance frontier of a design-space sweep.
+
+    The frontier contains every sample for which no other sample has both a
+    lower (or equal) area overhead and a higher (or equal) saturation
+    throughput with at least one strict inequality — the curve that the
+    customization strategy walks along when trading area for throughput.
+    """
+    sample_list = list(samples)
+    frontier = []
+    for candidate in sample_list:
+        dominated = any(
+            other.area_overhead <= candidate.area_overhead
+            and other.saturation_throughput >= candidate.saturation_throughput
+            and (
+                other.area_overhead < candidate.area_overhead
+                or other.saturation_throughput > candidate.saturation_throughput
+            )
+            for other in sample_list
+            if other is not candidate
+        )
+        if not dominated:
+            frontier.append(candidate)
+    return sorted(frontier, key=lambda sample: sample.area_overhead)

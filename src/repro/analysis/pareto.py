@@ -1,0 +1,101 @@
+"""Cost-performance trade-off analysis (the structure behind Figure 6).
+
+The paper compares topologies along four metrics — area overhead and power
+(cost, lower is better) and saturation throughput (higher is better) and
+zero-load latency (lower is better) — and observes that no topology dominates
+all others; instead each reaches a certain trade-off.  This module provides
+the Pareto-front computation over prediction results and the "best topology
+within an area budget" selection that expresses the paper's design goal
+(maximise throughput, then minimise latency, subject to at most 40% area
+overhead).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.toolchain.results import PredictionResult
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One topology's position in the four-metric comparison."""
+
+    name: str
+    area_overhead: float
+    noc_power_w: float
+    zero_load_latency_cycles: float
+    saturation_throughput: float
+
+    @staticmethod
+    def from_prediction(prediction: PredictionResult) -> "ParetoPoint":
+        """Build a point from a toolchain prediction."""
+        return ParetoPoint(
+            name=prediction.topology_name,
+            area_overhead=prediction.area_overhead,
+            noc_power_w=prediction.noc_power_w,
+            zero_load_latency_cycles=prediction.zero_load_latency_cycles,
+            saturation_throughput=prediction.saturation_throughput,
+        )
+
+    def dominates(self, other: "ParetoPoint") -> bool:
+        """``True`` if this point is at least as good in all metrics and better in one."""
+        at_least_as_good = (
+            self.area_overhead <= other.area_overhead
+            and self.noc_power_w <= other.noc_power_w
+            and self.zero_load_latency_cycles <= other.zero_load_latency_cycles
+            and self.saturation_throughput >= other.saturation_throughput
+        )
+        strictly_better = (
+            self.area_overhead < other.area_overhead
+            or self.noc_power_w < other.noc_power_w
+            or self.zero_load_latency_cycles < other.zero_load_latency_cycles
+            or self.saturation_throughput > other.saturation_throughput
+        )
+        return at_least_as_good and strictly_better
+
+
+def pareto_front(points: Iterable[ParetoPoint]) -> list[ParetoPoint]:
+    """Return the non-dominated subset of ``points`` (order preserved)."""
+    point_list = list(points)
+    front = []
+    for candidate in point_list:
+        if not any(other.dominates(candidate) for other in point_list if other is not candidate):
+            front.append(candidate)
+    return front
+
+
+def best_within_area_budget(
+    predictions: Sequence[PredictionResult],
+    max_area_overhead: float = 0.40,
+) -> PredictionResult | None:
+    """Select the best prediction under the paper's design goal.
+
+    "Best" means: among all topologies whose area overhead does not exceed the
+    budget, the one with the highest saturation throughput; ties (within half
+    a percentage point of capacity) are broken by lower zero-load latency.
+    Returns ``None`` if no topology fits the budget.
+    """
+    feasible = [p for p in predictions if p.area_overhead <= max_area_overhead]
+    if not feasible:
+        return None
+    best = feasible[0]
+    for candidate in feasible[1:]:
+        gain = candidate.saturation_throughput - best.saturation_throughput
+        if gain > 0.005:
+            best = candidate
+        elif abs(gain) <= 0.005 and (
+            candidate.zero_load_latency_cycles < best.zero_load_latency_cycles
+        ):
+            best = candidate
+    return best
+
+
+def latency_rank(predictions: Sequence[PredictionResult], name: str) -> int:
+    """1-based rank of topology ``name`` by zero-load latency (1 = lowest latency)."""
+    ordered = sorted(predictions, key=lambda p: p.zero_load_latency_cycles)
+    for index, prediction in enumerate(ordered, start=1):
+        if prediction.topology_name == name:
+            return index
+    raise ValueError(f"no prediction named {name!r}")

@@ -1,0 +1,140 @@
+"""The four Knights-Corner-like evaluation scenarios (Section V-b of the paper).
+
+The paper customizes a NoC for an architecture similar to Intel's Knights
+Corner (KNC): 64 tiles of about 35 MGE each (KNC has 62 tiles), connected by a
+NoC with 512 bits/cycle per-link bandwidth at 1.2 GHz, using the AXI transport
+protocol, input-queued routers with 8 virtual channels and 32-flit buffers, in
+a 22 nm technology node.  Three scaled variants are evaluated as well:
+
+========  =====  ==================  ==============  =============
+scenario  tiles  endpoint area / GE  cores per tile  grid (R x C)
+========  =====  ==================  ==============  =============
+a         64     35 M                1               8 x 8
+b         64     70 M                2               8 x 8
+c         128    35 M                1               8 x 16
+d         128    70 M                2               8 x 16
+========  =====  ==================  ==============  =============
+
+For each scenario the paper reports the sparse-Hamming-graph parameters its
+customization strategy selected (Figure 6 captions); those are recorded here
+so the benchmarks can reproduce the exact configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.physical.parameters import AXI4_PROTOCOL, ArchitecturalParameters
+from repro.physical.technology import TECH_22NM
+from repro.utils.validation import ValidationError
+
+
+@dataclass(frozen=True)
+class KNCScenario:
+    """One evaluation scenario of Section V-b.
+
+    Attributes
+    ----------
+    key:
+        Scenario identifier: ``"a"``, ``"b"``, ``"c"`` or ``"d"``.
+    description:
+        Human-readable description as used in the Figure 6 captions.
+    num_tiles, rows, cols:
+        Tile count and grid dimensions.
+    endpoint_area_ge:
+        Endpoint area per tile in gate equivalents.
+    cores_per_tile:
+        Number of compute cores (endpoints) per tile.
+    paper_s_r, paper_s_c:
+        The sparse-Hamming-graph parameters the paper's customization selected.
+    """
+
+    key: str
+    description: str
+    num_tiles: int
+    rows: int
+    cols: int
+    endpoint_area_ge: float
+    cores_per_tile: int
+    paper_s_r: frozenset[int]
+    paper_s_c: frozenset[int]
+
+    def parameters(self) -> ArchitecturalParameters:
+        """Architectural parameters (Table II inputs) for this scenario."""
+        return ArchitecturalParameters(
+            num_tiles=self.num_tiles,
+            endpoint_area_ge=self.endpoint_area_ge,
+            tile_aspect_ratio=1.0,
+            frequency_hz=1.2e9,
+            link_bandwidth_bits=512.0,
+            technology=TECH_22NM,
+            protocol=AXI4_PROTOCOL,
+            endpoints_per_tile=self.cores_per_tile,
+            name=f"knc-scenario-{self.key}",
+        )
+
+
+KNC_SCENARIOS: dict[str, KNCScenario] = {
+    "a": KNCScenario(
+        key="a",
+        description="64 tiles with 35 MGE and 1 core each",
+        num_tiles=64,
+        rows=8,
+        cols=8,
+        endpoint_area_ge=35e6,
+        cores_per_tile=1,
+        paper_s_r=frozenset({4}),
+        paper_s_c=frozenset({2, 5}),
+    ),
+    "b": KNCScenario(
+        key="b",
+        description="64 tiles with 70 MGE and 2 cores each",
+        num_tiles=64,
+        rows=8,
+        cols=8,
+        endpoint_area_ge=70e6,
+        cores_per_tile=2,
+        paper_s_r=frozenset({2, 4}),
+        paper_s_c=frozenset({2, 4}),
+    ),
+    "c": KNCScenario(
+        key="c",
+        description="128 tiles with 35 MGE and 1 core each",
+        num_tiles=128,
+        rows=8,
+        cols=16,
+        endpoint_area_ge=35e6,
+        cores_per_tile=1,
+        paper_s_r=frozenset({3}),
+        paper_s_c=frozenset({2, 5}),
+    ),
+    "d": KNCScenario(
+        key="d",
+        description="128 tiles with 70 MGE and 2 cores each",
+        num_tiles=128,
+        rows=8,
+        cols=16,
+        endpoint_area_ge=70e6,
+        cores_per_tile=2,
+        paper_s_r=frozenset({2, 4}),
+        paper_s_c=frozenset({2, 4}),
+    ),
+}
+
+
+def scenario(key: str) -> KNCScenario:
+    """Return the scenario with the given key (``"a"`` .. ``"d"``)."""
+    if key not in KNC_SCENARIOS:
+        raise ValidationError(f"unknown scenario {key!r}; known: {sorted(KNC_SCENARIOS)}")
+    return KNC_SCENARIOS[key]
+
+
+def scenario_parameters(key: str) -> ArchitecturalParameters:
+    """Architectural parameters of scenario ``key``."""
+    return scenario(key).parameters()
+
+
+def paper_sparse_hamming_parameters(key: str) -> tuple[frozenset[int], frozenset[int]]:
+    """The ``(S_R, S_C)`` configuration the paper reports for scenario ``key``."""
+    s = scenario(key)
+    return s.paper_s_r, s.paper_s_c

@@ -1,0 +1,44 @@
+"""The paper's primary contribution: the sparse Hamming graph NoC topology.
+
+This package contains:
+
+* :mod:`repro.core.sparse_hamming` — the customizable sparse Hamming graph
+  topology generator (Section III of the paper),
+* :mod:`repro.core.design_principles` — scoring of topologies against the four
+  NoC topology design principles (Section II / Table I),
+* :mod:`repro.core.config_space` — enumeration and counting of the
+  ``2^(R+C-4)`` sparse-Hamming-graph configurations,
+* :mod:`repro.core.customization` — the five-step customization strategy of
+  Section V-a that tunes ``S_R``/``S_C`` to a design goal under an area budget.
+"""
+
+from repro.core.sparse_hamming import SparseHammingGraph, sparse_hamming_links
+from repro.core.design_principles import (
+    DesignPrincipleScores,
+    score_design_principles,
+)
+from repro.core.config_space import (
+    configuration_count,
+    enumerate_configurations,
+    random_configuration,
+)
+from repro.core.customization import (
+    CustomizationGoal,
+    CustomizationResult,
+    CustomizationStep,
+    customize_sparse_hamming,
+)
+
+__all__ = [
+    "SparseHammingGraph",
+    "sparse_hamming_links",
+    "DesignPrincipleScores",
+    "score_design_principles",
+    "configuration_count",
+    "enumerate_configurations",
+    "random_configuration",
+    "CustomizationGoal",
+    "CustomizationResult",
+    "CustomizationStep",
+    "customize_sparse_hamming",
+]

@@ -1,0 +1,90 @@
+"""Configuration space of the sparse Hamming graph.
+
+For a given ``R x C`` grid the sparse Hamming graph has one boolean choice per
+candidate skip distance: ``C - 2`` choices for ``S_R`` (distances 2..C-1) and
+``R - 2`` choices for ``S_C`` (distances 2..R-1), giving ``2^(R+C-4)``
+configurations (last column of Table I).  This module counts, enumerates and
+samples that space; the customization strategy (Section V-a) explores it
+greedily, the benchmarks use exhaustive or sampled sweeps.
+"""
+
+from __future__ import annotations
+
+from itertools import chain, combinations
+from typing import Iterator
+
+import numpy as np
+
+from repro.utils.rng import make_rng
+from repro.utils.validation import ValidationError, check_type
+
+
+def configuration_count(rows: int, cols: int) -> int:
+    """Number of sparse-Hamming-graph configurations for an ``R x C`` grid.
+
+    Matches the ``2^(R+C-4)`` formula of Table I (for grids with at least two
+    rows and two columns; degenerate single-row/column grids have fewer free
+    choices).
+    """
+    check_type("rows", rows, int)
+    check_type("cols", cols, int)
+    if rows < 1 or cols < 1:
+        raise ValidationError("rows and cols must be >= 1")
+    row_choices = max(cols - 2, 0)
+    col_choices = max(rows - 2, 0)
+    return 2 ** (row_choices + col_choices)
+
+
+def candidate_row_skips(cols: int) -> list[int]:
+    """Valid elements of ``S_R`` for ``C`` columns: ``{2, ..., C-1}``."""
+    return list(range(2, cols))
+
+
+def candidate_col_skips(rows: int) -> list[int]:
+    """Valid elements of ``S_C`` for ``R`` rows: ``{2, ..., R-1}``."""
+    return list(range(2, rows))
+
+
+def _powerset(items: list[int]) -> Iterator[frozenset[int]]:
+    return (
+        frozenset(subset)
+        for subset in chain.from_iterable(
+            combinations(items, k) for k in range(len(items) + 1)
+        )
+    )
+
+
+def enumerate_configurations(
+    rows: int, cols: int
+) -> Iterator[tuple[frozenset[int], frozenset[int]]]:
+    """Yield every ``(S_R, S_C)`` configuration for an ``R x C`` grid.
+
+    The number of configurations grows as ``2^(R+C-4)``; callers should only
+    enumerate exhaustively for small grids (the test suite and the
+    configuration-count benchmarks do).
+    """
+    for s_r in _powerset(candidate_row_skips(cols)):
+        for s_c in _powerset(candidate_col_skips(rows)):
+            yield s_r, s_c
+
+
+def random_configuration(
+    rows: int,
+    cols: int,
+    rng: np.random.Generator | None = None,
+    seed: int | None = None,
+    density: float = 0.5,
+) -> tuple[frozenset[int], frozenset[int]]:
+    """Sample a random ``(S_R, S_C)`` configuration.
+
+    Each candidate skip distance is included independently with probability
+    ``density``.  Useful for randomised design-space exploration and for
+    property-based tests.
+    """
+    if not (0.0 <= density <= 1.0):
+        raise ValidationError(f"density must be in [0, 1], got {density}")
+    if rng is None:
+        rng = make_rng(seed, stream="config-space")
+    s_r = frozenset(x for x in candidate_row_skips(cols) if rng.random() < density)
+    s_c = frozenset(x for x in candidate_col_skips(rows) if rng.random() < density)
+    return s_r, s_c

@@ -1,0 +1,266 @@
+"""Customization strategy for the sparse Hamming graph (Section V-a).
+
+The paper's five-step strategy:
+
+1. start with the simplest sparse Hamming graph, the mesh
+   (``S_R = {}``, ``S_C = {}``);
+2. use the prediction toolchain to estimate performance and cost of the
+   current configuration on the target architecture;
+3. compare the estimates against the design goals to identify insufficiencies;
+4. follow the design principles to change ``S_R`` / ``S_C`` so that the
+   insufficiencies are addressed (e.g. add skip links to reduce the diameter
+   and improve throughput);
+5. repeat from step 2 until the designer is satisfied.
+
+This module automates the loop as a greedy search: in every iteration each
+candidate change (adding one skip distance to ``S_R`` or ``S_C``) is
+evaluated with the prediction toolchain, and the change that best improves the
+objective while staying inside the area budget is applied.  The objective
+matches the paper's evaluation: maximise saturation throughput (priority 1),
+minimise zero-load latency (priority 2), never exceed the area-overhead budget
+(40% in the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Protocol
+
+from repro.core.config_space import candidate_col_skips, candidate_row_skips
+from repro.core.sparse_hamming import SparseHammingGraph
+from repro.utils.validation import ValidationError, check_in_range, check_type
+
+
+class PredictionLike(Protocol):
+    """Minimal interface of a toolchain prediction used by the search.
+
+    :class:`repro.toolchain.results.PredictionResult` satisfies this protocol.
+    """
+
+    area_overhead: float
+    noc_power_w: float
+    zero_load_latency_cycles: float
+    saturation_throughput: float
+
+
+Predictor = Callable[[SparseHammingGraph], PredictionLike]
+
+
+@dataclass(frozen=True)
+class CustomizationGoal:
+    """Design goal for the customization search.
+
+    Attributes
+    ----------
+    max_area_overhead:
+        Upper bound on the NoC area overhead (fraction of total chip area);
+        the paper uses 0.40.
+    throughput_weight, latency_weight:
+        Relative priority of the two performance metrics in the scalarised
+        objective.  The defaults encode the paper's "throughput first, latency
+        second" priority: a configuration with higher throughput always wins,
+        latency only breaks near-ties.
+    min_throughput_gain:
+        Minimum saturation-throughput improvement (absolute, in fraction of
+        capacity) for a candidate to be considered better on priority 1;
+        below this the latency tie-break applies.
+    """
+
+    max_area_overhead: float = 0.40
+    throughput_weight: float = 1.0
+    latency_weight: float = 0.05
+    min_throughput_gain: float = 0.005
+
+    def __post_init__(self) -> None:
+        check_in_range("max_area_overhead", self.max_area_overhead, 0.0, 1.0)
+
+    def is_feasible(self, prediction: PredictionLike) -> bool:
+        """Return ``True`` if ``prediction`` respects the area budget."""
+        return prediction.area_overhead <= self.max_area_overhead
+
+    def is_improvement(self, old: PredictionLike, new: PredictionLike) -> bool:
+        """Return ``True`` if ``new`` is better than ``old`` under the goal.
+
+        Priority 1 is saturation throughput; if the throughput change is
+        within ``min_throughput_gain`` the zero-load latency decides.
+        """
+        gain = new.saturation_throughput - old.saturation_throughput
+        if gain > self.min_throughput_gain:
+            return True
+        if gain < -self.min_throughput_gain:
+            return False
+        return new.zero_load_latency_cycles < old.zero_load_latency_cycles
+
+    def score(self, prediction: PredictionLike) -> float:
+        """Scalarised objective used to rank candidate configurations."""
+        return (
+            self.throughput_weight * prediction.saturation_throughput
+            - self.latency_weight * prediction.zero_load_latency_cycles / 100.0
+        )
+
+
+@dataclass(frozen=True)
+class CustomizationStep:
+    """Record of one iteration of the customization loop."""
+
+    iteration: int
+    action: str
+    s_r: frozenset[int]
+    s_c: frozenset[int]
+    area_overhead: float
+    noc_power_w: float
+    zero_load_latency_cycles: float
+    saturation_throughput: float
+
+    def describe(self) -> str:
+        """One-line human-readable summary of the step."""
+        return (
+            f"iter {self.iteration}: {self.action:<18s} "
+            f"S_R={sorted(self.s_r)} S_C={sorted(self.s_c)}  "
+            f"area={self.area_overhead * 100:5.1f}%  "
+            f"power={self.noc_power_w:6.2f} W  "
+            f"lat={self.zero_load_latency_cycles:6.1f} cyc  "
+            f"thr={self.saturation_throughput * 100:5.1f}%"
+        )
+
+
+@dataclass
+class CustomizationResult:
+    """Outcome of the customization search."""
+
+    topology: SparseHammingGraph
+    prediction: PredictionLike
+    steps: list[CustomizationStep] = field(default_factory=list)
+    evaluations: int = 0
+
+    @property
+    def s_r(self) -> frozenset[int]:
+        """Final row skip distances."""
+        return self.topology.s_r
+
+    @property
+    def s_c(self) -> frozenset[int]:
+        """Final column skip distances."""
+        return self.topology.s_c
+
+
+def customize_sparse_hamming(
+    rows: int,
+    cols: int,
+    predictor: Predictor,
+    goal: CustomizationGoal | None = None,
+    endpoints_per_tile: int = 1,
+    max_iterations: int = 32,
+    allow_removals: bool = True,
+) -> CustomizationResult:
+    """Run the five-step customization loop of Section V-a.
+
+    Parameters
+    ----------
+    rows, cols:
+        Tile grid of the target architecture.
+    predictor:
+        Callable mapping a :class:`SparseHammingGraph` to a prediction with
+        ``area_overhead``, ``noc_power_w``, ``zero_load_latency_cycles`` and
+        ``saturation_throughput`` attributes (the prediction toolchain).
+    goal:
+        Design goal; defaults to the paper's goal (max throughput, min
+        latency, at most 40% area overhead).
+    max_iterations:
+        Safety bound on the number of greedy iterations.
+    allow_removals:
+        Also consider removing previously added skip distances (lets the
+        search back out of choices that became unattractive).
+
+    Returns
+    -------
+    CustomizationResult
+        Final topology, its prediction, and the per-iteration trace.
+    """
+    check_type("max_iterations", max_iterations, int)
+    if max_iterations < 1:
+        raise ValidationError("max_iterations must be >= 1")
+    if goal is None:
+        goal = CustomizationGoal()
+
+    current = SparseHammingGraph(
+        rows, cols, s_r=(), s_c=(), endpoints_per_tile=endpoints_per_tile
+    )
+    current_prediction = predictor(current)
+    evaluations = 1
+    steps = [
+        _record_step(0, "start (mesh)", current, current_prediction),
+    ]
+    if not goal.is_feasible(current_prediction):
+        # Even the mesh violates the budget; the mesh is the cheapest
+        # configuration, so report it as the best achievable.
+        return CustomizationResult(
+            topology=current,
+            prediction=current_prediction,
+            steps=steps,
+            evaluations=evaluations,
+        )
+
+    for iteration in range(1, max_iterations + 1):
+        best_candidate: SparseHammingGraph | None = None
+        best_prediction: PredictionLike | None = None
+        best_action = ""
+        for candidate, action in _candidate_moves(current, allow_removals):
+            prediction = predictor(candidate)
+            evaluations += 1
+            if not goal.is_feasible(prediction):
+                continue
+            if not goal.is_improvement(current_prediction, prediction):
+                continue
+            if best_prediction is None or goal.score(prediction) > goal.score(best_prediction):
+                best_candidate = candidate
+                best_prediction = prediction
+                best_action = action
+        if best_candidate is None or best_prediction is None:
+            break
+        current = best_candidate
+        current_prediction = best_prediction
+        steps.append(_record_step(iteration, best_action, current, current_prediction))
+
+    return CustomizationResult(
+        topology=current,
+        prediction=current_prediction,
+        steps=steps,
+        evaluations=evaluations,
+    )
+
+
+def _candidate_moves(
+    current: SparseHammingGraph, allow_removals: bool
+) -> list[tuple[SparseHammingGraph, str]]:
+    """Enumerate single-change neighbours of the current configuration."""
+    moves: list[tuple[SparseHammingGraph, str]] = []
+    for x in candidate_row_skips(current.cols):
+        if x not in current.s_r:
+            moves.append((current.add_row_skip(x), f"add {x} to S_R"))
+        elif allow_removals:
+            moves.append((current.remove_row_skip(x), f"remove {x} from S_R"))
+    for x in candidate_col_skips(current.rows):
+        if x not in current.s_c:
+            moves.append((current.add_col_skip(x), f"add {x} to S_C"))
+        elif allow_removals:
+            moves.append((current.remove_col_skip(x), f"remove {x} from S_C"))
+    return moves
+
+
+def _record_step(
+    iteration: int,
+    action: str,
+    topology: SparseHammingGraph,
+    prediction: PredictionLike,
+) -> CustomizationStep:
+    return CustomizationStep(
+        iteration=iteration,
+        action=action,
+        s_r=topology.s_r,
+        s_c=topology.s_c,
+        area_overhead=prediction.area_overhead,
+        noc_power_w=prediction.noc_power_w,
+        zero_load_latency_cycles=prediction.zero_load_latency_cycles,
+        saturation_throughput=prediction.saturation_throughput,
+    )

@@ -1,0 +1,246 @@
+"""The sparse Hamming graph topology (Section III of the paper).
+
+Construction
+------------
+Let ``R`` and ``C`` be the number of rows and columns of tiles.  The topology
+takes two parameter sets:
+
+* ``S_R ⊆ {2, ..., C-1}`` — *row* skip distances.  For every row ``r``, every
+  ``x in S_R`` and every start column ``i`` with ``i + x <= C``, a link
+  ``T(r, i) - T(r, i + x)`` is added.
+* ``S_C ⊆ {2, ..., R-1}`` — *column* skip distances, added analogously within
+  every column.
+
+Starting point is always a 2D mesh (skip distance 1 in both directions).  With
+``S_R = S_C = {}`` the topology *is* the mesh; with the maximal sets
+``S_R = {2..C-1}``, ``S_C = {2..R-1}`` it is the flattened butterfly.  Every
+sparse Hamming graph is a subgraph of the 2D Hamming graph (the graph product
+of two cliques), hence the name.
+
+The number of distinct configurations for a given grid is
+``2^(C-2) * 2^(R-2) = 2^(R+C-4)`` (Table I, last column).
+"""
+
+from __future__ import annotations
+
+from typing import Collection, Iterable
+
+from repro.topologies.base import Link, Topology
+from repro.topologies.mesh import mesh_links
+from repro.utils.validation import ValidationError, check_type
+
+
+def validate_skip_sets(
+    rows: int, cols: int, s_r: Collection[int], s_c: Collection[int]
+) -> tuple[frozenset[int], frozenset[int]]:
+    """Validate and normalise the parameter sets ``S_R`` and ``S_C``.
+
+    ``S_R`` contains row skip distances and must be a subset of
+    ``{2, ..., C-1}``; ``S_C`` contains column skip distances and must be a
+    subset of ``{2, ..., R-1}`` (Section III-b of the paper).
+    """
+    normalized_r = set()
+    for x in s_r:
+        check_type("element of S_R", x, int)
+        if not (2 <= x < cols):
+            raise ValidationError(
+                f"S_R element {x} outside the valid range [2, {cols - 1}] for C={cols}"
+            )
+        normalized_r.add(x)
+    normalized_c = set()
+    for x in s_c:
+        check_type("element of S_C", x, int)
+        if not (2 <= x < rows):
+            raise ValidationError(
+                f"S_C element {x} outside the valid range [2, {rows - 1}] for R={rows}"
+            )
+        normalized_c.add(x)
+    return frozenset(normalized_r), frozenset(normalized_c)
+
+
+def sparse_hamming_links(
+    rows: int, cols: int, s_r: Collection[int], s_c: Collection[int]
+) -> list[Link]:
+    """Return the links of the sparse Hamming graph with parameters ``S_R``, ``S_C``.
+
+    The construction follows Section III-b verbatim: start from the 2D mesh,
+    then for each row add links of every skip distance in ``S_R`` at every
+    feasible start column, and likewise for columns with ``S_C``.
+    """
+    s_r, s_c = validate_skip_sets(rows, cols, s_r, s_c)
+    links = mesh_links(rows, cols)
+    for r in range(rows):
+        for x in sorted(s_r):
+            for i in range(cols - x):
+                links.append(Link.canonical(r * cols + i, r * cols + i + x))
+    for c in range(cols):
+        for x in sorted(s_c):
+            for i in range(rows - x):
+                links.append(Link.canonical(i * cols + c, (i + x) * cols + c))
+    return links
+
+
+class SparseHammingGraph(Topology):
+    """Customizable sparse Hamming graph topology.
+
+    Parameters
+    ----------
+    rows, cols:
+        Tile grid dimensions.
+    s_r:
+        Row skip distances (``S_R`` in the paper), a subset of ``{2..C-1}``.
+    s_c:
+        Column skip distances (``S_C``), a subset of ``{2..R-1}``.
+    endpoints_per_tile:
+        Endpoints per tile (affects router radix only).
+
+    With empty parameter sets the topology equals the 2D mesh; with maximal
+    sets it equals the flattened butterfly.
+    """
+
+    def __init__(
+        self,
+        rows: int,
+        cols: int,
+        s_r: Iterable[int] = (),
+        s_c: Iterable[int] = (),
+        endpoints_per_tile: int = 1,
+    ) -> None:
+        s_r_set, s_c_set = validate_skip_sets(rows, cols, tuple(s_r), tuple(s_c))
+        super().__init__(
+            rows,
+            cols,
+            sparse_hamming_links(rows, cols, s_r_set, s_c_set),
+            name="Sparse Hamming Graph",
+            endpoints_per_tile=endpoints_per_tile,
+        )
+        self._s_r = s_r_set
+        self._s_c = s_c_set
+
+    # ------------------------------------------------------------ parameters
+    @property
+    def s_r(self) -> frozenset[int]:
+        """Row skip distances ``S_R``."""
+        return self._s_r
+
+    @property
+    def s_c(self) -> frozenset[int]:
+        """Column skip distances ``S_C``."""
+        return self._s_c
+
+    def describe_configuration(self) -> str:
+        """Human-readable configuration string, e.g. ``"S_R={4}, S_C={2,5}"``."""
+        fmt = lambda s: "{" + ",".join(str(x) for x in sorted(s)) + "}"  # noqa: E731
+        return f"S_R={fmt(self._s_r)}, S_C={fmt(self._s_c)}"
+
+    # ----------------------------------------------------------- derivations
+    def with_parameters(self, s_r: Iterable[int], s_c: Iterable[int]) -> "SparseHammingGraph":
+        """Return a new sparse Hamming graph on the same grid with new parameters."""
+        return SparseHammingGraph(
+            self.rows,
+            self.cols,
+            s_r=s_r,
+            s_c=s_c,
+            endpoints_per_tile=self.endpoints_per_tile,
+        )
+
+    def add_row_skip(self, x: int) -> "SparseHammingGraph":
+        """Return a copy with skip distance ``x`` added to ``S_R``."""
+        return self.with_parameters(self._s_r | {x}, self._s_c)
+
+    def add_col_skip(self, x: int) -> "SparseHammingGraph":
+        """Return a copy with skip distance ``x`` added to ``S_C``."""
+        return self.with_parameters(self._s_r, self._s_c | {x})
+
+    def remove_row_skip(self, x: int) -> "SparseHammingGraph":
+        """Return a copy with skip distance ``x`` removed from ``S_R``."""
+        return self.with_parameters(self._s_r - {x}, self._s_c)
+
+    def remove_col_skip(self, x: int) -> "SparseHammingGraph":
+        """Return a copy with skip distance ``x`` removed from ``S_C``."""
+        return self.with_parameters(self._s_r, self._s_c - {x})
+
+    # ------------------------------------------------------------ properties
+    def is_mesh(self) -> bool:
+        """``True`` if the configuration equals the 2D mesh (empty parameter sets)."""
+        return not self._s_r and not self._s_c
+
+    def is_flattened_butterfly(self) -> bool:
+        """``True`` if the configuration equals the flattened butterfly (maximal sets)."""
+        full_r = frozenset(range(2, self.cols))
+        full_c = frozenset(range(2, self.rows))
+        return self._s_r == full_r and self._s_c == full_c
+
+    def expected_row_diameter(self) -> int:
+        """Diameter of a single row's sub-topology (a path with skip links)."""
+        return _line_diameter(self.cols, self._s_r)
+
+    def expected_col_diameter(self) -> int:
+        """Diameter of a single column's sub-topology."""
+        return _line_diameter(self.rows, self._s_c)
+
+    def expected_diameter(self) -> int:
+        """Network diameter: row sub-diameter plus column sub-diameter.
+
+        All links are aligned, so any route decomposes into row moves and
+        column moves; the diameter of the product structure is the sum of the
+        two one-dimensional diameters.
+        """
+        return self.expected_row_diameter() + self.expected_col_diameter()
+
+    def expected_radix(self) -> int:
+        """Maximum router radix of this configuration (including endpoint ports).
+
+        A tile in the middle of a row has at most ``2 * (|S_R| + 1)`` row links
+        (one per skip distance and the mesh link, in both directions), capped
+        by the number of reachable columns; likewise for columns.
+        """
+        max_row_links = max(self._row_links_at(c) for c in range(self.cols))
+        max_col_links = max(self._col_links_at(r) for r in range(self.rows))
+        return max_row_links + max_col_links + self.endpoints_per_tile
+
+    def _row_links_at(self, col: int) -> int:
+        distances = {1} | set(self._s_r)
+        count = 0
+        for x in distances:
+            if col - x >= 0:
+                count += 1
+            if col + x <= self.cols - 1:
+                count += 1
+        return count
+
+    def _col_links_at(self, row: int) -> int:
+        distances = {1} | set(self._s_c)
+        count = 0
+        for x in distances:
+            if row - x >= 0:
+                count += 1
+            if row + x <= self.rows - 1:
+                count += 1
+        return count
+
+
+def _line_diameter(length: int, skips: frozenset[int]) -> int:
+    """Diameter of a path of ``length`` nodes augmented with the given skip links.
+
+    Computed exactly with an all-pairs BFS over the one-dimensional
+    sub-topology (cheap: ``length`` is at most a few dozen).
+    """
+    if length == 1:
+        return 0
+    distances = {1} | set(skips)
+    # BFS from every node.
+    best = 0
+    for start in range(length):
+        dist = [-1] * length
+        dist[start] = 0
+        queue = [start]
+        while queue:
+            node = queue.pop(0)
+            for x in distances:
+                for neighbor in (node - x, node + x):
+                    if 0 <= neighbor < length and dist[neighbor] == -1:
+                        dist[neighbor] = dist[node] + 1
+                        queue.append(neighbor)
+        best = max(best, max(dist))
+    return best

@@ -1,0 +1,63 @@
+"""Physical cost model: area, power, and link-latency prediction (Section IV-B).
+
+The model follows the five steps of Figure 4/5 of the paper:
+
+1. tile area estimation and placement in an ``R x C`` grid,
+2. global routing of links in the grid of tiles (greedy, congestion-aware),
+3. estimation of the spacing between rows and columns of tiles,
+4. discretization of the chip into same-sized unit-cells,
+5. detailed routing in the grid of unit-cells.
+
+From the routed design the model derives the NoC area overhead, the power
+consumption, and the latency (in clock cycles) of every router-to-router link.
+The link latencies are what make the downstream cycle-accurate simulation
+accurate (Section IV-A).
+"""
+
+from repro.physical.technology import TechnologyModel, TECH_22NM, TECH_GF22FDX, TECHNOLOGY_PRESETS
+from repro.physical.parameters import (
+    ArchitecturalParameters,
+    TransportProtocolModel,
+    AXI4_PROTOCOL,
+    LIGHTWEIGHT_PROTOCOL,
+)
+from repro.physical.tile import TileGeometry, estimate_tile_geometry
+from repro.physical.floorplan import Floorplan, PortSide, build_floorplan
+from repro.physical.global_routing import GlobalRoute, GlobalRoutingResult, global_route
+from repro.physical.unit_cells import UnitCellGrid, discretize_chip
+from repro.physical.detailed_routing import DetailedRoute, DetailedRoutingResult, detailed_route
+from repro.physical.area import AreaEstimate, estimate_area
+from repro.physical.power import PowerEstimate, estimate_power
+from repro.physical.link_latency import estimate_link_latencies
+from repro.physical.model import NoCPhysicalModel, PhysicalModelResult
+
+__all__ = [
+    "TechnologyModel",
+    "TECH_22NM",
+    "TECH_GF22FDX",
+    "TECHNOLOGY_PRESETS",
+    "ArchitecturalParameters",
+    "TransportProtocolModel",
+    "AXI4_PROTOCOL",
+    "LIGHTWEIGHT_PROTOCOL",
+    "TileGeometry",
+    "estimate_tile_geometry",
+    "Floorplan",
+    "PortSide",
+    "build_floorplan",
+    "GlobalRoute",
+    "GlobalRoutingResult",
+    "global_route",
+    "UnitCellGrid",
+    "discretize_chip",
+    "DetailedRoute",
+    "DetailedRoutingResult",
+    "detailed_route",
+    "AreaEstimate",
+    "estimate_area",
+    "PowerEstimate",
+    "estimate_power",
+    "estimate_link_latencies",
+    "NoCPhysicalModel",
+    "PhysicalModelResult",
+]

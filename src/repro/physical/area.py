@@ -1,0 +1,63 @@
+"""Area estimation (Section IV-B2b of the paper).
+
+The total chip area is the number of unit cells times the cell area,
+``A_tot = N_cell * A_C``.  The area the chip would occupy *without* a NoC is
+``A_noNoC = f_GE->mm2(N_T * A_E)``.  The NoC area overhead is the fraction of
+the total area that would be saved by removing the NoC:
+
+    ``area overhead = (A_tot - A_noNoC) / A_tot``
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.physical.parameters import ArchitecturalParameters
+from repro.physical.unit_cells import UnitCellGrid
+
+
+@dataclass(frozen=True)
+class AreaEstimate:
+    """Area breakdown of a chip with a given NoC.
+
+    Attributes
+    ----------
+    total_area_mm2:
+        ``A_tot`` — total chip area including tiles, routers and link channels.
+    logic_only_area_mm2:
+        ``A_noNoC`` — area of the endpoint logic alone (no routers, no links).
+    noc_area_mm2:
+        Absolute NoC area, ``A_tot - A_noNoC``.
+    area_overhead:
+        Relative NoC area overhead (the paper's headline cost metric).
+    total_cells:
+        ``N_cell`` — number of unit cells covering the chip.
+    chip_width_mm, chip_height_mm:
+        Chip bounding-box dimensions.
+    """
+
+    total_area_mm2: float
+    logic_only_area_mm2: float
+    noc_area_mm2: float
+    area_overhead: float
+    total_cells: int
+    chip_width_mm: float
+    chip_height_mm: float
+
+
+def estimate_area(params: ArchitecturalParameters, grid: UnitCellGrid) -> AreaEstimate:
+    """Compute the :class:`AreaEstimate` from the discretized chip."""
+    total_cells = grid.total_cells
+    total_area = total_cells * grid.cell_area_mm2
+    logic_only = params.chip_logic_area_mm2()
+    noc_area = max(total_area - logic_only, 0.0)
+    overhead = noc_area / total_area if total_area > 0 else 0.0
+    return AreaEstimate(
+        total_area_mm2=total_area,
+        logic_only_area_mm2=logic_only,
+        noc_area_mm2=noc_area,
+        area_overhead=overhead,
+        total_cells=total_cells,
+        chip_width_mm=grid.chip_width_mm,
+        chip_height_mm=grid.chip_height_mm,
+    )

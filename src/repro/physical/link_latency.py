@@ -1,0 +1,50 @@
+"""Link latency estimation (Section IV-B2d of the paper).
+
+A link that crosses ``N^H_cell`` unit cells horizontally and ``N^V_cell``
+vertically has a wire length of ``N^H_cell * W_C + N^V_cell * H_C``; the link
+latency in clock cycles is that length converted to seconds through the
+buffered-wire delay function and multiplied by the clock frequency:
+
+    ``L = f_mm->s(N^H_cell * W_C + N^V_cell * H_C) * F``
+
+Whenever a link is too long to be traversed in one cycle, pipeline registers
+are inserted (Section II-A), so the latency is rounded up to an integer number
+of cycles with a minimum of one cycle.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.physical.detailed_routing import DetailedRoutingResult
+from repro.physical.parameters import ArchitecturalParameters
+from repro.physical.unit_cells import UnitCellGrid
+from repro.topologies.base import Link
+
+
+def link_latency_cycles(
+    params: ArchitecturalParameters,
+    grid: UnitCellGrid,
+    horizontal_cells: int,
+    vertical_cells: int,
+) -> int:
+    """Latency in cycles of a link crossing the given number of unit cells."""
+    length_mm = horizontal_cells * grid.cell_width_mm + vertical_cells * grid.cell_height_mm
+    latency_cycles = params.f_mm_to_s(length_mm) * params.frequency_hz
+    return max(1, int(math.ceil(latency_cycles)))
+
+
+def estimate_link_latencies(
+    params: ArchitecturalParameters,
+    grid: UnitCellGrid,
+    detailed: DetailedRoutingResult,
+) -> dict[Link, int]:
+    """Latency (in clock cycles) of every router-to-router link.
+
+    This is the "topology with link latency estimates" output of Figure 3/4
+    that parameterises the cycle-accurate simulation.
+    """
+    return {
+        link: link_latency_cycles(params, grid, route.horizontal_cells, route.vertical_cells)
+        for link, route in detailed.routes.items()
+    }

@@ -1,0 +1,133 @@
+"""The complete NoC physical model (Figure 4 of the paper).
+
+:class:`NoCPhysicalModel` chains the five model steps:
+
+1. tile area estimate and placement (:mod:`repro.physical.tile`,
+   :mod:`repro.physical.floorplan`),
+2. global routing in the grid of tiles (:mod:`repro.physical.global_routing`),
+3. spacing estimation between rows and columns,
+4. discretization into unit cells (:mod:`repro.physical.unit_cells`),
+5. detailed routing in the unit-cell grid
+   (:mod:`repro.physical.detailed_routing`),
+
+and produces the three model outputs: the area estimate, the power estimate,
+and the per-link latency estimates that parameterise the cycle-accurate
+simulation (Figure 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.physical.area import AreaEstimate, estimate_area
+from repro.physical.detailed_routing import DetailedRoutingResult, detailed_route
+from repro.physical.floorplan import Floorplan, build_floorplan
+from repro.physical.global_routing import GlobalRoutingResult, global_route
+from repro.physical.link_latency import estimate_link_latencies
+from repro.physical.parameters import ArchitecturalParameters
+from repro.physical.power import PowerEstimate, estimate_power
+from repro.physical.tile import TileGeometry, estimate_tile_geometry
+from repro.physical.unit_cells import UnitCellGrid, discretize_chip
+from repro.topologies.base import Link, Topology
+from repro.utils.validation import ValidationError
+
+
+@dataclass
+class PhysicalModelResult:
+    """All outputs and intermediate artifacts of the physical model.
+
+    Attributes
+    ----------
+    params, topology:
+        The model inputs.
+    tile_geometry, floorplan, global_routing, unit_cells, detailed_routing:
+        Intermediate artifacts of steps 1-5 (useful for visualisation and for
+        the ablation benchmarks).
+    area, power:
+        Cost estimates.
+    link_latencies:
+        Latency in cycles of every router-to-router link; this is what the
+        cycle-accurate simulator consumes.
+    """
+
+    params: ArchitecturalParameters
+    topology: Topology
+    tile_geometry: TileGeometry
+    floorplan: Floorplan
+    global_routing: GlobalRoutingResult
+    unit_cells: UnitCellGrid
+    detailed_routing: DetailedRoutingResult
+    area: AreaEstimate
+    power: PowerEstimate
+    link_latencies: dict[Link, int]
+
+    @property
+    def area_overhead(self) -> float:
+        """NoC area overhead (fraction of the total chip area)."""
+        return self.area.area_overhead
+
+    @property
+    def noc_power_w(self) -> float:
+        """NoC power consumption in watts."""
+        return self.power.noc_power_w
+
+    def average_link_latency(self) -> float:
+        """Mean link latency in cycles (1 for short links, larger for long ones)."""
+        if not self.link_latencies:
+            return 0.0
+        return sum(self.link_latencies.values()) / len(self.link_latencies)
+
+    def max_link_latency(self) -> int:
+        """Largest link latency in cycles."""
+        if not self.link_latencies:
+            return 0
+        return max(self.link_latencies.values())
+
+
+class NoCPhysicalModel:
+    """Callable physical model: topology + architectural parameters -> cost.
+
+    The model validates that the topology's tile count matches the
+    architecture, then runs the five steps of Figure 4.
+    """
+
+    def __init__(self, params: ArchitecturalParameters) -> None:
+        self._params = params
+
+    @property
+    def params(self) -> ArchitecturalParameters:
+        """The architectural parameters this model instance was built for."""
+        return self._params
+
+    def evaluate(self, topology: Topology) -> PhysicalModelResult:
+        """Run all five model steps for ``topology`` and return the result."""
+        params = self._params
+        if topology.num_tiles != params.num_tiles:
+            raise ValidationError(
+                f"topology has {topology.num_tiles} tiles but the architecture "
+                f"defines {params.num_tiles}"
+            )
+        tile_geometry = estimate_tile_geometry(params, topology)
+        floorplan = build_floorplan(topology, tile_geometry)
+        routing = global_route(topology, floorplan)
+        grid = discretize_chip(params, floorplan, routing)
+        detailed = detailed_route(grid, routing)
+        area = estimate_area(params, grid)
+        power = estimate_power(params, grid, detailed)
+        latencies = estimate_link_latencies(params, grid, detailed)
+        return PhysicalModelResult(
+            params=params,
+            topology=topology,
+            tile_geometry=tile_geometry,
+            floorplan=floorplan,
+            global_routing=routing,
+            unit_cells=grid,
+            detailed_routing=detailed,
+            area=area,
+            power=power,
+            link_latencies=latencies,
+        )
+
+    def __call__(self, topology: Topology) -> PhysicalModelResult:
+        """Alias for :meth:`evaluate` so the model can be used as a plain callable."""
+        return self.evaluate(topology)

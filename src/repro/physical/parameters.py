@@ -1,0 +1,236 @@
+"""Architectural parameters of the prediction model (Table II of the paper).
+
+:class:`ArchitecturalParameters` bundles everything the model needs:
+
+* chip design parameters — number of tiles ``N_T``, endpoint area ``A_E`` (in
+  gate equivalents), tile aspect ratio ``R_T``;
+* NoC parameters — clock frequency ``F`` and per-link bandwidth ``B``;
+* the technology node (:class:`~repro.physical.technology.TechnologyModel`);
+* the on-chip transport protocol (:class:`TransportProtocolModel`), providing
+  ``f_bw->wires`` (wires per link) and ``f_AR`` (router area in GE).
+
+The class exposes thin wrappers named after the Table II functions so that the
+model code reads like the paper.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+
+from repro.physical.technology import TECH_22NM, TechnologyModel
+from repro.utils.validation import ValidationError, check_positive, check_type
+
+
+@dataclass(frozen=True)
+class TransportProtocolModel:
+    """On-chip transport protocol model (Table II, last group of parameters).
+
+    Attributes
+    ----------
+    name:
+        Protocol name (e.g. ``"AXI4"``).
+    wires_per_payload_bit:
+        Physical wires needed per bit/cycle of usable link bandwidth.  AXI
+        needs five separate channels (AW, W, B, AR, R) plus handshake signals,
+        so a full-duplex 512 bit/cycle link requires roughly 3x512 wires.
+    crossbar_ge_per_bit:
+        Router crossbar area in GE per (input port x output port x bit) —
+        this is the term that makes router area scale quadratically with the
+        radix (design principle ❶).
+    buffer_ge_per_bit:
+        Area of one bit of input-buffer storage in GE.
+    buffer_flits_per_port:
+        Total input-buffer depth per port in flits (shared by all VCs); the
+        paper's evaluation uses 32-flit buffers.
+    num_virtual_channels:
+        Number of virtual channels per port (8 in the paper's evaluation).
+    control_ge_per_port_vc:
+        Allocator / control overhead in GE per port per VC.
+    """
+
+    name: str
+    wires_per_payload_bit: float
+    crossbar_ge_per_bit: float
+    buffer_ge_per_bit: float
+    buffer_flits_per_port: int
+    num_virtual_channels: int
+    control_ge_per_port_vc: float
+
+    def __post_init__(self) -> None:
+        check_positive("wires_per_payload_bit", self.wires_per_payload_bit)
+        check_positive("crossbar_ge_per_bit", self.crossbar_ge_per_bit)
+        check_positive("buffer_ge_per_bit", self.buffer_ge_per_bit)
+        check_type("buffer_flits_per_port", self.buffer_flits_per_port, int)
+        check_type("num_virtual_channels", self.num_virtual_channels, int)
+        if self.buffer_flits_per_port < 1 or self.num_virtual_channels < 1:
+            raise ValidationError("buffer depth and VC count must be >= 1")
+
+    def bw_to_wires(self, bandwidth_bits_per_cycle: float) -> int:
+        """``f_bw->wires``: number of wires for a link of the given bandwidth."""
+        check_positive("bandwidth_bits_per_cycle", bandwidth_bits_per_cycle)
+        return int(math.ceil(bandwidth_bits_per_cycle * self.wires_per_payload_bit))
+
+    def router_area_ge(
+        self, manager_ports: int, subordinate_ports: int, bandwidth_bits_per_cycle: float
+    ) -> float:
+        """``f_AR(m, s, B)``: router area in gate equivalents.
+
+        The model has three components: a crossbar quadratic in the port
+        counts, input buffers linear in the number of manager (input) ports,
+        and per-port/per-VC control logic (routing, VC and switch allocation).
+        """
+        check_type("manager_ports", manager_ports, int)
+        check_type("subordinate_ports", subordinate_ports, int)
+        if manager_ports < 1 or subordinate_ports < 1:
+            raise ValidationError("a router needs at least one port per direction")
+        check_positive("bandwidth_bits_per_cycle", bandwidth_bits_per_cycle)
+        crossbar = (
+            self.crossbar_ge_per_bit
+            * manager_ports
+            * subordinate_ports
+            * bandwidth_bits_per_cycle
+        )
+        buffers = (
+            self.buffer_ge_per_bit
+            * manager_ports
+            * self.buffer_flits_per_port
+            * bandwidth_bits_per_cycle
+        )
+        control = (
+            self.control_ge_per_port_vc
+            * (manager_ports + subordinate_ports)
+            * self.num_virtual_channels
+        )
+        return crossbar + buffers + control
+
+
+# AXI-style protocol (Kurth et al. components): five channels plus handshake
+# overhead, wide buffers, 8 VCs — matches the paper's evaluation setup.
+AXI4_PROTOCOL = TransportProtocolModel(
+    name="AXI4",
+    wires_per_payload_bit=3.0,
+    crossbar_ge_per_bit=3.0,
+    buffer_ge_per_bit=1.2,
+    buffer_flits_per_port=32,
+    num_virtual_channels=8,
+    control_ge_per_port_vc=250.0,
+)
+
+# A lean request/response protocol with narrow control overhead; used for the
+# MemPool validation experiment, whose interconnect is far simpler than AXI.
+LIGHTWEIGHT_PROTOCOL = TransportProtocolModel(
+    name="lightweight",
+    wires_per_payload_bit=1.4,
+    crossbar_ge_per_bit=2.0,
+    buffer_ge_per_bit=1.0,
+    buffer_flits_per_port=4,
+    num_virtual_channels=1,
+    control_ge_per_port_vc=120.0,
+)
+
+
+@dataclass(frozen=True)
+class ArchitecturalParameters:
+    """All model inputs of Table II for one target architecture.
+
+    Attributes
+    ----------
+    num_tiles:
+        ``N_T`` — number of tiles on the chip.
+    endpoint_area_ge:
+        ``A_E`` — combined area of all endpoints in a tile, in gate
+        equivalents (e.g. 35 MGE for the KNC-like scenario).
+    tile_aspect_ratio:
+        ``R_T`` — tile height : width ratio (1.0 = square tiles).
+    frequency_hz:
+        ``F`` — NoC clock frequency.
+    link_bandwidth_bits:
+        ``B`` — bandwidth of each router-to-router link in bits/cycle.
+    technology:
+        Technology node model (``f_GE->mm2``, wire, power, delay functions).
+    protocol:
+        Transport protocol model (``f_bw->wires`` and ``f_AR``).
+    endpoints_per_tile:
+        Number of endpoint (local) ports on each tile's router.
+    name:
+        Label for reports (e.g. ``"scenario-a"``).
+    """
+
+    num_tiles: int
+    endpoint_area_ge: float
+    tile_aspect_ratio: float = 1.0
+    frequency_hz: float = 1.2e9
+    link_bandwidth_bits: float = 512.0
+    technology: TechnologyModel = field(default=TECH_22NM)
+    protocol: TransportProtocolModel = field(default=AXI4_PROTOCOL)
+    endpoints_per_tile: int = 1
+    name: str = "unnamed"
+
+    def __post_init__(self) -> None:
+        check_type("num_tiles", self.num_tiles, int)
+        if self.num_tiles < 2:
+            raise ValidationError("num_tiles must be >= 2")
+        check_positive("endpoint_area_ge", self.endpoint_area_ge)
+        check_positive("tile_aspect_ratio", self.tile_aspect_ratio)
+        check_positive("frequency_hz", self.frequency_hz)
+        check_positive("link_bandwidth_bits", self.link_bandwidth_bits)
+        check_type("endpoints_per_tile", self.endpoints_per_tile, int)
+        if self.endpoints_per_tile < 1:
+            raise ValidationError("endpoints_per_tile must be >= 1")
+
+    # --------------------------------------------------- Table II functions
+    def f_ge_to_mm2(self, gate_equivalents: float) -> float:
+        """``f_GE->mm2(x)``."""
+        return self.technology.ge_to_mm2(gate_equivalents)
+
+    def f_h_wires_to_mm(self, num_wires: float) -> float:
+        """``f^H_wires->mm(x)``."""
+        return self.technology.h_wires_to_mm(num_wires)
+
+    def f_v_wires_to_mm(self, num_wires: float) -> float:
+        """``f^V_wires->mm(x)``."""
+        return self.technology.v_wires_to_mm(num_wires)
+
+    def f_l_mm2_to_w(self, area_mm2: float) -> float:
+        """``f^L_mm2->W(x)``."""
+        return self.technology.logic_power_w(area_mm2)
+
+    def f_w_mm2_to_w(self, area_mm2: float) -> float:
+        """``f^W_mm2->W(x)``."""
+        return self.technology.wire_power_w(area_mm2)
+
+    def f_mm_to_s(self, distance_mm: float) -> float:
+        """``f_mm->s(x)``."""
+        return self.technology.wire_delay_s(distance_mm)
+
+    def f_bw_to_wires(self, bandwidth_bits_per_cycle: float | None = None) -> int:
+        """``f_bw->wires(x)``; defaults to the architecture's link bandwidth ``B``."""
+        bandwidth = (
+            self.link_bandwidth_bits if bandwidth_bits_per_cycle is None else bandwidth_bits_per_cycle
+        )
+        return self.protocol.bw_to_wires(bandwidth)
+
+    def f_ar(self, manager_ports: int, subordinate_ports: int) -> float:
+        """``f_AR(m, s, B)`` with the architecture's link bandwidth ``B``."""
+        return self.protocol.router_area_ge(
+            manager_ports, subordinate_ports, self.link_bandwidth_bits
+        )
+
+    # ------------------------------------------------------------- derived
+    @property
+    def clock_period_s(self) -> float:
+        """Clock period ``1 / F`` in seconds."""
+        return 1.0 / self.frequency_hz
+
+    def link_wires(self) -> int:
+        """Number of wires of one router-to-router link."""
+        return self.f_bw_to_wires()
+
+    def chip_logic_area_mm2(self) -> float:
+        """``A_noNoC``: area of the chip's endpoint logic without any NoC."""
+        return self.f_ge_to_mm2(self.num_tiles * self.endpoint_area_ge)
+
+    def scaled(self, **changes) -> "ArchitecturalParameters":
+        """Return a copy with some fields replaced (convenience for scenarios)."""
+        return replace(self, **changes)

@@ -1,0 +1,72 @@
+"""Power estimation (Section IV-B2c of the paper).
+
+Let ``N^L_cell``, ``N^H_cell`` and ``N^V_cell`` be the number of unit cells
+containing logic, a horizontal link segment and a vertical link segment
+respectively.  The chip's total power is estimated as
+
+    ``P_tot = f^L_mm2->W(N^L_cell * A_C) + f^W_mm2->W((N^H_cell + N^V_cell) * A_C / 2)``
+
+The power of the chip without a NoC and of the NoC alone are
+
+    ``P_noNoC = f^L_mm2->W(f_GE->mm2(N_T * A_E))``
+    ``P_NoC   = P_tot - P_noNoC``
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.physical.detailed_routing import DetailedRoutingResult
+from repro.physical.parameters import ArchitecturalParameters
+from repro.physical.unit_cells import UnitCellGrid
+
+
+@dataclass(frozen=True)
+class PowerEstimate:
+    """Power breakdown of a chip with a given NoC.
+
+    Attributes
+    ----------
+    total_power_w:
+        ``P_tot`` — total chip power (logic + NoC wiring + routers).
+    logic_only_power_w:
+        ``P_noNoC`` — power of the endpoint logic alone.
+    noc_power_w:
+        ``P_NoC = P_tot - P_noNoC`` (the paper's cost metric in Figure 6).
+    logic_cells, horizontal_cells, vertical_cells:
+        The unit-cell counts entering the formula.
+    """
+
+    total_power_w: float
+    logic_only_power_w: float
+    noc_power_w: float
+    logic_cells: int
+    horizontal_cells: int
+    vertical_cells: int
+
+
+def estimate_power(
+    params: ArchitecturalParameters,
+    grid: UnitCellGrid,
+    detailed: DetailedRoutingResult,
+) -> PowerEstimate:
+    """Compute the :class:`PowerEstimate` from the detailed-routed chip."""
+    cell_area = grid.cell_area_mm2
+    logic_cells = grid.logic_cells
+    horizontal_cells = detailed.total_horizontal_cells()
+    vertical_cells = detailed.total_vertical_cells()
+
+    logic_power = params.f_l_mm2_to_w(logic_cells * cell_area)
+    wire_power = params.f_w_mm2_to_w((horizontal_cells + vertical_cells) * cell_area / 2.0)
+    total_power = logic_power + wire_power
+
+    logic_only = params.f_l_mm2_to_w(params.chip_logic_area_mm2())
+    noc_power = max(total_power - logic_only, 0.0)
+    return PowerEstimate(
+        total_power_w=total_power,
+        logic_only_power_w=logic_only,
+        noc_power_w=noc_power,
+        logic_cells=logic_cells,
+        horizontal_cells=horizontal_cells,
+        vertical_cells=vertical_cells,
+    )

@@ -1,0 +1,151 @@
+"""Technology-node models (Table II, "parameters describing the technology node").
+
+A :class:`TechnologyModel` bundles the six technology functions of Table II:
+
+* ``f_GE->mm2``      — area needed to synthesize ``x`` gate equivalents,
+* ``f^H_wires->mm``  — space needed for ``x`` parallel horizontal wires,
+* ``f^V_wires->mm``  — space needed for ``x`` parallel vertical wires,
+* ``f^L_mm2->W``     — power of logic-dominated area,
+* ``f^W_mm2->W``     — power of wire-dominated area,
+* ``f_mm->s``        — signal propagation delay along a buffered wire.
+
+The wire functions follow the paper's recipe exactly: each metal layer
+available for signal routing in a given direction contributes ``1 / pitch``
+wires per nanometre; the space needed for ``x`` wires is ``x`` divided by the
+summed wire density, converted from nm to mm.
+
+Two presets are provided: :data:`TECH_22NM` models a 22 nm high-performance
+process (the node the paper assumes for the KNC-like evaluation scenarios) and
+:data:`TECH_GF22FDX` a 22FDX-class low-power process used for the MemPool
+validation experiment.  The absolute constants are public ballpark figures;
+the reproduction relies on relative scaling, not absolute accuracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import ValidationError, check_non_negative, check_positive
+
+
+@dataclass(frozen=True)
+class TechnologyModel:
+    """Parameters and derived functions of one technology node.
+
+    Attributes
+    ----------
+    name:
+        Preset name (e.g. ``"22nm-hp"``).
+    ge_area_um2:
+        Silicon area of one gate equivalent (a NAND2 drawn gate) in µm²,
+        including typical cell-utilisation overhead.
+    horizontal_wire_pitches_nm, vertical_wire_pitches_nm:
+        Wire pitches of the metal layers available for horizontal and vertical
+        signal routing.  Multiple physical layers are represented as one
+        abstract layer by summing their wire densities (paper, Section IV-B1).
+    logic_power_density_w_per_mm2:
+        Approximate power of logic-dominated area (``f^L_mm2->W``).
+    wire_power_density_w_per_mm2:
+        Approximate power of wire-dominated area (``f^W_mm2->W``).
+    wire_delay_s_per_mm:
+        Propagation delay of a buffered wire per millimetre (``f_mm->s``).
+    """
+
+    name: str
+    ge_area_um2: float
+    horizontal_wire_pitches_nm: tuple[float, ...]
+    vertical_wire_pitches_nm: tuple[float, ...]
+    logic_power_density_w_per_mm2: float
+    wire_power_density_w_per_mm2: float
+    wire_delay_s_per_mm: float
+
+    def __post_init__(self) -> None:
+        check_positive("ge_area_um2", self.ge_area_um2)
+        check_positive("logic_power_density_w_per_mm2", self.logic_power_density_w_per_mm2)
+        check_positive("wire_power_density_w_per_mm2", self.wire_power_density_w_per_mm2)
+        check_positive("wire_delay_s_per_mm", self.wire_delay_s_per_mm)
+        if not self.horizontal_wire_pitches_nm or not self.vertical_wire_pitches_nm:
+            raise ValidationError("at least one wire pitch per direction is required")
+        for pitch in self.horizontal_wire_pitches_nm + self.vertical_wire_pitches_nm:
+            check_positive("wire pitch", pitch)
+
+    # ------------------------------------------------------------- functions
+    def ge_to_mm2(self, gate_equivalents: float) -> float:
+        """``f_GE->mm2``: silicon area in mm² for ``gate_equivalents`` GE of logic."""
+        check_non_negative("gate_equivalents", gate_equivalents)
+        return gate_equivalents * self.ge_area_um2 * 1e-6
+
+    def mm2_to_ge(self, area_mm2: float) -> float:
+        """Inverse of :meth:`ge_to_mm2` (used by calibration helpers)."""
+        check_non_negative("area_mm2", area_mm2)
+        return area_mm2 / (self.ge_area_um2 * 1e-6)
+
+    @property
+    def horizontal_wires_per_nm(self) -> float:
+        """Combined wire density of all horizontal routing layers (wires per nm)."""
+        return sum(1.0 / pitch for pitch in self.horizontal_wire_pitches_nm)
+
+    @property
+    def vertical_wires_per_nm(self) -> float:
+        """Combined wire density of all vertical routing layers (wires per nm)."""
+        return sum(1.0 / pitch for pitch in self.vertical_wire_pitches_nm)
+
+    def h_wires_to_mm(self, num_wires: float) -> float:
+        """``f^H_wires->mm``: space (mm) needed for ``num_wires`` parallel horizontal wires."""
+        check_non_negative("num_wires", num_wires)
+        return num_wires * 1e-6 / self.horizontal_wires_per_nm
+
+    def v_wires_to_mm(self, num_wires: float) -> float:
+        """``f^V_wires->mm``: space (mm) needed for ``num_wires`` parallel vertical wires."""
+        check_non_negative("num_wires", num_wires)
+        return num_wires * 1e-6 / self.vertical_wires_per_nm
+
+    def logic_power_w(self, area_mm2: float) -> float:
+        """``f^L_mm2->W``: power of ``area_mm2`` of logic-dominated area."""
+        check_non_negative("area_mm2", area_mm2)
+        return area_mm2 * self.logic_power_density_w_per_mm2
+
+    def wire_power_w(self, area_mm2: float) -> float:
+        """``f^W_mm2->W``: power of ``area_mm2`` of wire-dominated area."""
+        check_non_negative("area_mm2", area_mm2)
+        return area_mm2 * self.wire_power_density_w_per_mm2
+
+    def wire_delay_s(self, distance_mm: float) -> float:
+        """``f_mm->s``: propagation time along ``distance_mm`` of buffered wire."""
+        check_non_negative("distance_mm", distance_mm)
+        return distance_mm * self.wire_delay_s_per_mm
+
+
+# 22 nm high-performance process: the node assumed for the KNC-like scenarios.
+# The layer structure follows the worked example in Section IV-B1 of the paper
+# (three horizontal and two vertical signal-routing layers); the pitches are
+# *effective* routing pitches, i.e. the drawn pitch divided by the fraction of
+# tracks actually available to NoC links after power grid, clock and local
+# signal routing have taken their share.
+TECH_22NM = TechnologyModel(
+    name="22nm-hp",
+    ge_area_um2=0.20,
+    horizontal_wire_pitches_nm=(80.0, 100.0, 120.0),
+    vertical_wire_pitches_nm=(90.0, 110.0),
+    logic_power_density_w_per_mm2=0.40,
+    wire_power_density_w_per_mm2=0.22,
+    wire_delay_s_per_mm=165e-12,
+)
+
+# 22FDX-class low-power process used for the MemPool validation experiment
+# (MemPool is implemented in GlobalFoundries 22FDX and runs at a much lower
+# clock frequency and power density than KNC).
+TECH_GF22FDX = TechnologyModel(
+    name="gf22fdx",
+    ge_area_um2=0.20,
+    horizontal_wire_pitches_nm=(40.0, 50.0, 60.0),
+    vertical_wire_pitches_nm=(45.0, 55.0),
+    logic_power_density_w_per_mm2=0.065,
+    wire_power_density_w_per_mm2=0.035,
+    wire_delay_s_per_mm=200e-12,
+)
+
+TECHNOLOGY_PRESETS: dict[str, TechnologyModel] = {
+    TECH_22NM.name: TECH_22NM,
+    TECH_GF22FDX.name: TECH_GF22FDX,
+}

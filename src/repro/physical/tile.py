@@ -1,0 +1,77 @@
+"""Step 1 of the prediction model: tile area estimation (Section IV-B2a).
+
+The area of a tile is ``A_T = A_E + A_R`` where ``A_E`` is the combined
+endpoint area (model input) and ``A_R = f_AR(m, s, B)`` is the area of the
+tile's local router, whose port counts depend on the topology.  From the tile
+area and the aspect ratio ``R_T`` the tile height and width follow as
+
+    ``H_T = sqrt(R_T * f_GE->mm2(A_T))``
+    ``W_T = sqrt(f_GE->mm2(A_T) / R_T)``
+
+All tiles are identical building blocks (Section II-A), so the maximum router
+radix over all tiles determines the router that is instantiated in every tile.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.physical.parameters import ArchitecturalParameters
+from repro.topologies.base import Topology
+
+
+@dataclass(frozen=True)
+class TileGeometry:
+    """Geometry and area breakdown of one tile.
+
+    Attributes
+    ----------
+    endpoint_area_ge:
+        ``A_E`` — endpoint logic per tile in gate equivalents.
+    router_area_ge:
+        ``A_R`` — local router area in gate equivalents.
+    tile_area_ge:
+        ``A_T = A_E + A_R``.
+    tile_area_mm2, width_mm, height_mm:
+        Physical tile dimensions derived from ``A_T`` and the aspect ratio.
+    router_ports:
+        Number of router-to-router plus endpoint ports of the instantiated
+        router (the maximum over all tiles).
+    """
+
+    endpoint_area_ge: float
+    router_area_ge: float
+    tile_area_ge: float
+    tile_area_mm2: float
+    width_mm: float
+    height_mm: float
+    router_ports: int
+
+    @property
+    def router_area_fraction(self) -> float:
+        """Fraction of the tile area occupied by the router."""
+        return self.router_area_ge / self.tile_area_ge
+
+
+def estimate_tile_geometry(
+    params: ArchitecturalParameters, topology: Topology
+) -> TileGeometry:
+    """Estimate the tile geometry for ``topology`` under ``params`` (model step 1)."""
+    # All tiles are identical, so the worst-case radix determines the router.
+    router_to_router_ports = topology.max_degree()
+    ports = router_to_router_ports + params.endpoints_per_tile
+    router_area_ge = params.f_ar(ports, ports)
+    tile_area_ge = params.endpoint_area_ge + router_area_ge
+    tile_area_mm2 = params.f_ge_to_mm2(tile_area_ge)
+    height_mm = math.sqrt(params.tile_aspect_ratio * tile_area_mm2)
+    width_mm = math.sqrt(tile_area_mm2 / params.tile_aspect_ratio)
+    return TileGeometry(
+        endpoint_area_ge=params.endpoint_area_ge,
+        router_area_ge=router_area_ge,
+        tile_area_ge=tile_area_ge,
+        tile_area_mm2=tile_area_mm2,
+        width_mm=width_mm,
+        height_mm=height_mm,
+        router_ports=ports,
+    )

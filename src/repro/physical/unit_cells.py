@@ -1,0 +1,194 @@
+"""Steps 3-4 of the prediction model: spacing estimation and chip discretization.
+
+Step 3 (Figure 5c): if at most ``N_L`` parallel horizontal links run between
+two rows of tiles, the spacing between those rows is
+
+    ``S = f^H_wires->mm(N_L * f_bw->wires(B))``
+
+and symmetrically for columns with ``f^V_wires->mm``.
+
+Step 4 (Figure 5d): the chip is discretized into same-sized unit cells whose
+height/width is exactly the space needed for one horizontal/vertical link:
+
+    ``H_C = f^H_wires->mm(f_bw->wires(B))``,
+    ``W_C = f^V_wires->mm(f_bw->wires(B))``.
+
+Because the wire functions are linear, the spacing of a channel with peak load
+``N_L`` is exactly ``N_L`` unit cells thick — each parallel link gets its own
+track.  The resulting :class:`UnitCellGrid` records the physical coordinates
+of every tile and channel, the port positions in millimetres, and the total
+number of unit cells (which determines the chip area in step 5's bookkeeping).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.physical.floorplan import Floorplan, PortSide
+from repro.physical.global_routing import GlobalRoutingResult
+from repro.physical.parameters import ArchitecturalParameters
+from repro.topologies.base import Link
+from repro.utils.geometry import Point
+from repro.utils.validation import ValidationError
+
+
+@dataclass
+class UnitCellGrid:
+    """Physical layout of the chip after spacing estimation and discretization.
+
+    Coordinates are in millimetres; ``x`` grows with the tile column index and
+    ``y`` grows with the tile row index (i.e. downwards, as in Figure 2).
+
+    Attributes
+    ----------
+    cell_width_mm, cell_height_mm:
+        Unit cell dimensions ``W_C`` and ``H_C``.
+    horizontal_spacings_mm:
+        Spacing of the ``R+1`` horizontal channels (above row 0, between rows,
+        below the last row).
+    vertical_spacings_mm:
+        Spacing of the ``C+1`` vertical channels.
+    tile_origins:
+        ``(R, C, 2)`` array with the top-left corner of every tile.
+    chip_width_mm, chip_height_mm:
+        Total chip dimensions including all spacings.
+    """
+
+    floorplan: Floorplan
+    params: ArchitecturalParameters
+    cell_width_mm: float
+    cell_height_mm: float
+    horizontal_spacings_mm: np.ndarray
+    vertical_spacings_mm: np.ndarray
+    tile_origins: np.ndarray
+    chip_width_mm: float
+    chip_height_mm: float
+
+    # ------------------------------------------------------------ cell math
+    @property
+    def cell_area_mm2(self) -> float:
+        """Area ``A_C`` of one unit cell."""
+        return self.cell_width_mm * self.cell_height_mm
+
+    @property
+    def total_cells(self) -> int:
+        """``N_cell``: number of unit cells covering the whole chip."""
+        return int(
+            math.ceil(self.chip_width_mm / self.cell_width_mm)
+            * math.ceil(self.chip_height_mm / self.cell_height_mm)
+        )
+
+    @property
+    def logic_cells(self) -> int:
+        """``N^L_cell``: number of unit cells containing tile logic."""
+        topology = self.floorplan.topology
+        per_tile = math.ceil(
+            self.floorplan.tile_geometry.width_mm / self.cell_width_mm
+        ) * math.ceil(self.floorplan.tile_geometry.height_mm / self.cell_height_mm)
+        return per_tile * topology.num_tiles
+
+    # ----------------------------------------------------------- geometry
+    def tile_origin(self, row: int, col: int) -> Point:
+        """Top-left corner of the tile at grid position ``(row, col)``."""
+        x, y = self.tile_origins[row, col]
+        return Point(float(x), float(y))
+
+    def horizontal_channel_y(self, channel: int) -> float:
+        """``y`` coordinate of the top edge of horizontal channel ``channel``."""
+        topology = self.floorplan.topology
+        if not (0 <= channel <= topology.rows):
+            raise ValidationError(f"horizontal channel {channel} out of range")
+        if channel == 0:
+            return 0.0
+        origin = self.tile_origin(channel - 1, 0)
+        return origin.y + self.floorplan.tile_geometry.height_mm
+
+    def vertical_channel_x(self, channel: int) -> float:
+        """``x`` coordinate of the left edge of vertical channel ``channel``."""
+        topology = self.floorplan.topology
+        if not (0 <= channel <= topology.cols):
+            raise ValidationError(f"vertical channel {channel} out of range")
+        if channel == 0:
+            return 0.0
+        origin = self.tile_origin(0, channel - 1)
+        return origin.x + self.floorplan.tile_geometry.width_mm
+
+    def horizontal_track_y(self, channel: int, track: int) -> float:
+        """Centerline ``y`` of the given track within a horizontal channel."""
+        return self.horizontal_channel_y(channel) + (track + 0.5) * self.cell_height_mm
+
+    def vertical_track_x(self, channel: int, track: int) -> float:
+        """Centerline ``x`` of the given track within a vertical channel."""
+        return self.vertical_channel_x(channel) + (track + 0.5) * self.cell_width_mm
+
+    def port_position(self, tile: int, link: Link) -> Point:
+        """Physical position of the port of ``link`` on ``tile``."""
+        topology = self.floorplan.topology
+        geometry = self.floorplan.tile_geometry
+        coord = topology.coord(tile)
+        origin = self.tile_origin(coord.row, coord.col)
+        assignment = self.floorplan.port(tile, link)
+        if assignment.side is PortSide.EAST:
+            return Point(origin.x + geometry.width_mm, origin.y + assignment.offset_fraction * geometry.height_mm)
+        if assignment.side is PortSide.WEST:
+            return Point(origin.x, origin.y + assignment.offset_fraction * geometry.height_mm)
+        if assignment.side is PortSide.NORTH:
+            return Point(origin.x + assignment.offset_fraction * geometry.width_mm, origin.y)
+        return Point(origin.x + assignment.offset_fraction * geometry.width_mm, origin.y + geometry.height_mm)
+
+
+def discretize_chip(
+    params: ArchitecturalParameters,
+    floorplan: Floorplan,
+    routing: GlobalRoutingResult,
+) -> UnitCellGrid:
+    """Estimate channel spacings (step 3) and discretize the chip (step 4)."""
+    topology = floorplan.topology
+    geometry = floorplan.tile_geometry
+    link_wires = params.f_bw_to_wires()
+
+    cell_height = params.f_h_wires_to_mm(link_wires)
+    cell_width = params.f_v_wires_to_mm(link_wires)
+
+    # Step 3: spacing per channel from the peak number of parallel links.
+    horizontal_spacings = np.array(
+        [
+            params.f_h_wires_to_mm(routing.max_horizontal_load(h) * link_wires)
+            for h in range(topology.rows + 1)
+        ]
+    )
+    vertical_spacings = np.array(
+        [
+            params.f_v_wires_to_mm(routing.max_vertical_load(v) * link_wires)
+            for v in range(topology.cols + 1)
+        ]
+    )
+
+    # Step 4: place tiles; spacings and tile sizes accumulate into coordinates.
+    tile_origins = np.zeros((topology.rows, topology.cols, 2))
+    y = 0.0
+    for row in range(topology.rows):
+        y += horizontal_spacings[row]
+        x = 0.0
+        for col in range(topology.cols):
+            x += vertical_spacings[col]
+            tile_origins[row, col] = (x, y)
+            x += geometry.width_mm
+        y += geometry.height_mm
+    chip_width = float(vertical_spacings.sum() + topology.cols * geometry.width_mm)
+    chip_height = float(horizontal_spacings.sum() + topology.rows * geometry.height_mm)
+
+    return UnitCellGrid(
+        floorplan=floorplan,
+        params=params,
+        cell_width_mm=cell_width,
+        cell_height_mm=cell_height,
+        horizontal_spacings_mm=horizontal_spacings,
+        vertical_spacings_mm=vertical_spacings,
+        tile_origins=tile_origins,
+        chip_width_mm=chip_width,
+        chip_height_mm=chip_height,
+    )

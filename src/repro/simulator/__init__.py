@@ -1,0 +1,64 @@
+"""Cycle-accurate NoC simulator (the BookSim2 substitute of the toolchain).
+
+The paper feeds its physical model's link-latency estimates, together with the
+router architecture, routing algorithm and traffic pattern, into the
+cycle-accurate BookSim2 simulator to obtain zero-load latency and saturation
+throughput (Figure 3).  BookSim2 is a C++ project and not available here, so
+this package implements the required subset from scratch:
+
+* input-queued routers with virtual channels and credit-based flow control,
+* a configurable router pipeline latency,
+* multi-cycle (pipelined) links, parameterised per link by the physical model,
+* table-based minimal routing with a deadlock-free escape layer
+  (Duato-style: adaptive minimal VCs + an up*/down* escape VC),
+* synthetic traffic patterns (uniform random, transpose, bit-complement,
+  tornado, neighbour, hotspot) with Bernoulli injection,
+* warmup / measurement / drain phases, latency and throughput statistics,
+* load sweeps that extract zero-load latency and saturation throughput.
+"""
+
+from repro.simulator.flit import Flit, Packet
+from repro.simulator.traffic import (
+    TrafficPattern,
+    UniformRandomTraffic,
+    TransposeTraffic,
+    BitComplementTraffic,
+    TornadoTraffic,
+    NeighborTraffic,
+    HotspotTraffic,
+    make_traffic_pattern,
+)
+from repro.simulator.routing_tables import RoutingTables, build_routing_tables
+from repro.simulator.network import Network, NetworkConfig
+from repro.simulator.simulation import SimulationConfig, Simulator
+from repro.simulator.statistics import SimulationStats
+from repro.simulator.sweep import (
+    LoadSweepResult,
+    measure_zero_load_latency,
+    find_saturation_throughput,
+    run_load_sweep,
+)
+
+__all__ = [
+    "Flit",
+    "Packet",
+    "TrafficPattern",
+    "UniformRandomTraffic",
+    "TransposeTraffic",
+    "BitComplementTraffic",
+    "TornadoTraffic",
+    "NeighborTraffic",
+    "HotspotTraffic",
+    "make_traffic_pattern",
+    "RoutingTables",
+    "build_routing_tables",
+    "Network",
+    "NetworkConfig",
+    "SimulationConfig",
+    "Simulator",
+    "SimulationStats",
+    "LoadSweepResult",
+    "measure_zero_load_latency",
+    "find_saturation_throughput",
+    "run_load_sweep",
+]

@@ -1,0 +1,132 @@
+"""Packets and flits.
+
+A *packet* is the unit of end-to-end communication (e.g. an AXI burst); it is
+segmented into *flits* (flow-control units), the atomic amount of data
+transported across the network (paper, footnote 3).  The first flit of a
+packet is the *head* (it carries the routing information and allocates the
+virtual channel), the last one is the *tail* (it releases the VC).
+"""
+
+from __future__ import annotations
+
+from repro.utils.validation import ValidationError, check_type
+
+
+class Packet:
+    """One network packet.
+
+    Attributes
+    ----------
+    packet_id:
+        Unique, monotonically increasing identifier.
+    source, destination:
+        Tile indices of the producer and the consumer.
+    size_flits:
+        Number of flits the packet is segmented into.
+    creation_cycle:
+        Cycle in which the traffic generator created the packet (start of
+        queueing at the source).
+    injection_cycle:
+        Cycle in which the head flit entered the network (set by the
+        simulator), or ``None`` while still queued.
+    arrival_cycle:
+        Cycle in which the tail flit was ejected at the destination, or
+        ``None`` while in flight.
+    is_measured:
+        ``True`` if the packet was created during the measurement phase and
+        therefore contributes to the reported statistics.
+    """
+
+    __slots__ = (
+        "packet_id",
+        "source",
+        "destination",
+        "size_flits",
+        "creation_cycle",
+        "injection_cycle",
+        "arrival_cycle",
+        "is_measured",
+        "used_escape",
+    )
+
+    def __init__(
+        self,
+        packet_id: int,
+        source: int,
+        destination: int,
+        size_flits: int,
+        creation_cycle: int,
+        is_measured: bool = False,
+    ) -> None:
+        check_type("size_flits", size_flits, int)
+        if size_flits < 1:
+            raise ValidationError("a packet needs at least one flit")
+        if source == destination:
+            raise ValidationError("source and destination must differ")
+        self.packet_id = packet_id
+        self.source = source
+        self.destination = destination
+        self.size_flits = size_flits
+        self.creation_cycle = creation_cycle
+        self.injection_cycle: int | None = None
+        self.arrival_cycle: int | None = None
+        self.is_measured = is_measured
+        #: ``True`` once any flit of the packet fell back to the escape layer.
+        self.used_escape = False
+
+    @property
+    def total_latency(self) -> int | None:
+        """Latency from creation to arrival of the tail flit (includes queueing)."""
+        if self.arrival_cycle is None:
+            return None
+        return self.arrival_cycle - self.creation_cycle
+
+    @property
+    def network_latency(self) -> int | None:
+        """Latency from injection of the head flit to arrival of the tail flit."""
+        if self.arrival_cycle is None or self.injection_cycle is None:
+            return None
+        return self.arrival_cycle - self.injection_cycle
+
+    def __repr__(self) -> str:
+        return (
+            f"Packet(id={self.packet_id}, {self.source}->{self.destination}, "
+            f"flits={self.size_flits})"
+        )
+
+
+class Flit:
+    """One flow-control unit of a packet.
+
+    Flits are deliberately lightweight (``__slots__`` only): the simulator
+    creates one object per flit and moves it through buffers and links.
+    """
+
+    __slots__ = ("packet", "sequence", "is_head", "is_tail", "vc", "escape", "hops")
+
+    def __init__(self, packet: Packet, sequence: int) -> None:
+        self.packet = packet
+        self.sequence = sequence
+        self.is_head = sequence == 0
+        self.is_tail = sequence == packet.size_flits - 1
+        #: Virtual channel currently occupied (set while traversing the network).
+        self.vc: int | None = None
+        #: ``True`` once the packet has switched to the escape layer (VC 0);
+        #: it must then follow escape routing for the rest of its journey.
+        self.escape = False
+        #: Number of router-to-router hops taken so far (statistics).
+        self.hops = 0
+
+    @property
+    def destination(self) -> int:
+        """Destination tile of the parent packet."""
+        return self.packet.destination
+
+    def __repr__(self) -> str:
+        kind = "H" if self.is_head else ("T" if self.is_tail else "B")
+        return f"Flit(pkt={self.packet.packet_id}, seq={self.sequence}, {kind})"
+
+
+def packet_to_flits(packet: Packet) -> list[Flit]:
+    """Segment ``packet`` into its flits, in transmission order."""
+    return [Flit(packet, sequence) for sequence in range(packet.size_flits)]

@@ -1,0 +1,235 @@
+"""Input-queued virtual-channel router model.
+
+Each router has one input port per incoming channel plus one injection port,
+and one output port per outgoing channel plus one ejection port.  Every input
+port has ``num_vcs`` virtual channels, each with a private flit buffer of
+``buffer_depth_flits`` entries, protected by credit-based flow control.
+
+Per cycle the router performs (in this order):
+
+1. *route computation + VC allocation* — head flits at the front of an input
+   VC that do not yet hold an output VC compute their output port (minimal
+   table, or escape table if the packet is on the escape layer) and try to
+   acquire a free output VC: first any free adaptive VC (1..V-1) of the
+   minimal-route output, otherwise the escape VC 0 of the escape-route output
+   (switching the packet to the escape layer permanently);
+2. *switch allocation + traversal* — for every output port one input VC with a
+   ready flit, a held output VC and a downstream credit is selected
+   round-robin (at most one flit leaves per input port per cycle) and its flit
+   is forwarded onto the channel; tail flits release the output VC.
+
+The router pipeline latency is modelled by making every arriving flit eligible
+for forwarding only ``router_pipeline_cycles`` after its arrival.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable
+
+from repro.simulator.flit import Flit
+from repro.simulator.network import Network
+
+#: Pseudo input-port key of the local injection port.
+INJECT_PORT = -1
+#: Pseudo output-port key of the local ejection port.
+EJECT_PORT = -2
+
+
+class InputVC:
+    """State of one virtual channel of one input port."""
+
+    __slots__ = ("buffer", "out_channel", "out_vc")
+
+    def __init__(self) -> None:
+        #: FIFO of ``(flit, ready_cycle)`` tuples.
+        self.buffer: deque[tuple[Flit, int]] = deque()
+        #: Output channel currently allocated to the packet in this VC.
+        self.out_channel: int | None = None
+        #: Output VC currently allocated to the packet in this VC.
+        self.out_vc: int | None = None
+
+    @property
+    def busy(self) -> bool:
+        """``True`` if the VC holds flits or an allocation."""
+        return bool(self.buffer) or self.out_channel is not None
+
+
+class Router:
+    """One input-queued VC router.
+
+    The router communicates with the rest of the simulator through callbacks:
+    ``send_flit(channel_id, vc, flit, latency)`` schedules a flit on a channel,
+    ``send_credit(channel_id, vc, latency)`` returns a credit upstream and
+    ``eject(flit, cycle)`` delivers a flit to the local endpoint.
+    """
+
+    def __init__(self, node: int, network: Network) -> None:
+        self.node = node
+        self.network = network
+        self.config = network.config
+        num_vcs = self.config.num_vcs
+
+        #: input ports: incoming channel ids plus the injection port.
+        self.input_keys: list[int] = list(network.inputs[node]) + [INJECT_PORT]
+        self.inputs: dict[int, list[InputVC]] = {
+            key: [InputVC() for _ in range(num_vcs)] for key in self.input_keys
+        }
+        #: output ports: outgoing channel ids (ejection handled separately).
+        self.output_channels: list[int] = sorted(network.outputs[node].values())
+        self.out_alloc: dict[int, list[tuple[int, int] | None]] = {
+            ch: [None] * num_vcs for ch in self.output_channels
+        }
+        self.credits: dict[int, list[int]] = {
+            ch: [self.config.buffer_depth_flits] * num_vcs for ch in self.output_channels
+        }
+        #: round-robin pointers for switch allocation, per output port.
+        self._rr_pointer: dict[int, int] = {ch: 0 for ch in self.output_channels + [EJECT_PORT]}
+        #: lookup neighbour -> outgoing channel id.
+        self._channel_to: dict[int, int] = dict(network.outputs[node])
+
+    # ----------------------------------------------------------- occupancy
+    def has_work(self) -> bool:
+        """``True`` if any input VC holds flits (the router needs stepping)."""
+        return any(vc.buffer for vcs in self.inputs.values() for vc in vcs)
+
+    def buffered_flits(self) -> int:
+        """Total number of flits currently buffered in this router."""
+        return sum(len(vc.buffer) for vcs in self.inputs.values() for vc in vcs)
+
+    # ------------------------------------------------------------ receiving
+    def receive_flit(self, channel_id: int, vc: int, flit: Flit, cycle: int) -> None:
+        """Accept a flit arriving on an input channel (or the injection port)."""
+        ready = cycle + self.config.router_pipeline_cycles
+        self.inputs[channel_id][vc].buffer.append((flit, ready))
+
+    def receive_credit(self, channel_id: int, vc: int) -> None:
+        """Accept a credit returned by the downstream router."""
+        self.credits[channel_id][vc] += 1
+
+    def injection_space(self, vc: int) -> bool:
+        """``True`` if the injection port VC has a free buffer slot."""
+        return len(self.inputs[INJECT_PORT][vc].buffer) < self.config.buffer_depth_flits
+
+    def free_injection_vc(self) -> int | None:
+        """Return an idle injection VC (no buffered flits, no allocation), if any."""
+        for vc, state in enumerate(self.inputs[INJECT_PORT]):
+            if not state.busy:
+                return vc
+        return None
+
+    # ------------------------------------------------------------- stepping
+    def step(
+        self,
+        cycle: int,
+        send_flit: Callable[[int, int, Flit], None],
+        send_credit: Callable[[int, int], None],
+        eject: Callable[[Flit, int], None],
+    ) -> int:
+        """Run one cycle of the router.  Returns the number of flits forwarded."""
+        self._allocate(cycle)
+        return self._switch(cycle, send_flit, send_credit, eject)
+
+    # --------------------------------------------------------- VC allocation
+    def _allocate(self, cycle: int) -> None:
+        routing = self.network.routing
+        config = self.config
+        for key in self.input_keys:
+            for input_vc, state in enumerate(self.inputs[key]):
+                if not state.buffer or state.out_channel is not None:
+                    continue
+                flit, ready = state.buffer[0]
+                if ready > cycle:
+                    continue
+                if not flit.is_head:
+                    # Packets never interleave within an input VC (the upstream
+                    # output VC is held until the tail), so a body flit at the
+                    # front always inherits the head's allocation; nothing to do.
+                    continue
+                destination = flit.destination
+                if destination == self.node:
+                    state.out_channel = EJECT_PORT
+                    state.out_vc = 0
+                    continue
+                allocated = False
+                if not flit.escape and config.num_vcs > 1:
+                    next_hop = routing.minimal_next_hop(self.node, destination)
+                    channel = self._channel_to[next_hop]
+                    for vc in config.adaptive_vcs:
+                        if self.out_alloc[channel][vc] is None:
+                            self.out_alloc[channel][vc] = (key, input_vc)
+                            state.out_channel = channel
+                            state.out_vc = vc
+                            allocated = True
+                            break
+                if not allocated:
+                    next_hop = routing.escape_next_hop(self.node, destination)
+                    channel = self._channel_to[next_hop]
+                    escape_vc = config.escape_vc
+                    if self.out_alloc[channel][escape_vc] is None:
+                        self.out_alloc[channel][escape_vc] = (key, input_vc)
+                        state.out_channel = channel
+                        state.out_vc = escape_vc
+                        flit.escape = True
+                        flit.packet.used_escape = True
+
+    # ------------------------------------------------- switch allocation/ST
+    def _switch(
+        self,
+        cycle: int,
+        send_flit: Callable[[int, int, Flit], None],
+        send_credit: Callable[[int, int], None],
+        eject: Callable[[Flit, int], None],
+    ) -> int:
+        config = self.config
+        used_inputs: set[int] = set()
+        forwarded = 0
+
+        for out_port in self.output_channels + [EJECT_PORT]:
+            candidates: list[tuple[int, int, InputVC]] = []
+            for key in self.input_keys:
+                if key in used_inputs:
+                    continue
+                for vc_index, state in enumerate(self.inputs[key]):
+                    if not state.buffer or state.out_channel != out_port:
+                        continue
+                    flit, ready = state.buffer[0]
+                    if ready > cycle:
+                        continue
+                    if out_port != EJECT_PORT:
+                        assert state.out_vc is not None
+                        if self.credits[out_port][state.out_vc] <= 0:
+                            continue
+                    candidates.append((key, vc_index, state))
+            if not candidates:
+                continue
+            pointer = self._rr_pointer[out_port]
+            winner = candidates[pointer % len(candidates)]
+            self._rr_pointer[out_port] = pointer + 1
+            key, vc_index, state = winner
+            used_inputs.add(key)
+            flit, _ = state.buffer.popleft()
+            forwarded += 1
+
+            # Return a credit to the upstream router for the freed buffer slot.
+            if key != INJECT_PORT:
+                send_credit(key, vc_index)
+
+            if out_port == EJECT_PORT:
+                eject(flit, cycle)
+                if flit.is_tail:
+                    state.out_channel = None
+                    state.out_vc = None
+                continue
+
+            out_vc = state.out_vc
+            assert out_vc is not None
+            self.credits[out_port][out_vc] -= 1
+            flit.vc = out_vc
+            flit.hops += 1
+            send_flit(out_port, out_vc, flit)
+            if flit.is_tail:
+                self.out_alloc[out_port][out_vc] = None
+                state.out_channel = None
+                state.out_vc = None
+        return forwarded

@@ -1,0 +1,197 @@
+"""Routing tables: minimal routing plus a deadlock-free escape layer.
+
+The paper's evaluation uses "a routing algorithm that minimizes the number of
+router-to-router hops" (Figure 6 caption).  We implement this as table-based
+minimal routing: for every (router, destination) pair the table stores the
+next hop of a hop-minimal path.  Ties between hop-minimal next hops are broken
+towards the *physically* shortest continuation (design principle ❹: among
+hop-minimal paths, prefer the one with minimal physical length), and then by
+neighbour index for determinism.
+
+Deadlock freedom is provided with a Duato-style two-layer scheme:
+
+* the *adaptive layer* (VCs ``1 .. V-1``) uses the minimal-routing table and
+  may deadlock in isolation (e.g. on tori, whose wrap-around links create
+  cyclic channel dependencies);
+* the *escape layer* (VC ``0``) routes strictly along a BFS spanning tree
+  rooted at tile 0: a packet first travels up the tree (towards the root)
+  until it reaches the lowest common ancestor of source and destination, then
+  down the tree to the destination.  Tree routing is a special case of
+  up*/down* routing, its channel dependency graph is acyclic, and the
+  next hop depends only on (current node, destination), so the escape layer
+  is deadlock-free and table-implementable.
+
+By Duato's theorem the combination is deadlock-free as long as a blocked
+packet can always fall back to the escape layer, which the router guarantees:
+once a packet enters the escape layer it stays there until delivery.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.topologies.base import Topology
+from repro.utils.validation import ValidationError
+
+
+@dataclass
+class RoutingTables:
+    """Next-hop tables of one topology.
+
+    Attributes
+    ----------
+    minimal:
+        ``minimal[node][destination] -> next hop`` along a hop-minimal path.
+    escape:
+        ``escape[node][destination] -> next hop`` along the spanning-tree
+        (escape) path.
+    hop_distance:
+        ``hop_distance[node][destination]`` -> minimal hop count.
+    tree_parent:
+        Parent of every node in the escape spanning tree (root's parent is -1).
+    """
+
+    minimal: list[dict[int, int]]
+    escape: list[dict[int, int]]
+    hop_distance: list[dict[int, int]]
+    tree_parent: list[int]
+
+    def minimal_next_hop(self, node: int, destination: int) -> int:
+        """Next hop of the minimal route from ``node`` towards ``destination``."""
+        return self.minimal[node][destination]
+
+    def escape_next_hop(self, node: int, destination: int) -> int:
+        """Next hop of the escape (spanning-tree) route from ``node``."""
+        return self.escape[node][destination]
+
+    def path(self, source: int, destination: int, escape: bool = False) -> list[int]:
+        """Full node path from ``source`` to ``destination`` (for tests/analysis)."""
+        table = self.escape if escape else self.minimal
+        path = [source]
+        current = source
+        limit = 2 * len(self.minimal) + 2
+        while current != destination:
+            current = table[current][destination]
+            path.append(current)
+            if len(path) > limit:
+                raise ValidationError(
+                    f"routing table loop detected from {source} to {destination}"
+                )
+        return path
+
+    def average_minimal_hops(self) -> float:
+        """Mean hop count over all ordered source/destination pairs."""
+        num = len(self.minimal)
+        total = sum(
+            self.hop_distance[src][dst]
+            for src in range(num)
+            for dst in range(num)
+            if src != dst
+        )
+        return total / (num * (num - 1))
+
+
+def _minimal_tables(topology: Topology) -> tuple[list[dict[int, int]], list[dict[int, int]]]:
+    """Hop-minimal next-hop tables with physical-length tie-breaking."""
+    num = topology.num_tiles
+    neighbors = [topology.neighbors(node) for node in range(num)]
+    coords = [topology.coord(node) for node in range(num)]
+
+    hop_distance: list[dict[int, int]] = [dict() for _ in range(num)]
+    minimal: list[dict[int, int]] = [dict() for _ in range(num)]
+
+    for destination in range(num):
+        # BFS from the destination gives hop distances to that destination.
+        dist = {destination: 0}
+        queue = deque([destination])
+        while queue:
+            node = queue.popleft()
+            for neighbor in neighbors[node]:
+                if neighbor not in dist:
+                    dist[neighbor] = dist[node] + 1
+                    queue.append(neighbor)
+        if len(dist) != num:
+            raise ValidationError("topology is not connected; cannot build routing tables")
+        for node, hops in dist.items():
+            hop_distance[node][destination] = hops
+
+        # Among hop-minimal next hops, prefer the physically shortest overall
+        # continuation (dynamic program over increasing hop distance).
+        order = sorted(range(num), key=lambda n: dist[n])
+        best_phys: dict[int, float] = {destination: 0.0}
+        for node in order:
+            if node == destination:
+                continue
+            level = dist[node]
+            best_choice: tuple[float, int] | None = None
+            for neighbor in neighbors[node]:
+                if dist[neighbor] != level - 1:
+                    continue
+                length = abs(coords[node].row - coords[neighbor].row) + abs(
+                    coords[node].col - coords[neighbor].col
+                )
+                candidate = (best_phys[neighbor] + length, neighbor)
+                if best_choice is None or candidate < best_choice:
+                    best_choice = candidate
+            assert best_choice is not None  # connected graph: some neighbour is closer
+            best_phys[node] = best_choice[0]
+            minimal[node][destination] = best_choice[1]
+    return minimal, hop_distance
+
+
+def _spanning_tree(topology: Topology, root: int = 0) -> list[int]:
+    """BFS spanning tree: ``parent[node]`` (-1 for the root)."""
+    parent = [-2] * topology.num_tiles
+    parent[root] = -1
+    queue = deque([root])
+    while queue:
+        node = queue.popleft()
+        for neighbor in topology.neighbors(node):
+            if parent[neighbor] == -2:
+                parent[neighbor] = node
+                queue.append(neighbor)
+    if any(p == -2 for p in parent):
+        raise ValidationError("topology is not connected; cannot build escape tree")
+    return parent
+
+
+def _escape_tables(topology: Topology, parent: list[int]) -> list[dict[int, int]]:
+    """Spanning-tree next-hop tables (up to the common ancestor, then down).
+
+    The default next hop towards any destination is the node's tree parent
+    ("up"); for every node that lies on the tree path from the root to the
+    destination the next hop is overridden with the child leading towards the
+    destination ("down").
+    """
+    num = topology.num_tiles
+    escape: list[dict[int, int]] = [dict() for _ in range(num)]
+    for destination in range(num):
+        # Ancestor chain of the destination, starting at the destination.
+        chain = [destination]
+        while parent[chain[-1]] != -1:
+            chain.append(parent[chain[-1]])
+        on_chain = {node: index for index, node in enumerate(chain)}
+        for node in range(num):
+            if node == destination:
+                continue
+            if node in on_chain:
+                # Go down the tree: the next hop is the previous chain element.
+                escape[node][destination] = chain[on_chain[node] - 1]
+            else:
+                escape[node][destination] = parent[node]
+    return escape
+
+
+def build_routing_tables(topology: Topology) -> RoutingTables:
+    """Build minimal and escape routing tables for ``topology``."""
+    topology.validate_connected()
+    minimal, hop_distance = _minimal_tables(topology)
+    parent = _spanning_tree(topology, root=0)
+    escape = _escape_tables(topology, parent)
+    return RoutingTables(
+        minimal=minimal,
+        escape=escape,
+        hop_distance=hop_distance,
+        tree_parent=parent,
+    )

@@ -1,0 +1,234 @@
+"""The cycle-based simulation kernel.
+
+:class:`Simulator` drives a :class:`~repro.simulator.network.Network` of
+:class:`~repro.simulator.router.Router` instances cycle by cycle through three
+phases:
+
+* **warmup** — traffic is injected but packets are not measured,
+* **measurement** — packets created in this window are tagged and measured,
+* **drain** — injection continues (to keep the network loaded) but the run
+  stops as soon as every measured packet has been delivered, or when the drain
+  limit is reached (a saturated network never drains; the statistics flag
+  this).
+
+Flits and credits in flight on channels are kept in per-cycle event queues, so
+a link with an ``L``-cycle latency simply schedules its deliveries ``L``
+cycles into the future — this is how the physical model's per-link latency
+estimates enter the performance prediction (Figure 3 of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.simulator.flit import Flit, Packet, packet_to_flits
+from repro.simulator.network import Network, NetworkConfig, build_network
+from repro.simulator.router import INJECT_PORT, Router
+from repro.simulator.routing_tables import RoutingTables
+from repro.simulator.statistics import SimulationStats, _Accumulator
+from repro.simulator.traffic import InjectionProcess, make_traffic_pattern
+from repro.topologies.base import Link, Topology
+from repro.utils.validation import ValidationError, check_in_range, check_type
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Configuration of one simulation run.
+
+    Attributes
+    ----------
+    injection_rate:
+        Offered load in flits per tile per cycle (fraction of capacity).
+    traffic:
+        Traffic pattern name (``uniform`` is the paper's evaluation pattern).
+    packet_size_flits, num_vcs, buffer_depth_flits, router_pipeline_cycles:
+        Router/packet configuration (see :class:`NetworkConfig`).
+    warmup_cycles, measurement_cycles, drain_max_cycles:
+        Phase lengths.
+    seed:
+        RNG seed (traffic generation).
+    """
+
+    injection_rate: float = 0.05
+    traffic: str = "uniform"
+    packet_size_flits: int = 4
+    num_vcs: int = 8
+    buffer_depth_flits: int = 4
+    router_pipeline_cycles: int = 2
+    warmup_cycles: int = 500
+    measurement_cycles: int = 1000
+    drain_max_cycles: int = 3000
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        check_in_range("injection_rate", self.injection_rate, 0.0, 1.0)
+        check_type("warmup_cycles", self.warmup_cycles, int)
+        check_type("measurement_cycles", self.measurement_cycles, int)
+        check_type("drain_max_cycles", self.drain_max_cycles, int)
+        if self.measurement_cycles < 1:
+            raise ValidationError("measurement_cycles must be >= 1")
+        if self.warmup_cycles < 0 or self.drain_max_cycles < 0:
+            raise ValidationError("cycle counts must be non-negative")
+
+    def network_config(self) -> NetworkConfig:
+        """Derive the router-level configuration."""
+        return NetworkConfig(
+            num_vcs=self.num_vcs,
+            buffer_depth_flits=self.buffer_depth_flits,
+            router_pipeline_cycles=self.router_pipeline_cycles,
+            packet_size_flits=self.packet_size_flits,
+        )
+
+
+@dataclass
+class _InjectionState:
+    """Per-tile source queue and the packet currently being injected."""
+
+    queue: list[Packet] = field(default_factory=list)
+    current_flits: list[Flit] = field(default_factory=list)
+    current_vc: int | None = None
+
+    @property
+    def idle(self) -> bool:
+        return not self.queue and not self.current_flits
+
+
+class Simulator:
+    """Cycle-accurate simulation of one topology under one traffic load."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        config: SimulationConfig | None = None,
+        link_latencies: dict[Link, int] | None = None,
+        routing: RoutingTables | None = None,
+    ) -> None:
+        self.config = config or SimulationConfig()
+        self.network: Network = build_network(
+            topology,
+            config=self.config.network_config(),
+            link_latencies=link_latencies,
+            routing=routing,
+        )
+        self.routers = [Router(node, self.network) for node in range(self.network.num_nodes)]
+        pattern = make_traffic_pattern(self.config.traffic, topology)
+        self.injection = InjectionProcess(
+            pattern,
+            self.config.injection_rate,
+            self.config.packet_size_flits,
+            seed=self.config.seed,
+        )
+        self._flit_events: dict[int, list[tuple[int, int, int, Flit]]] = {}
+        self._credit_events: dict[int, list[tuple[int, int, int]]] = {}
+        self._injection_states = [_InjectionState() for _ in range(self.network.num_nodes)]
+        self._accumulator = _Accumulator()
+        self._packet_counter = 0
+        self._cycle = 0
+        self._packets_measured = 0
+        self._measured_in_flight = 0
+
+    # ----------------------------------------------------------- event plumbing
+    def _schedule_flit(self, channel_id: int, vc: int, flit: Flit) -> None:
+        channel = self.network.channels[channel_id]
+        arrival = self._cycle + channel.latency_cycles
+        self._flit_events.setdefault(arrival, []).append(
+            (channel.destination, channel_id, vc, flit)
+        )
+
+    def _schedule_credit(self, channel_id: int, vc: int) -> None:
+        channel = self.network.channels[channel_id]
+        arrival = self._cycle + channel.latency_cycles
+        self._credit_events.setdefault(arrival, []).append((channel.source, channel_id, vc))
+
+    def _deliver_events(self) -> None:
+        for node, channel_id, vc, flit in self._flit_events.pop(self._cycle, []):
+            self.routers[node].receive_flit(channel_id, vc, flit, self._cycle)
+        for node, channel_id, vc in self._credit_events.pop(self._cycle, []):
+            self.routers[node].receive_credit(channel_id, vc)
+
+    # ------------------------------------------------------------- injection
+    def _create_packets(self, measured: bool) -> None:
+        for source, destination in self.injection.packets_for_cycle(self._cycle):
+            packet = Packet(
+                packet_id=self._packet_counter,
+                source=source,
+                destination=destination,
+                size_flits=self.config.packet_size_flits,
+                creation_cycle=self._cycle,
+                is_measured=measured,
+            )
+            self._packet_counter += 1
+            self._accumulator.packets_created += 1
+            if measured:
+                self._packets_measured += 1
+                self._measured_in_flight += 1
+            self._injection_states[source].queue.append(packet)
+
+    def _inject_flits(self) -> None:
+        for node, state in enumerate(self._injection_states):
+            router = self.routers[node]
+            if not state.current_flits and state.queue:
+                vc = router.free_injection_vc()
+                if vc is not None:
+                    packet = state.queue.pop(0)
+                    state.current_flits = packet_to_flits(packet)
+                    state.current_vc = vc
+            if state.current_flits and state.current_vc is not None:
+                if router.injection_space(state.current_vc):
+                    flit = state.current_flits.pop(0)
+                    if flit.is_head:
+                        flit.packet.injection_cycle = self._cycle
+                    router.receive_flit(INJECT_PORT, state.current_vc, flit, self._cycle)
+                    if flit.is_tail:
+                        state.current_vc = None
+
+    # -------------------------------------------------------------- ejection
+    def _eject(self, flit: Flit, cycle: int, in_measurement_window: bool) -> None:
+        if flit.is_tail:
+            packet = flit.packet
+            packet.arrival_cycle = cycle
+            self._accumulator.record_delivery(
+                packet, flit.hops, packet.used_escape, in_measurement_window
+            )
+            if packet.is_measured:
+                self._measured_in_flight -= 1
+        if in_measurement_window:
+            self._accumulator.flits_delivered_measurement += 1
+
+    # ------------------------------------------------------------------ run
+    def run(self) -> SimulationStats:
+        """Run warmup, measurement and drain and return the statistics."""
+        config = self.config
+        warmup_end = config.warmup_cycles
+        measurement_end = warmup_end + config.measurement_cycles
+        hard_end = measurement_end + config.drain_max_cycles
+
+        drained = True
+        while True:
+            in_warmup = self._cycle < warmup_end
+            in_measurement = warmup_end <= self._cycle < measurement_end
+
+            self._deliver_events()
+            self._create_packets(measured=in_measurement)
+            self._inject_flits()
+
+            eject = lambda flit, cycle: self._eject(flit, cycle, in_measurement)  # noqa: E731
+            for router in self.routers:
+                if router.has_work():
+                    router.step(self._cycle, self._schedule_flit, self._schedule_credit, eject)
+
+            self._cycle += 1
+            if self._cycle >= measurement_end and self._measured_in_flight == 0:
+                break
+            if self._cycle >= hard_end:
+                drained = self._measured_in_flight == 0
+                break
+            del in_warmup
+
+        return self._accumulator.finalize(
+            offered_load=config.injection_rate,
+            measurement_cycles=config.measurement_cycles,
+            num_tiles=self.network.num_nodes,
+            packets_measured=self._packets_measured,
+            drained=drained,
+        )

@@ -1,0 +1,135 @@
+"""Simulation statistics: latency, throughput, and hop-count distributions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.simulator.flit import Packet
+
+
+@dataclass
+class SimulationStats:
+    """Aggregated results of one simulation run.
+
+    Attributes
+    ----------
+    offered_load:
+        Injection rate the run was configured with (flits/tile/cycle).
+    accepted_load:
+        Measured accepted traffic (flits/tile/cycle) during the measurement
+        window.
+    average_packet_latency:
+        Mean latency (creation to tail arrival) of measured packets, in cycles.
+    average_network_latency:
+        Mean latency from head injection to tail arrival, in cycles.
+    p99_packet_latency:
+        99th-percentile packet latency.
+    average_hops:
+        Mean number of router-to-router hops of measured packets.
+    packets_measured, packets_delivered, packets_created:
+        Packet counters.
+    flits_delivered_measurement:
+        Flits ejected during the measurement window (any packet).
+    measurement_cycles:
+        Length of the measurement window.
+    num_tiles:
+        Number of tiles (for normalising throughput).
+    escape_fraction:
+        Fraction of measured packets that fell back to the escape layer.
+    drained:
+        ``True`` if every measured packet arrived before the drain limit.
+    """
+
+    offered_load: float
+    accepted_load: float
+    average_packet_latency: float
+    average_network_latency: float
+    p99_packet_latency: float
+    average_hops: float
+    packets_measured: int
+    packets_delivered: int
+    packets_created: int
+    flits_delivered_measurement: int
+    measurement_cycles: int
+    num_tiles: int
+    escape_fraction: float
+    drained: bool
+
+    @property
+    def saturated(self) -> bool:
+        """Heuristic saturation flag: the network accepted clearly less than offered."""
+        if self.offered_load <= 0:
+            return False
+        return (not self.drained) or self.accepted_load < 0.90 * self.offered_load
+
+
+@dataclass
+class _Accumulator:
+    """Mutable statistics collector used by the simulator while running."""
+
+    packets_created: int = 0
+    packets_delivered: int = 0
+    measured_latencies: list[int] = field(default_factory=list)
+    measured_network_latencies: list[int] = field(default_factory=list)
+    measured_hops: list[int] = field(default_factory=list)
+    measured_escapes: int = 0
+    measured_delivered: int = 0
+    flits_delivered_measurement: int = 0
+
+    def record_delivery(
+        self, packet: Packet, hops: int, used_escape: bool, in_measurement_window: bool
+    ) -> None:
+        self.packets_delivered += 1
+        if packet.is_measured:
+            self.measured_delivered += 1
+            assert packet.total_latency is not None
+            assert packet.network_latency is not None
+            self.measured_latencies.append(packet.total_latency)
+            self.measured_network_latencies.append(packet.network_latency)
+            self.measured_hops.append(hops)
+            if used_escape:
+                self.measured_escapes += 1
+        del in_measurement_window
+
+    def finalize(
+        self,
+        offered_load: float,
+        measurement_cycles: int,
+        num_tiles: int,
+        packets_measured: int,
+        drained: bool,
+    ) -> SimulationStats:
+        latencies = np.array(self.measured_latencies, dtype=float)
+        network_latencies = np.array(self.measured_network_latencies, dtype=float)
+        hops = np.array(self.measured_hops, dtype=float)
+        accepted = (
+            self.flits_delivered_measurement / (measurement_cycles * num_tiles)
+            if measurement_cycles > 0
+            else 0.0
+        )
+        return SimulationStats(
+            offered_load=offered_load,
+            accepted_load=accepted,
+            average_packet_latency=float(latencies.mean()) if latencies.size else 0.0,
+            average_network_latency=(
+                float(network_latencies.mean()) if network_latencies.size else 0.0
+            ),
+            p99_packet_latency=(
+                float(np.percentile(latencies, 99)) if latencies.size else 0.0
+            ),
+            average_hops=float(hops.mean()) if hops.size else 0.0,
+            packets_measured=packets_measured,
+            packets_delivered=self.packets_delivered,
+            packets_created=self.packets_created,
+            flits_delivered_measurement=self.flits_delivered_measurement,
+            measurement_cycles=measurement_cycles,
+            num_tiles=num_tiles,
+            escape_fraction=(
+                self.measured_escapes / self.measured_delivered
+                if self.measured_delivered
+                else 0.0
+            ),
+            drained=drained,
+        )

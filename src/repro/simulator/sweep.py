@@ -1,0 +1,166 @@
+"""Load sweeps: zero-load latency and saturation throughput.
+
+The paper's performance metrics (Figure 6) are the *zero-load latency* and the
+*saturation throughput* obtained from cycle-accurate simulation:
+
+* zero-load latency — average packet latency at a very low injection rate,
+  where no contention occurs;
+* saturation throughput — the largest offered load (as a fraction of the
+  injection capacity of one flit per tile per cycle) that the network can
+  still accept; beyond it the accepted throughput flattens and the latency
+  diverges.
+
+``find_saturation_throughput`` performs a coarse geometric sweep followed by a
+bisection refinement; a load point counts as *saturated* when the average
+latency exceeds ``latency_blowup`` times the zero-load latency, when the
+accepted throughput falls short of the offered load, or when the network fails
+to drain the measured packets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.simulator.routing_tables import RoutingTables, build_routing_tables
+from repro.simulator.simulation import SimulationConfig, Simulator
+from repro.simulator.statistics import SimulationStats
+from repro.topologies.base import Link, Topology
+from repro.utils.validation import ValidationError, check_in_range
+
+
+@dataclass
+class LoadSweepResult:
+    """Result of a full load sweep on one topology.
+
+    Attributes
+    ----------
+    zero_load_latency:
+        Average packet latency (cycles) at the probe load.
+    saturation_throughput:
+        Saturation injection rate as a fraction of capacity (0..1).
+    points:
+        The individual ``(injection_rate, SimulationStats)`` samples, in the
+        order they were simulated.
+    """
+
+    zero_load_latency: float
+    saturation_throughput: float
+    points: list[tuple[float, SimulationStats]]
+
+
+def _simulate(
+    topology: Topology,
+    config: SimulationConfig,
+    link_latencies: dict[Link, int] | None,
+    routing: RoutingTables,
+) -> SimulationStats:
+    simulator = Simulator(topology, config, link_latencies=link_latencies, routing=routing)
+    return simulator.run()
+
+
+def measure_zero_load_latency(
+    topology: Topology,
+    config: SimulationConfig | None = None,
+    link_latencies: dict[Link, int] | None = None,
+    routing: RoutingTables | None = None,
+    probe_rate: float = 0.01,
+) -> SimulationStats:
+    """Measure the latency at a probe load low enough to avoid contention."""
+    check_in_range("probe_rate", probe_rate, 0.0, 1.0)
+    base = config or SimulationConfig()
+    routing = routing or build_routing_tables(topology)
+    probe_config = replace(base, injection_rate=probe_rate)
+    return _simulate(topology, probe_config, link_latencies, routing)
+
+
+def _is_saturated(
+    stats: SimulationStats, zero_load_latency: float, latency_blowup: float
+) -> bool:
+    if not stats.drained:
+        return True
+    if stats.packets_measured == 0:
+        return False
+    # The accepted-load criterion needs an absolute slack term so that
+    # small-sample noise at low loads does not get mistaken for saturation.
+    if stats.accepted_load < 0.92 * stats.offered_load - 0.005:
+        return True
+    return stats.average_packet_latency > latency_blowup * max(zero_load_latency, 1.0)
+
+
+def find_saturation_throughput(
+    topology: Topology,
+    config: SimulationConfig | None = None,
+    link_latencies: dict[Link, int] | None = None,
+    routing: RoutingTables | None = None,
+    latency_blowup: float = 3.0,
+    coarse_steps: int = 6,
+    refine_steps: int = 3,
+    max_rate: float = 1.0,
+) -> LoadSweepResult:
+    """Estimate zero-load latency and saturation throughput by simulation.
+
+    The sweep first probes a geometric sequence of injection rates to bracket
+    the saturation point, then bisects the bracket ``refine_steps`` times.
+    """
+    if coarse_steps < 2:
+        raise ValidationError("coarse_steps must be >= 2")
+    base = config or SimulationConfig()
+    routing = routing or build_routing_tables(topology)
+
+    points: list[tuple[float, SimulationStats]] = []
+    zero_load_stats = measure_zero_load_latency(
+        topology, base, link_latencies, routing, probe_rate=min(0.01, max_rate)
+    )
+    zero_load_latency = zero_load_stats.average_packet_latency
+    points.append((min(0.01, max_rate), zero_load_stats))
+
+    # Coarse sweep: geometric spacing between the probe load and max_rate.
+    lo, hi = None, None
+    last_good = min(0.01, max_rate)
+    for step in range(1, coarse_steps + 1):
+        rate = min(max_rate, 0.02 * (max_rate / 0.02) ** (step / coarse_steps))
+        stats = _simulate(topology, replace(base, injection_rate=rate), link_latencies, routing)
+        points.append((rate, stats))
+        if _is_saturated(stats, zero_load_latency, latency_blowup):
+            lo, hi = last_good, rate
+            break
+        last_good = rate
+    if lo is None:
+        # Never saturated up to max_rate: the network sustains full injection.
+        return LoadSweepResult(
+            zero_load_latency=zero_load_latency,
+            saturation_throughput=last_good,
+            points=points,
+        )
+
+    # Bisection refinement of the bracket [lo, hi].
+    for _ in range(refine_steps):
+        mid = (lo + hi) / 2.0
+        stats = _simulate(topology, replace(base, injection_rate=mid), link_latencies, routing)
+        points.append((mid, stats))
+        if _is_saturated(stats, zero_load_latency, latency_blowup):
+            hi = mid
+        else:
+            lo = mid
+    return LoadSweepResult(
+        zero_load_latency=zero_load_latency,
+        saturation_throughput=lo,
+        points=points,
+    )
+
+
+def run_load_sweep(
+    topology: Topology,
+    rates: list[float],
+    config: SimulationConfig | None = None,
+    link_latencies: dict[Link, int] | None = None,
+    routing: RoutingTables | None = None,
+) -> list[tuple[float, SimulationStats]]:
+    """Simulate a fixed list of injection rates (latency/throughput curves)."""
+    base = config or SimulationConfig()
+    routing = routing or build_routing_tables(topology)
+    results = []
+    for rate in rates:
+        stats = _simulate(topology, replace(base, injection_rate=rate), link_latencies, routing)
+        results.append((rate, stats))
+    return results

@@ -1,0 +1,202 @@
+"""Synthetic traffic patterns and the injection process.
+
+The paper's evaluation uses a *random uniform* traffic pattern (Figure 6
+caption); the other classic synthetic patterns (transpose, bit-complement,
+tornado, nearest-neighbour, hotspot) are provided as well because they are the
+standard BookSim2 workloads and are used by the extended benchmarks and tests.
+
+A traffic pattern maps a source tile to a destination tile (possibly
+randomly); the injection process is Bernoulli: each tile independently starts
+a new packet in each cycle with probability ``injection_rate / packet_size``
+so that the offered load equals ``injection_rate`` flits per tile per cycle.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.topologies.base import Topology
+from repro.utils.rng import make_rng
+from repro.utils.validation import ValidationError, check_in_range, check_type
+
+
+class TrafficPattern(ABC):
+    """Mapping from source tiles to destination tiles."""
+
+    def __init__(self, num_tiles: int) -> None:
+        check_type("num_tiles", num_tiles, int)
+        if num_tiles < 2:
+            raise ValidationError("traffic needs at least 2 tiles")
+        self.num_tiles = num_tiles
+
+    @abstractmethod
+    def destination(self, source: int, rng: np.random.Generator) -> int:
+        """Return the destination tile for a packet created at ``source``."""
+
+    @property
+    def name(self) -> str:
+        """Short pattern name (used in reports)."""
+        return type(self).__name__.replace("Traffic", "").lower()
+
+
+class UniformRandomTraffic(TrafficPattern):
+    """Every tile sends to a uniformly random other tile (the paper's pattern)."""
+
+    def destination(self, source: int, rng: np.random.Generator) -> int:
+        destination = int(rng.integers(self.num_tiles - 1))
+        if destination >= source:
+            destination += 1
+        return destination
+
+
+class TransposeTraffic(TrafficPattern):
+    """Tile ``(r, c)`` sends to tile ``(c, r)``; requires a square grid."""
+
+    def __init__(self, num_tiles: int, rows: int, cols: int) -> None:
+        super().__init__(num_tiles)
+        if rows != cols:
+            raise ValidationError("transpose traffic requires a square tile grid")
+        self.rows = rows
+        self.cols = cols
+
+    def destination(self, source: int, rng: np.random.Generator) -> int:
+        row, col = divmod(source, self.cols)
+        destination = col * self.cols + row
+        if destination == source:
+            # Diagonal tiles send uniformly at random instead of to themselves.
+            return UniformRandomTraffic(self.num_tiles).destination(source, rng)
+        return destination
+
+
+class BitComplementTraffic(TrafficPattern):
+    """Tile ``i`` sends to tile ``~i`` (bit complement within the index range)."""
+
+    def destination(self, source: int, rng: np.random.Generator) -> int:
+        bits = max(1, (self.num_tiles - 1).bit_length())
+        destination = (~source) & ((1 << bits) - 1)
+        destination %= self.num_tiles
+        if destination == source:
+            return UniformRandomTraffic(self.num_tiles).destination(source, rng)
+        return destination
+
+
+class TornadoTraffic(TrafficPattern):
+    """Tile ``i`` sends to tile ``(i + N/2 - 1) mod N`` (adversarial for rings/tori)."""
+
+    def destination(self, source: int, rng: np.random.Generator) -> int:
+        offset = max(1, self.num_tiles // 2 - 1)
+        destination = (source + offset) % self.num_tiles
+        if destination == source:
+            destination = (destination + 1) % self.num_tiles
+        return destination
+
+
+class NeighborTraffic(TrafficPattern):
+    """Tile ``i`` sends to tile ``i + 1`` (best case: single-hop traffic on a mesh)."""
+
+    def destination(self, source: int, rng: np.random.Generator) -> int:
+        return (source + 1) % self.num_tiles
+
+
+class HotspotTraffic(TrafficPattern):
+    """A fraction of the traffic targets a small set of hotspot tiles.
+
+    With probability ``hotspot_fraction`` the destination is drawn uniformly
+    from ``hotspots``; otherwise it is uniform over all tiles.
+    """
+
+    def __init__(
+        self, num_tiles: int, hotspots: tuple[int, ...], hotspot_fraction: float = 0.2
+    ) -> None:
+        super().__init__(num_tiles)
+        if not hotspots:
+            raise ValidationError("at least one hotspot tile is required")
+        for tile in hotspots:
+            if not (0 <= tile < num_tiles):
+                raise ValidationError(f"hotspot tile {tile} out of range")
+        check_in_range("hotspot_fraction", hotspot_fraction, 0.0, 1.0)
+        self.hotspots = tuple(hotspots)
+        self.hotspot_fraction = hotspot_fraction
+        self._uniform = UniformRandomTraffic(num_tiles)
+
+    def destination(self, source: int, rng: np.random.Generator) -> int:
+        if rng.random() < self.hotspot_fraction:
+            destination = int(self.hotspots[int(rng.integers(len(self.hotspots)))])
+            if destination != source:
+                return destination
+        return self._uniform.destination(source, rng)
+
+
+def make_traffic_pattern(name: str, topology: Topology, **kwargs) -> TrafficPattern:
+    """Create a traffic pattern by name for ``topology``.
+
+    Supported names: ``uniform``, ``transpose``, ``bit_complement``,
+    ``tornado``, ``neighbor``, ``hotspot``.
+    """
+    num_tiles = topology.num_tiles
+    if name == "uniform":
+        return UniformRandomTraffic(num_tiles)
+    if name == "transpose":
+        return TransposeTraffic(num_tiles, topology.rows, topology.cols)
+    if name == "bit_complement":
+        return BitComplementTraffic(num_tiles)
+    if name == "tornado":
+        return TornadoTraffic(num_tiles)
+    if name == "neighbor":
+        return NeighborTraffic(num_tiles)
+    if name == "hotspot":
+        hotspots = kwargs.pop("hotspots", (0,))
+        fraction = kwargs.pop("hotspot_fraction", 0.2)
+        return HotspotTraffic(num_tiles, tuple(hotspots), fraction)
+    raise ValidationError(
+        f"unknown traffic pattern {name!r}; supported: uniform, transpose, "
+        "bit_complement, tornado, neighbor, hotspot"
+    )
+
+
+class InjectionProcess:
+    """Bernoulli packet injection for every tile.
+
+    Parameters
+    ----------
+    pattern:
+        Traffic pattern supplying destinations.
+    injection_rate:
+        Offered load in flits per tile per cycle (0 <= rate <= 1).
+    packet_size_flits:
+        Packet length; a packet is started with probability
+        ``injection_rate / packet_size_flits`` per tile per cycle.
+    seed:
+        RNG seed for reproducibility.
+    """
+
+    def __init__(
+        self,
+        pattern: TrafficPattern,
+        injection_rate: float,
+        packet_size_flits: int,
+        seed: int | None = 0,
+    ) -> None:
+        check_in_range("injection_rate", injection_rate, 0.0, 1.0)
+        check_type("packet_size_flits", packet_size_flits, int)
+        if packet_size_flits < 1:
+            raise ValidationError("packet_size_flits must be >= 1")
+        self.pattern = pattern
+        self.injection_rate = injection_rate
+        self.packet_size_flits = packet_size_flits
+        self._rng = make_rng(seed, stream="injection")
+        self._packet_probability = injection_rate / packet_size_flits
+
+    def packets_for_cycle(self, cycle: int) -> list[tuple[int, int]]:
+        """Return ``(source, destination)`` pairs of packets created this cycle."""
+        if self._packet_probability <= 0.0:
+            return []
+        draws = self._rng.random(self.pattern.num_tiles)
+        created = []
+        for source in np.nonzero(draws < self._packet_probability)[0]:
+            source = int(source)
+            destination = self.pattern.destination(source, self._rng)
+            created.append((source, destination))
+        return created

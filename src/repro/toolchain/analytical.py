@@ -1,0 +1,155 @@
+"""Fast analytical performance model.
+
+The paper obtains zero-load latency and saturation throughput from
+cycle-accurate BookSim2 simulations.  For large design-space sweeps (hundreds
+of sparse-Hamming-graph configurations, the customization search, the Figure 6
+benchmarks at full chip size) a Python cycle-accurate simulation is too slow,
+so the toolchain also provides a standard analytical model that uses exactly
+the same inputs — the routing tables and the physical model's per-link latency
+estimates:
+
+* **zero-load latency**: averaged over all source/destination pairs, a packet
+  experiences one router traversal per hop (``router_pipeline_cycles`` each),
+  the latency of every link on its path (from the physical model), the
+  injection/ejection overhead, and the serialization latency of its remaining
+  ``packet_size - 1`` flits.
+
+* **saturation throughput**: the classical channel-load bound.  Under a given
+  traffic pattern each directed channel sees an expected number of flits per
+  injected flit; the network saturates when the most-loaded channel reaches
+  its capacity of one flit per cycle.  A calibration factor (default 0.75)
+  accounts for flow-control and allocation inefficiencies relative to the
+  ideal bound; the factor was chosen so that the analytical results match the
+  cycle-accurate simulator on small networks (see
+  ``tests/integration/test_toolchain_consistency.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.simulator.routing_tables import RoutingTables, build_routing_tables
+from repro.simulator.traffic import TrafficPattern, UniformRandomTraffic, make_traffic_pattern
+from repro.topologies.base import Link, Topology
+from repro.utils.validation import check_in_range, check_positive
+
+
+@dataclass(frozen=True)
+class AnalyticalPerformance:
+    """Analytical performance estimate of one topology.
+
+    Attributes
+    ----------
+    zero_load_latency_cycles:
+        Average packet latency at zero load.
+    saturation_throughput:
+        Saturation injection rate as a fraction of capacity.
+    average_hops:
+        Mean hop count under the traffic pattern.
+    max_channel_load:
+        Expected flits per cycle on the most-loaded channel at an injection
+        rate of one flit per tile per cycle.
+    """
+
+    zero_load_latency_cycles: float
+    saturation_throughput: float
+    average_hops: float
+    max_channel_load: float
+
+
+def _pair_weights(
+    topology: Topology, pattern: TrafficPattern, samples: int = 0
+) -> dict[tuple[int, int], float]:
+    """Probability of each (source, destination) pair under the traffic pattern.
+
+    Uniform traffic has a closed form; deterministic permutation patterns
+    (transpose, tornado, ...) map each source to one destination; other
+    patterns are estimated by sampling.
+    """
+    num = topology.num_tiles
+    if isinstance(pattern, UniformRandomTraffic):
+        weight = 1.0 / (num * (num - 1))
+        return {(s, d): weight for s in range(num) for d in range(num) if s != d}
+    rng = np.random.default_rng(0)
+    weights: dict[tuple[int, int], float] = {}
+    draws = max(1, samples) if samples else 32
+    total = num * draws
+    for source in range(num):
+        for _ in range(draws):
+            destination = pattern.destination(source, rng)
+            key = (source, destination)
+            weights[key] = weights.get(key, 0.0) + 1.0 / total
+    return weights
+
+
+def analytical_performance(
+    topology: Topology,
+    link_latencies: dict[Link, int] | None = None,
+    routing: RoutingTables | None = None,
+    traffic: str = "uniform",
+    packet_size_flits: int = 4,
+    router_pipeline_cycles: int = 2,
+    injection_ejection_cycles: int = 2,
+    flow_control_efficiency: float = 0.75,
+) -> AnalyticalPerformance:
+    """Estimate zero-load latency and saturation throughput analytically.
+
+    Parameters mirror the simulator configuration so that both performance
+    paths of the toolchain are driven by the same knobs.
+    """
+    check_positive("packet_size_flits", packet_size_flits)
+    check_positive("router_pipeline_cycles", router_pipeline_cycles)
+    check_in_range("flow_control_efficiency", flow_control_efficiency, 0.1, 1.0)
+
+    routing = routing or build_routing_tables(topology)
+    latencies = link_latencies or {}
+    pattern = make_traffic_pattern(traffic, topology)
+    weights = _pair_weights(topology, pattern)
+
+    num = topology.num_tiles
+    channel_load: dict[tuple[int, int], float] = {}
+    total_latency = 0.0
+    total_hops = 0.0
+    total_weight = 0.0
+
+    for (source, destination), weight in weights.items():
+        path = routing.path(source, destination)
+        hops = len(path) - 1
+        path_link_latency = 0
+        for a, b in zip(path[:-1], path[1:]):
+            link = Link.canonical(a, b)
+            path_link_latency += max(1, int(latencies.get(link, 1)))
+            channel_load[(a, b)] = channel_load.get((a, b), 0.0) + weight
+        latency = (
+            hops * router_pipeline_cycles
+            + path_link_latency
+            + injection_ejection_cycles
+            + (packet_size_flits - 1)
+        )
+        total_latency += weight * latency
+        total_hops += weight * hops
+        total_weight += weight
+
+    average_latency = total_latency / total_weight
+    average_hops = total_hops / total_weight
+
+    # channel_load currently holds flits per channel per injected flit per tile,
+    # normalised by the pair probabilities; at an injection rate of 1 flit per
+    # tile per cycle, every tile contributes its share, so scale by N.
+    max_channel_load = max(channel_load.values()) * num if channel_load else 0.0
+    if max_channel_load <= 0:
+        ideal_bound = 1.0
+    else:
+        # Channel-load bound, additionally capped by the injection/ejection
+        # bandwidth of one flit per tile per cycle.
+        ideal_bound = min(1.0, 1.0 / max_channel_load)
+    saturation = min(1.0, flow_control_efficiency * ideal_bound)
+
+    return AnalyticalPerformance(
+        zero_load_latency_cycles=average_latency,
+        saturation_throughput=saturation,
+        average_hops=average_hops,
+        max_channel_load=max_channel_load,
+    )

@@ -1,0 +1,118 @@
+"""The prediction toolchain: topology + architecture -> cost and performance.
+
+This is the programmatic equivalent of Figure 3 of the paper: the physical
+model produces area, power and per-link latency estimates; the link latencies
+then parameterise the performance evaluation (cycle-accurate simulation or the
+fast analytical model), which yields zero-load latency and saturation
+throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.physical.model import NoCPhysicalModel
+from repro.physical.parameters import ArchitecturalParameters
+from repro.simulator.routing_tables import build_routing_tables
+from repro.simulator.simulation import SimulationConfig
+from repro.simulator.sweep import find_saturation_throughput
+from repro.toolchain.analytical import analytical_performance
+from repro.toolchain.results import PredictionResult
+from repro.topologies.base import Topology
+from repro.utils.validation import ValidationError
+
+
+@dataclass
+class PredictionToolchain:
+    """Reusable toolchain bound to one target architecture.
+
+    Attributes
+    ----------
+    params:
+        Architectural parameters of the target chip (Table II).
+    performance_mode:
+        ``"analytical"`` (default, fast — used for design-space sweeps and the
+        full-size Figure 6 benchmarks) or ``"simulation"`` (cycle-accurate,
+        mirrors the paper's BookSim2 usage; practical for small networks or
+        reduced cycle counts).
+    simulation_config:
+        Configuration of the cycle-accurate runs (ignored in analytical mode
+        except for the packet size and router pipeline length, which both
+        modes share).
+    traffic:
+        Traffic pattern name; the paper's evaluation uses ``"uniform"``.
+    """
+
+    params: ArchitecturalParameters
+    performance_mode: str = "analytical"
+    simulation_config: SimulationConfig = field(default_factory=SimulationConfig)
+    traffic: str = "uniform"
+
+    def __post_init__(self) -> None:
+        if self.performance_mode not in ("analytical", "simulation"):
+            raise ValidationError(
+                f"performance_mode must be 'analytical' or 'simulation', "
+                f"got {self.performance_mode!r}"
+            )
+        self._physical_model = NoCPhysicalModel(self.params)
+
+    def predict(self, topology: Topology) -> PredictionResult:
+        """Predict cost and performance of ``topology`` on this architecture."""
+        physical = self._physical_model.evaluate(topology)
+        routing = build_routing_tables(topology)
+
+        if self.performance_mode == "simulation":
+            sweep = find_saturation_throughput(
+                topology,
+                config=self.simulation_config,
+                link_latencies=physical.link_latencies,
+                routing=routing,
+            )
+            zero_load = sweep.zero_load_latency
+            saturation = sweep.saturation_throughput
+            details = {"sweep_points": [(rate, stats) for rate, stats in sweep.points]}
+        else:
+            analytical = analytical_performance(
+                topology,
+                link_latencies=physical.link_latencies,
+                routing=routing,
+                traffic=self.traffic,
+                packet_size_flits=self.simulation_config.packet_size_flits,
+                router_pipeline_cycles=self.simulation_config.router_pipeline_cycles,
+            )
+            zero_load = analytical.zero_load_latency_cycles
+            saturation = analytical.saturation_throughput
+            details = {"analytical": analytical}
+
+        return PredictionResult(
+            topology_name=topology.name,
+            area_overhead=physical.area_overhead,
+            total_area_mm2=physical.area.total_area_mm2,
+            noc_power_w=physical.noc_power_w,
+            zero_load_latency_cycles=zero_load,
+            saturation_throughput=saturation,
+            performance_mode=self.performance_mode,
+            physical=physical,
+            details=details,
+        )
+
+    def __call__(self, topology: Topology) -> PredictionResult:
+        """Alias for :meth:`predict` (lets the toolchain act as a plain predictor)."""
+        return self.predict(topology)
+
+
+def predict(
+    topology: Topology,
+    params: ArchitecturalParameters,
+    performance_mode: str = "analytical",
+    simulation_config: SimulationConfig | None = None,
+    traffic: str = "uniform",
+) -> PredictionResult:
+    """One-shot convenience wrapper around :class:`PredictionToolchain`."""
+    toolchain = PredictionToolchain(
+        params=params,
+        performance_mode=performance_mode,
+        simulation_config=simulation_config or SimulationConfig(),
+        traffic=traffic,
+    )
+    return toolchain.predict(topology)

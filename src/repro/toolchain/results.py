@@ -1,0 +1,67 @@
+"""Result container of the prediction toolchain."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.physical.model import PhysicalModelResult
+
+
+@dataclass
+class PredictionResult:
+    """All four outputs of the toolchain for one topology (Figure 3).
+
+    Attributes
+    ----------
+    topology_name:
+        Name of the evaluated topology.
+    area_overhead:
+        NoC area overhead (fraction of the total chip area).
+    total_area_mm2:
+        Total chip area in mm².
+    noc_power_w:
+        NoC power consumption in watts.
+    zero_load_latency_cycles:
+        Average packet latency at (close to) zero load, in cycles.
+    saturation_throughput:
+        Saturation throughput as a fraction of the injection capacity
+        (1 flit per tile per cycle); the paper reports this in percent.
+    performance_mode:
+        ``"simulation"`` or ``"analytical"`` — how the performance numbers
+        were obtained.
+    physical:
+        The full physical model result (intermediate artifacts included).
+    details:
+        Free-form extra data (sweep points, simulation statistics, ...).
+    """
+
+    topology_name: str
+    area_overhead: float
+    total_area_mm2: float
+    noc_power_w: float
+    zero_load_latency_cycles: float
+    saturation_throughput: float
+    performance_mode: str
+    physical: PhysicalModelResult | None = None
+    details: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def saturation_throughput_percent(self) -> float:
+        """Saturation throughput in percent (as plotted in Figure 6)."""
+        return 100.0 * self.saturation_throughput
+
+    @property
+    def area_overhead_percent(self) -> float:
+        """Area overhead in percent (as plotted in Figure 6)."""
+        return 100.0 * self.area_overhead
+
+    def as_row(self) -> dict[str, float | str]:
+        """Return the Figure-6-style comparison row for this topology."""
+        return {
+            "Topology": self.topology_name,
+            "NoC Area Overhead [%]": round(self.area_overhead_percent, 2),
+            "NoC Power [W]": round(self.noc_power_w, 2),
+            "Zero-Load Latency [cycles]": round(self.zero_load_latency_cycles, 2),
+            "Saturation Throughput [%]": round(self.saturation_throughput_percent, 2),
+        }

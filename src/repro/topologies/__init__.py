@@ -1,0 +1,49 @@
+"""NoC topology substrate.
+
+This package provides the graph-level model of a network-on-chip topology
+(:class:`~repro.topologies.base.Topology`), generators for all established
+topologies the paper compares against (Figure 1 / Table I), and analysis of
+graph-level properties (router radix, network diameter, minimal physical
+paths).
+
+The paper's primary contribution, the sparse Hamming graph, lives in
+:mod:`repro.core.sparse_hamming` but is registered here as well so that all
+topologies can be enumerated uniformly.
+"""
+
+from repro.topologies.base import Topology, Link, TileCoord
+from repro.topologies.ring import RingTopology
+from repro.topologies.mesh import MeshTopology
+from repro.topologies.torus import TorusTopology
+from repro.topologies.folded_torus import FoldedTorusTopology
+from repro.topologies.hypercube import HypercubeTopology
+from repro.topologies.flattened_butterfly import FlattenedButterflyTopology
+from repro.topologies.slimnoc import SlimNoCTopology
+from repro.topologies.ruche import RucheTopology
+from repro.topologies.properties import TopologyProperties, analyze_topology
+from repro.topologies.registry import (
+    TOPOLOGY_FACTORIES,
+    available_topologies,
+    make_topology,
+    applicable_topologies,
+)
+
+__all__ = [
+    "Topology",
+    "Link",
+    "TileCoord",
+    "RingTopology",
+    "MeshTopology",
+    "TorusTopology",
+    "FoldedTorusTopology",
+    "HypercubeTopology",
+    "FlattenedButterflyTopology",
+    "SlimNoCTopology",
+    "RucheTopology",
+    "TopologyProperties",
+    "analyze_topology",
+    "TOPOLOGY_FACTORIES",
+    "available_topologies",
+    "make_topology",
+    "applicable_topologies",
+]

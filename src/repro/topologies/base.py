@@ -1,0 +1,311 @@
+"""Core topology data model.
+
+A :class:`Topology` describes the link structure of a NoC built on a chip that
+is organised as an ``R x C`` grid of identical *tiles* (Section II-A of the
+paper).  Each tile contains one or more endpoints and one local router; NoC
+links connect the local routers of different tiles.
+
+Tiles are identified by integer indices ``0 .. R*C - 1`` in row-major order;
+:class:`TileCoord` maps between indices and ``(row, col)`` grid positions.
+Links are undirected at the topology level (the simulator expands each into a
+pair of unidirectional channels).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Iterable, Iterator
+
+import networkx as nx
+
+from repro.utils.validation import ValidationError, check_type
+
+
+@dataclass(frozen=True, order=True)
+class TileCoord:
+    """Grid position of a tile: row ``r`` (0-based) and column ``c`` (0-based)."""
+
+    row: int
+    col: int
+
+
+@dataclass(frozen=True, order=True)
+class Link:
+    """An undirected router-to-router link between two tiles.
+
+    ``src`` and ``dst`` are tile indices with ``src < dst`` (canonical order),
+    so that a link has exactly one representation.
+    """
+
+    src: int
+    dst: int
+
+    def __post_init__(self) -> None:
+        if self.src == self.dst:
+            raise ValidationError(f"self-link on tile {self.src} is not allowed")
+        if self.src > self.dst:
+            raise ValidationError(
+                f"Link endpoints must be canonically ordered (src < dst); "
+                f"got src={self.src}, dst={self.dst}. Use Link.canonical()."
+            )
+
+    @staticmethod
+    def canonical(a: int, b: int) -> "Link":
+        """Create a link between tiles ``a`` and ``b`` in canonical order."""
+        if a == b:
+            raise ValidationError(f"self-link on tile {a} is not allowed")
+        return Link(min(a, b), max(a, b))
+
+    def other(self, tile: int) -> int:
+        """Return the endpoint of the link that is not ``tile``."""
+        if tile == self.src:
+            return self.dst
+        if tile == self.dst:
+            return self.src
+        raise ValidationError(f"tile {tile} is not an endpoint of {self}")
+
+
+class Topology:
+    """A NoC topology over an ``R x C`` grid of tiles.
+
+    Parameters
+    ----------
+    rows, cols:
+        Grid dimensions.  Both must be at least 1 and ``rows * cols >= 2``.
+    links:
+        Iterable of :class:`Link` (or ``(a, b)`` tile-index pairs).  Duplicate
+        links are collapsed.
+    name:
+        Human-readable topology name (e.g. ``"2D Mesh"``).
+    endpoints_per_tile:
+        Number of endpoints (cores/memories) connected to each tile's local
+        router.  Affects the router radix but not the link structure.
+    """
+
+    def __init__(
+        self,
+        rows: int,
+        cols: int,
+        links: Iterable[Link | tuple[int, int]],
+        name: str,
+        endpoints_per_tile: int = 1,
+    ) -> None:
+        check_type("rows", rows, int)
+        check_type("cols", cols, int)
+        check_type("name", name, str)
+        check_type("endpoints_per_tile", endpoints_per_tile, int)
+        if rows < 1 or cols < 1:
+            raise ValidationError(f"rows and cols must be >= 1, got {rows}x{cols}")
+        if rows * cols < 2:
+            raise ValidationError("a topology needs at least 2 tiles")
+        if endpoints_per_tile < 1:
+            raise ValidationError("endpoints_per_tile must be >= 1")
+
+        self._rows = rows
+        self._cols = cols
+        self._name = name
+        self._endpoints_per_tile = endpoints_per_tile
+
+        canonical_links: set[Link] = set()
+        for item in links:
+            if isinstance(item, Link):
+                link = item
+            else:
+                a, b = item
+                link = Link.canonical(int(a), int(b))
+            self._check_tile_index(link.src)
+            self._check_tile_index(link.dst)
+            canonical_links.add(link)
+        self._links: tuple[Link, ...] = tuple(sorted(canonical_links))
+
+    # ------------------------------------------------------------------ basic
+    @property
+    def name(self) -> str:
+        """Human-readable topology name."""
+        return self._name
+
+    @property
+    def rows(self) -> int:
+        """Number of tile rows ``R``."""
+        return self._rows
+
+    @property
+    def cols(self) -> int:
+        """Number of tile columns ``C``."""
+        return self._cols
+
+    @property
+    def num_tiles(self) -> int:
+        """Total number of tiles ``R * C``."""
+        return self._rows * self._cols
+
+    @property
+    def endpoints_per_tile(self) -> int:
+        """Number of endpoints attached to each tile's local router."""
+        return self._endpoints_per_tile
+
+    @property
+    def links(self) -> tuple[Link, ...]:
+        """All undirected links, in canonical sorted order."""
+        return self._links
+
+    @property
+    def num_links(self) -> int:
+        """Number of undirected links."""
+        return len(self._links)
+
+    # -------------------------------------------------------------- indexing
+    def tile_index(self, row: int, col: int) -> int:
+        """Return the tile index at grid position ``(row, col)``."""
+        if not (0 <= row < self._rows and 0 <= col < self._cols):
+            raise ValidationError(
+                f"tile position ({row}, {col}) outside {self._rows}x{self._cols} grid"
+            )
+        return row * self._cols + col
+
+    def coord(self, tile: int) -> TileCoord:
+        """Return the grid position of tile index ``tile``."""
+        self._check_tile_index(tile)
+        return TileCoord(tile // self._cols, tile % self._cols)
+
+    def tiles(self) -> Iterator[int]:
+        """Iterate over all tile indices in row-major order."""
+        return iter(range(self.num_tiles))
+
+    def _check_tile_index(self, tile: int) -> None:
+        check_type("tile", tile, int)
+        if not (0 <= tile < self.num_tiles):
+            raise ValidationError(
+                f"tile index {tile} outside range [0, {self.num_tiles})"
+            )
+
+    # ------------------------------------------------------------------ graph
+    @cached_property
+    def graph(self) -> nx.Graph:
+        """Undirected :class:`networkx.Graph` over tile indices.
+
+        The graph always contains every tile as a node, even isolated ones
+        (which indicate a mis-constructed topology and are rejected by
+        :meth:`validate_connected`).
+        """
+        g = nx.Graph()
+        g.add_nodes_from(range(self.num_tiles))
+        g.add_edges_from((link.src, link.dst) for link in self._links)
+        return g
+
+    def neighbors(self, tile: int) -> list[int]:
+        """Return the tiles directly connected to ``tile``, sorted."""
+        self._check_tile_index(tile)
+        return sorted(self.graph.neighbors(tile))
+
+    def degree(self, tile: int) -> int:
+        """Number of router-to-router links attached to ``tile``."""
+        self._check_tile_index(tile)
+        return self.graph.degree[tile]
+
+    def has_link(self, a: int, b: int) -> bool:
+        """Return ``True`` if an undirected link between tiles ``a`` and ``b`` exists."""
+        self._check_tile_index(a)
+        self._check_tile_index(b)
+        if a == b:
+            return False
+        return Link.canonical(a, b) in set(self._links)
+
+    def is_connected(self) -> bool:
+        """Return ``True`` if every tile can reach every other tile."""
+        return nx.is_connected(self.graph)
+
+    def validate_connected(self) -> None:
+        """Raise :class:`ValidationError` if the topology is not connected."""
+        if not self.is_connected():
+            raise ValidationError(f"topology '{self._name}' is not connected")
+
+    # ------------------------------------------------------------ properties
+    def max_degree(self) -> int:
+        """Maximum number of router-to-router links at any tile."""
+        return max(dict(self.graph.degree).values())
+
+    def router_radix(self, tile: int | None = None) -> int:
+        """Router radix: router-to-router links plus local endpoint ports.
+
+        If ``tile`` is ``None``, the maximum radix over all tiles is returned
+        (this is the number reported in Table I of the paper).
+        """
+        if tile is None:
+            return self.max_degree() + self._endpoints_per_tile
+        return self.degree(tile) + self._endpoints_per_tile
+
+    def diameter(self) -> int:
+        """Network diameter: maximum shortest-path hop count between tiles."""
+        self.validate_connected()
+        return nx.diameter(self.graph)
+
+    def average_hop_count(self) -> float:
+        """Average shortest-path hop count over all ordered tile pairs."""
+        self.validate_connected()
+        return nx.average_shortest_path_length(self.graph)
+
+    def link_is_aligned(self, link: Link) -> bool:
+        """Return ``True`` if the link stays within one row or one column.
+
+        Aligned links are one of the *design for routability* criteria
+        (principle ❷ of the paper): they can be routed straight through a
+        single inter-tile channel.
+        """
+        a = self.coord(link.src)
+        b = self.coord(link.dst)
+        return a.row == b.row or a.col == b.col
+
+    def link_grid_length(self, link: Link) -> int:
+        """Manhattan length of the link measured in tile pitches."""
+        a = self.coord(link.src)
+        b = self.coord(link.dst)
+        return abs(a.row - b.row) + abs(a.col - b.col)
+
+    # -------------------------------------------------------------- mutation
+    def with_endpoints_per_tile(self, endpoints_per_tile: int) -> "Topology":
+        """Return a copy of this topology with a different endpoint count."""
+        return Topology(
+            self._rows,
+            self._cols,
+            self._links,
+            self._name,
+            endpoints_per_tile=endpoints_per_tile,
+        )
+
+    # ------------------------------------------------------------------ misc
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(name={self._name!r}, grid={self._rows}x{self._cols}, "
+            f"links={self.num_links})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Topology):
+            return NotImplemented
+        return (
+            self._rows == other._rows
+            and self._cols == other._cols
+            and self._links == other._links
+            and self._endpoints_per_tile == other._endpoints_per_tile
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._rows, self._cols, self._links, self._endpoints_per_tile))
+
+
+def grid_dimensions_for(num_tiles: int) -> tuple[int, int]:
+    """Choose an ``R x C`` grid for ``num_tiles`` tiles, as square as possible.
+
+    Prefers ``R <= C`` (wider than tall), which matches the aspect ratios used
+    in the paper's evaluation (64 tiles -> 8x8, 128 tiles -> 8x16).
+    """
+    check_type("num_tiles", num_tiles, int)
+    if num_tiles < 2:
+        raise ValidationError("num_tiles must be >= 2")
+    best_rows = 1
+    for rows in range(1, int(num_tiles**0.5) + 1):
+        if num_tiles % rows == 0:
+            best_rows = rows
+    return best_rows, num_tiles // best_rows

@@ -1,0 +1,49 @@
+"""Flattened butterfly topology (Figure 1g of the paper).
+
+Every row and every column of tiles is fully connected, giving a network
+diameter of 2 (one row hop plus one column hop).  The router radix is
+``R + C - 2`` plus endpoint ports, which makes the flattened butterfly the
+most expensive of the established topologies; it is the dense end of the
+sparse Hamming graph design space (``S_R`` and ``S_C`` maximal).
+"""
+
+from __future__ import annotations
+
+from repro.topologies.base import Link, Topology
+
+
+def flattened_butterfly_links(rows: int, cols: int) -> list[Link]:
+    """Return the links of a flattened butterfly: all-to-all rows and columns."""
+    links: list[Link] = []
+    for r in range(rows):
+        for c1 in range(cols):
+            for c2 in range(c1 + 1, cols):
+                links.append(Link.canonical(r * cols + c1, r * cols + c2))
+    for c in range(cols):
+        for r1 in range(rows):
+            for r2 in range(r1 + 1, rows):
+                links.append(Link.canonical(r1 * cols + c, r2 * cols + c))
+    return links
+
+
+class FlattenedButterflyTopology(Topology):
+    """Flattened butterfly: rows and columns of tiles are fully connected."""
+
+    def __init__(self, rows: int, cols: int, endpoints_per_tile: int = 1) -> None:
+        super().__init__(
+            rows,
+            cols,
+            flattened_butterfly_links(rows, cols),
+            name="Flattened Butterfly",
+            endpoints_per_tile=endpoints_per_tile,
+        )
+
+    def expected_diameter(self) -> int:
+        """Diameter formula from Table I: 2 (1 row hop + 1 column hop)."""
+        if self.rows == 1 or self.cols == 1:
+            return 1
+        return 2
+
+    def expected_radix(self) -> int:
+        """Router radix formula from Table I: ``R + C - 2`` (plus endpoints)."""
+        return self.rows + self.cols - 2 + self.endpoints_per_tile

@@ -1,0 +1,69 @@
+"""Folded 2D torus topology (Figure 1d of the paper).
+
+A 2D torus whose rows and columns are *folded* so that no physical link spans
+more than two tile pitches: the logical ring ``0 - 1 - 2 - ... - (n-1) - 0`` of
+a row is embedded in physical positions such that logically adjacent tiles sit
+at most two positions apart.  The graph connecting *physical* grid positions
+therefore consists of "skip-2" links plus the two end links of each row and
+column.
+
+The folded torus has the same diameter as the torus (``R/2 + C/2``) but avoids
+the chip-spanning wrap-around links.  The price is that physically adjacent
+tiles are no longer logically adjacent, so the topology does not provide
+physically-minimal paths (Table I: "Minimal Paths Present: ✘").
+"""
+
+from __future__ import annotations
+
+from repro.topologies.base import Link, Topology
+from repro.utils.validation import ValidationError
+
+
+def folded_cycle_links(n: int) -> list[tuple[int, int]]:
+    """Return the links of a folded cycle over ``n`` physical positions.
+
+    The folded embedding connects positions ``(i, i + 2)`` for all valid ``i``,
+    plus the end links ``(0, 1)`` and ``(n-2, n-1)``.  The result is a single
+    cycle of length ``n`` in which every link spans at most two positions.
+    """
+    if n < 3:
+        raise ValidationError("a folded cycle needs at least 3 positions")
+    links = [(i, i + 2) for i in range(n - 2)]
+    links.append((0, 1))
+    links.append((n - 2, n - 1))
+    return links
+
+
+def folded_torus_links(rows: int, cols: int) -> list[Link]:
+    """Return the links of a folded 2D torus over an ``rows x cols`` grid."""
+    links: list[Link] = []
+    for r in range(rows):
+        if cols >= 3:
+            for a, b in folded_cycle_links(cols):
+                links.append(Link.canonical(r * cols + a, r * cols + b))
+        elif cols == 2:
+            links.append(Link.canonical(r * cols, r * cols + 1))
+    for c in range(cols):
+        if rows >= 3:
+            for a, b in folded_cycle_links(rows):
+                links.append(Link.canonical(a * cols + c, b * cols + c))
+        elif rows == 2:
+            links.append(Link.canonical(c, cols + c))
+    return links
+
+
+class FoldedTorusTopology(Topology):
+    """Folded 2D torus: torus connectivity without chip-spanning links."""
+
+    def __init__(self, rows: int, cols: int, endpoints_per_tile: int = 1) -> None:
+        super().__init__(
+            rows,
+            cols,
+            folded_torus_links(rows, cols),
+            name="Folded 2D Torus",
+            endpoints_per_tile=endpoints_per_tile,
+        )
+
+    def expected_diameter(self) -> int:
+        """Diameter formula from Table I: ``R/2 + C/2``."""
+        return self.rows // 2 + self.cols // 2

@@ -1,0 +1,80 @@
+"""Hypercube topology (Figure 1e of the paper).
+
+Tiles are connected if their binary IDs differ in exactly one bit.  Following
+Figure 1e, the IDs are assigned to grid positions in *Gray-code* order per
+dimension: the column bits of the ID are the Gray code of the column index and
+the row bits are the Gray code of the row index.  Grid-adjacent tiles then
+differ in exactly one bit, so the hypercube contains all mesh links (providing
+physically minimal paths, "Present: ✔" in Table I) and every link stays within
+one row or column ("AL: ✔").
+
+The hypercube is only applicable when both ``R`` and ``C`` are powers of two
+(Table I footnote †).
+"""
+
+from __future__ import annotations
+
+from repro.topologies.base import Link, Topology
+from repro.utils.validation import ValidationError
+
+
+def is_power_of_two(n: int) -> bool:
+    """Return ``True`` if ``n`` is a positive power of two (1, 2, 4, 8, ...)."""
+    return n >= 1 and (n & (n - 1)) == 0
+
+
+def hypercube_applicable(rows: int, cols: int) -> bool:
+    """Hypercube applicability test from Table I: both dimensions powers of two."""
+    return is_power_of_two(rows) and is_power_of_two(cols) and rows * cols >= 2
+
+
+def gray_code(index: int) -> int:
+    """Return the Gray code of ``index`` (consecutive codes differ in one bit)."""
+    return index ^ (index >> 1)
+
+
+def hypercube_links(rows: int, cols: int) -> list[Link]:
+    """Return the links of a hypercube over ``rows * cols`` tiles.
+
+    Each grid position ``(r, c)`` is assigned the hypercube node ID
+    ``gray(r) * cols + gray(c)``; two tiles are linked whenever their IDs
+    differ in exactly one bit.
+    """
+    if not hypercube_applicable(rows, cols):
+        raise ValidationError(
+            f"hypercube requires power-of-two grid dimensions, got {rows}x{cols}"
+        )
+    num_tiles = rows * cols
+    dimension = num_tiles.bit_length() - 1
+
+    # Map hypercube node IDs to grid tile indices via per-dimension Gray codes.
+    id_to_tile = {}
+    for row in range(rows):
+        for col in range(cols):
+            node_id = gray_code(row) * cols + gray_code(col)
+            id_to_tile[node_id] = row * cols + col
+
+    links: list[Link] = []
+    for node_id in range(num_tiles):
+        for bit in range(dimension):
+            other_id = node_id ^ (1 << bit)
+            if other_id > node_id:
+                links.append(Link.canonical(id_to_tile[node_id], id_to_tile[other_id]))
+    return links
+
+
+class HypercubeTopology(Topology):
+    """Hypercube: tiles connected iff their binary IDs differ in one bit."""
+
+    def __init__(self, rows: int, cols: int, endpoints_per_tile: int = 1) -> None:
+        super().__init__(
+            rows,
+            cols,
+            hypercube_links(rows, cols),
+            name="Hypercube",
+            endpoints_per_tile=endpoints_per_tile,
+        )
+
+    def expected_diameter(self) -> int:
+        """Diameter formula from Table I: ``log2(R*C)``."""
+        return (self.rows * self.cols).bit_length() - 1

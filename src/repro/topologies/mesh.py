@@ -1,0 +1,41 @@
+"""2D mesh topology (Figure 1b of the paper).
+
+Neighbouring tiles in the grid are connected.  The mesh is the base of the
+sparse Hamming graph construction: it fulfils all *design for routability*
+criteria and has the minimum router radix of 4 + endpoints, but its network
+diameter of ``R + C - 2`` grows linearly with the grid dimensions.
+"""
+
+from __future__ import annotations
+
+from repro.topologies.base import Link, Topology
+
+
+def mesh_links(rows: int, cols: int) -> list[Link]:
+    """Return the links of an ``rows x cols`` 2D mesh."""
+    links: list[Link] = []
+    for r in range(rows):
+        for c in range(cols):
+            tile = r * cols + c
+            if c + 1 < cols:
+                links.append(Link.canonical(tile, tile + 1))
+            if r + 1 < rows:
+                links.append(Link.canonical(tile, tile + cols))
+    return links
+
+
+class MeshTopology(Topology):
+    """2D mesh: each tile is connected to its north/south/east/west neighbours."""
+
+    def __init__(self, rows: int, cols: int, endpoints_per_tile: int = 1) -> None:
+        super().__init__(
+            rows,
+            cols,
+            mesh_links(rows, cols),
+            name="2D Mesh",
+            endpoints_per_tile=endpoints_per_tile,
+        )
+
+    def expected_diameter(self) -> int:
+        """Diameter formula from Table I: ``R + C - 2``."""
+        return self.rows + self.cols - 2

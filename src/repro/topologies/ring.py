@@ -1,0 +1,56 @@
+"""Ring topology (Figure 1a of the paper).
+
+All tiles are connected in a single cycle.  On a 2D grid of tiles the cycle is
+embedded as a boustrophedon ("snake") path through the rows with a closing
+segment along the first column, which keeps almost all links between adjacent
+tiles (short links) at the price of the worst network diameter of all
+considered topologies (``R*C / 2``).
+"""
+
+from __future__ import annotations
+
+from repro.topologies.base import Link, Topology
+from repro.utils.validation import ValidationError
+
+
+def ring_order(rows: int, cols: int) -> list[int]:
+    """Return tile indices in the order they are visited by the ring cycle.
+
+    The path snakes through the rows (left-to-right in even rows,
+    right-to-left in odd rows).  The final tile of the snake is adjacent to
+    the first column, so the closing link of the cycle runs along column 0.
+    """
+    order: list[int] = []
+    for r in range(rows):
+        cols_in_row = range(cols) if r % 2 == 0 else range(cols - 1, -1, -1)
+        for c in cols_in_row:
+            order.append(r * cols + c)
+    return order
+
+
+def ring_links(rows: int, cols: int) -> list[Link]:
+    """Return the links of the snake-embedded ring over an ``rows x cols`` grid."""
+    order = ring_order(rows, cols)
+    links = [Link.canonical(order[i], order[i + 1]) for i in range(len(order) - 1)]
+    if len(order) > 2:
+        links.append(Link.canonical(order[-1], order[0]))
+    return links
+
+
+class RingTopology(Topology):
+    """Ring: the links form a single cycle visiting every tile."""
+
+    def __init__(self, rows: int, cols: int, endpoints_per_tile: int = 1) -> None:
+        if rows * cols < 3:
+            raise ValidationError("a ring needs at least 3 tiles")
+        super().__init__(
+            rows,
+            cols,
+            ring_links(rows, cols),
+            name="Ring",
+            endpoints_per_tile=endpoints_per_tile,
+        )
+
+    def expected_diameter(self) -> int:
+        """Diameter formula from Table I: ``R*C / 2``."""
+        return (self.rows * self.cols) // 2

@@ -1,0 +1,81 @@
+"""Ruche network topology.
+
+Ruche networks [Jung et al., NOCS'20] are 2D meshes augmented with
+length-adjustable "skip" links: every tile additionally connects to the tile
+``rho`` positions away in each row and/or column.  The paper's related-work
+section points out that Ruche networks are a strict subset of sparse Hamming
+graphs (a Ruche network with row skip ``rho_x`` and column skip ``rho_y`` is
+the sparse Hamming graph with ``S_R = {rho_x}``, ``S_C = {rho_y}``), offering
+far fewer configurations.
+
+This module provides the Ruche network as a standalone baseline so that the
+subset relationship can be validated in tests and exercised in ablations.
+"""
+
+from __future__ import annotations
+
+from repro.topologies.base import Link, Topology
+from repro.topologies.mesh import mesh_links
+from repro.utils.validation import ValidationError, check_type
+
+
+def ruche_links(rows: int, cols: int, row_skip: int, col_skip: int) -> list[Link]:
+    """Return the links of a Ruche network: mesh plus fixed-length skip links.
+
+    ``row_skip`` adds links ``T(r, c) - T(r, c + row_skip)`` in every row and
+    ``col_skip`` adds links ``T(r, c) - T(r + col_skip, c)`` in every column.
+    A skip of 0 disables the extra links in that direction.
+    """
+    check_type("row_skip", row_skip, int)
+    check_type("col_skip", col_skip, int)
+    if row_skip < 0 or col_skip < 0:
+        raise ValidationError("skip lengths must be non-negative")
+    if row_skip in (1,) or col_skip in (1,):
+        raise ValidationError("a skip length of 1 duplicates the mesh links; use 0 to disable")
+    if row_skip >= cols and row_skip != 0:
+        raise ValidationError(f"row_skip={row_skip} does not fit into {cols} columns")
+    if col_skip >= rows and col_skip != 0:
+        raise ValidationError(f"col_skip={col_skip} does not fit into {rows} rows")
+
+    links = mesh_links(rows, cols)
+    if row_skip >= 2:
+        for r in range(rows):
+            for c in range(cols - row_skip):
+                links.append(Link.canonical(r * cols + c, r * cols + c + row_skip))
+    if col_skip >= 2:
+        for c in range(cols):
+            for r in range(rows - col_skip):
+                links.append(Link.canonical(r * cols + c, (r + col_skip) * cols + c))
+    return links
+
+
+class RucheTopology(Topology):
+    """Ruche network: 2D mesh plus fixed-length skip links in rows and columns."""
+
+    def __init__(
+        self,
+        rows: int,
+        cols: int,
+        row_skip: int = 2,
+        col_skip: int = 2,
+        endpoints_per_tile: int = 1,
+    ) -> None:
+        super().__init__(
+            rows,
+            cols,
+            ruche_links(rows, cols, row_skip, col_skip),
+            name="Ruche Network",
+            endpoints_per_tile=endpoints_per_tile,
+        )
+        self._row_skip = row_skip
+        self._col_skip = col_skip
+
+    @property
+    def row_skip(self) -> int:
+        """Length of the skip links added within each row (0 = none)."""
+        return self._row_skip
+
+    @property
+    def col_skip(self) -> int:
+        """Length of the skip links added within each column (0 = none)."""
+        return self._col_skip

@@ -1,0 +1,155 @@
+"""SlimNoC topology (Figure 1f of the paper), built from MMS graphs.
+
+SlimNoC [Besta et al., ASPLOS'18] brings the Slim Fly / MMS
+(McKay-Miller-Siran) graph family on chip: a two-part Cayley-like graph with
+network diameter 2 and router radix close to ``sqrt(R*C)``.  It is only
+applicable when the number of tiles is ``N = 2 * q**2`` for a prime power
+``q`` (Table I footnote ‡).
+
+Construction (following the Slim Fly description):
+
+* Vertices are triples ``(s, x, y)`` with ``s in {0, 1}`` and ``x, y in GF(q)``.
+* ``(0, x, y) ~ (0, x, y')``  iff ``y - y' in X1``  (intra-group links, part 0)
+* ``(1, m, c) ~ (1, m, c')``  iff ``c - c' in X2``  (intra-group links, part 1)
+* ``(0, x, y) ~ (1, m, c)``   iff ``y = m*x + c``   (inter-part links)
+
+The generator sets ``X1``/``X2`` depend on ``q mod 4`` (``q = 4w + delta``):
+
+* ``delta = +1``: ``X1`` = even powers of a primitive element, ``X2`` = odd
+  powers (the exact MMS construction, diameter 2).
+* ``delta = 0`` (``q`` a power of two): the first ``q/2`` even powers and the
+  first ``q/2`` odd powers.  In characteristic 2 these sets are automatically
+  symmetric.  This is a faithful-size approximation of Hafner's generalised
+  construction; the resulting graph has the correct radix ``(3q)/2`` and a
+  diameter of 2 or 3 (validated in the test suite, documented in
+  EXPERIMENTS.md).
+* ``delta = -1``: symmetric sets ``{±xi^(2i)}`` / ``{±xi^(2i+1)}`` of size
+  ``(q+1)/2``, again matching the radix ``(3q+1)/2`` of the MMS family.
+
+Tiles are mapped onto the ``R x C`` grid in row-major order of the vertex
+index ``s*q^2 + x*q + y``; this produces the characteristically *non-aligned*
+links and non-uniform link density that Table I reports for SlimNoC.
+"""
+
+from __future__ import annotations
+
+from repro.topologies.base import Link, Topology
+from repro.utils.galois import GaloisField
+from repro.utils.primes import prime_power_root
+from repro.utils.validation import ValidationError
+
+
+def slimnoc_q(num_tiles: int) -> int | None:
+    """Return the prime power ``q`` with ``num_tiles == 2 * q**2``, or ``None``."""
+    if num_tiles < 2 or num_tiles % 2 != 0:
+        return None
+    half = num_tiles // 2
+    q = int(round(half**0.5))
+    for candidate in (q - 1, q, q + 1):
+        # q = 2 is excluded: the MMS construction needs q = 4w + delta with
+        # delta in {-1, 0, 1}, which q = 2 does not satisfy.
+        if candidate >= 3 and candidate * candidate == half:
+            if prime_power_root(candidate) is not None:
+                return candidate
+    return None
+
+
+def slimnoc_applicable(rows: int, cols: int) -> bool:
+    """SlimNoC applicability test from Table I: ``R*C = 2*q^2`` for a prime power ``q``."""
+    return slimnoc_q(rows * cols) is not None
+
+
+def _generator_sets(field: GaloisField) -> tuple[set[int], set[int]]:
+    """Return the intra-group generator sets ``(X1, X2)`` for the MMS graph."""
+    q = field.order
+    powers = field.powers_of_primitive()  # xi^0 .. xi^(q-2)
+    delta = ((q + 1) % 4) - 1 if q % 4 == 3 else q % 4  # maps 1->1, 0->0, 3->-1
+    if q % 4 == 1:
+        x1 = {powers[i] for i in range(0, q - 1, 2)}
+        x2 = {powers[i] for i in range(1, q - 1, 2)}
+    elif q % 4 == 0:
+        half = q // 2
+        x1 = {powers[(2 * i) % (q - 1)] for i in range(half)}
+        x2 = {powers[(2 * i + 1) % (q - 1)] for i in range(half)}
+    elif q % 4 == 3:
+        size = (q + 1) // 2
+        x1: set[int] = set()
+        x2: set[int] = set()
+        i = 0
+        while len(x1) < size:
+            element = powers[(2 * i) % (q - 1)]
+            x1.add(element)
+            x1.add(field.neg(element))
+            i += 1
+        i = 0
+        while len(x2) < size:
+            element = powers[(2 * i + 1) % (q - 1)]
+            x2.add(element)
+            x2.add(field.neg(element))
+            i += 1
+    else:  # q % 4 == 2 can only happen for q == 2, which is below the minimum size
+        raise ValidationError(f"SlimNoC is not constructible for q={q}")
+    del delta
+    return x1, x2
+
+
+def slimnoc_links(rows: int, cols: int) -> list[Link]:
+    """Return the links of the SlimNoC (MMS graph) topology on an ``R x C`` grid."""
+    num_tiles = rows * cols
+    q = slimnoc_q(num_tiles)
+    if q is None:
+        raise ValidationError(
+            f"SlimNoC requires R*C = 2*q^2 for a prime power q; got {num_tiles} tiles"
+        )
+    field = GaloisField(q)
+    x1, x2 = _generator_sets(field)
+
+    def vertex(s: int, x: int, y: int) -> int:
+        return s * q * q + x * q + y
+
+    links: set[Link] = set()
+    # Intra-group links in both parts.
+    for x in range(q):
+        for y1 in range(q):
+            for y2 in range(y1 + 1, q):
+                difference = field.sub(y1, y2)
+                if difference in x1 or field.neg(difference) in x1:
+                    links.add(Link.canonical(vertex(0, x, y1), vertex(0, x, y2)))
+                if difference in x2 or field.neg(difference) in x2:
+                    links.add(Link.canonical(vertex(1, x, y1), vertex(1, x, y2)))
+    # Inter-part links: (0, x, y) ~ (1, m, c) iff y = m*x + c.
+    for x in range(q):
+        for m in range(q):
+            for c in range(q):
+                y = field.add(field.mul(m, x), c)
+                links.add(Link.canonical(vertex(0, x, y), vertex(1, m, c)))
+    return sorted(links)
+
+
+class SlimNoCTopology(Topology):
+    """SlimNoC: low-diameter MMS-graph topology, applicable when ``R*C = 2*q^2``."""
+
+    def __init__(self, rows: int, cols: int, endpoints_per_tile: int = 1) -> None:
+        super().__init__(
+            rows,
+            cols,
+            slimnoc_links(rows, cols),
+            name="SlimNoC",
+            endpoints_per_tile=endpoints_per_tile,
+        )
+        self._q = slimnoc_q(rows * cols)
+
+    @property
+    def q(self) -> int:
+        """The prime power ``q`` with ``R*C = 2*q^2``."""
+        assert self._q is not None
+        return self._q
+
+    def expected_diameter(self) -> int:
+        """Diameter of the exact MMS construction (Table I): 2."""
+        return 2
+
+    def expected_radix(self) -> int:
+        """Approximate router radix from Table I: ``~sqrt(R*C)`` router-to-router links."""
+        delta = {1: 1, 0: 0, 3: -1}[self.q % 4]
+        return (3 * self.q - delta) // 2 + self.endpoints_per_tile

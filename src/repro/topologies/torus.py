@@ -1,0 +1,42 @@
+"""2D torus topology (Figure 1c of the paper).
+
+A 2D mesh plus wrap-around links that close every row and every column into a
+cycle.  The wrap-around links halve the network diameter compared to the mesh
+(``R/2 + C/2``) but they span the full width/height of the chip, violating the
+*short links* routability criterion; the paper's Table I therefore marks the
+torus with "SL: ✘".
+"""
+
+from __future__ import annotations
+
+from repro.topologies.base import Link, Topology
+from repro.topologies.mesh import mesh_links
+
+
+def torus_links(rows: int, cols: int) -> list[Link]:
+    """Return the links of an ``rows x cols`` 2D torus (mesh + wrap-around)."""
+    links = mesh_links(rows, cols)
+    for r in range(rows):
+        if cols > 2:
+            links.append(Link.canonical(r * cols, r * cols + cols - 1))
+    for c in range(cols):
+        if rows > 2:
+            links.append(Link.canonical(c, (rows - 1) * cols + c))
+    return links
+
+
+class TorusTopology(Topology):
+    """2D torus: every row and every column of tiles forms a cycle."""
+
+    def __init__(self, rows: int, cols: int, endpoints_per_tile: int = 1) -> None:
+        super().__init__(
+            rows,
+            cols,
+            torus_links(rows, cols),
+            name="2D Torus",
+            endpoints_per_tile=endpoints_per_tile,
+        )
+
+    def expected_diameter(self) -> int:
+        """Diameter formula from Table I: ``R/2 + C/2``."""
+        return self.rows // 2 + self.cols // 2

@@ -1,0 +1,300 @@
+"""Finite field (Galois field) arithmetic for small prime powers.
+
+The SlimNoC topology is built from MMS (McKay-Miller-Siran) graphs whose
+construction requires arithmetic over ``GF(q)`` for a prime power ``q``.  The
+tile counts relevant to NoCs are small (``q`` up to a few dozen), so a simple
+table-free implementation with polynomial arithmetic is fully sufficient.
+
+Elements of ``GF(p^k)`` are represented as integers in ``[0, p^k)`` whose
+base-``p`` digits are the coefficients of the representative polynomial
+(least-significant digit = constant term).  For prime ``q`` this degenerates
+to plain modular arithmetic.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.utils.primes import prime_power_root
+from repro.utils.validation import ValidationError, check_type
+
+
+class GaloisField:
+    """Arithmetic in ``GF(q)`` for a prime power ``q = p^k``.
+
+    The field is constructed from a monic irreducible polynomial of degree
+    ``k`` over ``GF(p)``, found by exhaustive search (cheap for the small
+    fields used here).
+    """
+
+    def __init__(self, q: int) -> None:
+        check_type("q", q, int)
+        root = prime_power_root(q)
+        if root is None:
+            raise ValidationError(f"GF({q}) does not exist: {q} is not a prime power")
+        self._q = q
+        self._p, self._k = root
+        if self._k == 1:
+            self._modulus_coeffs: tuple[int, ...] = ()
+        else:
+            self._modulus_coeffs = _find_irreducible(self._p, self._k)
+
+    # ------------------------------------------------------------ properties
+    @property
+    def order(self) -> int:
+        """Number of field elements ``q``."""
+        return self._q
+
+    @property
+    def characteristic(self) -> int:
+        """Field characteristic ``p``."""
+        return self._p
+
+    @property
+    def degree(self) -> int:
+        """Extension degree ``k`` with ``q = p^k``."""
+        return self._k
+
+    def elements(self) -> range:
+        """All field elements as integers ``0 .. q-1``."""
+        return range(self._q)
+
+    # ------------------------------------------------------------ arithmetic
+    def add(self, a: int, b: int) -> int:
+        """Field addition."""
+        self._check(a)
+        self._check(b)
+        if self._k == 1:
+            return (a + b) % self._p
+        return self._from_coeffs(
+            [(x + y) % self._p for x, y in zip(self._to_coeffs(a), self._to_coeffs(b))]
+        )
+
+    def neg(self, a: int) -> int:
+        """Additive inverse."""
+        self._check(a)
+        if self._k == 1:
+            return (-a) % self._p
+        return self._from_coeffs([(-x) % self._p for x in self._to_coeffs(a)])
+
+    def sub(self, a: int, b: int) -> int:
+        """Field subtraction ``a - b``."""
+        return self.add(a, self.neg(b))
+
+    def mul(self, a: int, b: int) -> int:
+        """Field multiplication."""
+        self._check(a)
+        self._check(b)
+        if self._k == 1:
+            return (a * b) % self._p
+        prod = [0] * (2 * self._k - 1)
+        ca = self._to_coeffs(a)
+        cb = self._to_coeffs(b)
+        for i, x in enumerate(ca):
+            if x == 0:
+                continue
+            for j, y in enumerate(cb):
+                prod[i + j] = (prod[i + j] + x * y) % self._p
+        return self._from_coeffs(self._reduce(prod))
+
+    def pow(self, a: int, exponent: int) -> int:
+        """Field exponentiation ``a ** exponent`` for ``exponent >= 0``."""
+        check_type("exponent", exponent, int)
+        if exponent < 0:
+            raise ValidationError("exponent must be non-negative")
+        result = 1
+        base = a
+        e = exponent
+        while e > 0:
+            if e & 1:
+                result = self.mul(result, base)
+            base = self.mul(base, base)
+            e >>= 1
+        return result
+
+    def inverse(self, a: int) -> int:
+        """Multiplicative inverse of a non-zero element."""
+        self._check(a)
+        if a == 0:
+            raise ValidationError("0 has no multiplicative inverse")
+        # a^(q-2) = a^-1 in GF(q)*
+        return self.pow(a, self._q - 2)
+
+    # ----------------------------------------------------------- structure
+    @lru_cache(maxsize=None)
+    def primitive_element(self) -> int:
+        """Return a generator of the multiplicative group ``GF(q)*``."""
+        group_order = self._q - 1
+        if group_order == 1:
+            return 1
+        prime_factors = _prime_factors(group_order)
+        for candidate in range(2, self._q):
+            if all(
+                self.pow(candidate, group_order // f) != 1 for f in prime_factors
+            ):
+                return candidate
+        raise RuntimeError(f"no primitive element found in GF({self._q})")  # pragma: no cover
+
+    def powers_of_primitive(self) -> list[int]:
+        """Return ``[xi^0, xi^1, ..., xi^(q-2)]`` for a primitive element ``xi``."""
+        xi = self.primitive_element()
+        powers = []
+        value = 1
+        for _ in range(self._q - 1):
+            powers.append(value)
+            value = self.mul(value, xi)
+        return powers
+
+    # -------------------------------------------------------------- helpers
+    def _check(self, a: int) -> None:
+        check_type("field element", a, int)
+        if not (0 <= a < self._q):
+            raise ValidationError(f"{a} is not an element of GF({self._q})")
+
+    def _to_coeffs(self, a: int) -> list[int]:
+        coeffs = []
+        for _ in range(self._k):
+            coeffs.append(a % self._p)
+            a //= self._p
+        return coeffs
+
+    def _from_coeffs(self, coeffs: list[int]) -> int:
+        value = 0
+        for coeff in reversed(coeffs[: self._k]):
+            value = value * self._p + (coeff % self._p)
+        return value
+
+    def _reduce(self, poly: list[int]) -> list[int]:
+        """Reduce a coefficient list modulo the irreducible modulus polynomial."""
+        p = self._p
+        k = self._k
+        coeffs = list(poly)
+        for deg in range(len(coeffs) - 1, k - 1, -1):
+            factor = coeffs[deg]
+            if factor == 0:
+                continue
+            coeffs[deg] = 0
+            # modulus is monic: x^k = -(lower coefficients)
+            for i, m in enumerate(self._modulus_coeffs):
+                coeffs[deg - k + i] = (coeffs[deg - k + i] - factor * m) % p
+        return coeffs[:k]
+
+    def __repr__(self) -> str:
+        return f"GaloisField(q={self._q})"
+
+
+def _prime_factors(n: int) -> list[int]:
+    factors = []
+    f = 2
+    while f * f <= n:
+        if n % f == 0:
+            factors.append(f)
+            while n % f == 0:
+                n //= f
+        f += 1
+    if n > 1:
+        factors.append(n)
+    return factors
+
+
+def _find_irreducible(p: int, k: int) -> tuple[int, ...]:
+    """Find the lower coefficients of a monic irreducible degree-``k`` polynomial.
+
+    Returns the coefficients ``(c_0, ..., c_{k-1})`` of
+    ``x^k + c_{k-1} x^{k-1} + ... + c_0`` such that the polynomial has no roots
+    and no non-trivial factors over ``GF(p)``.  Exhaustive search over the
+    ``p^k`` candidates is fine for the tiny fields used in NoC construction.
+    """
+    for encoded in range(p**k):
+        coeffs = []
+        v = encoded
+        for _ in range(k):
+            coeffs.append(v % p)
+            v //= p
+        if _is_irreducible(coeffs, p, k):
+            return tuple(coeffs)
+    raise RuntimeError(f"no irreducible polynomial of degree {k} over GF({p})")  # pragma: no cover
+
+
+def _is_irreducible(lower_coeffs: list[int], p: int, k: int) -> bool:
+    """Check irreducibility of ``x^k + sum(lower_coeffs[i] x^i)`` over GF(p)."""
+    full = list(lower_coeffs) + [1]
+
+    def poly_mod(a: list[int], m: list[int]) -> list[int]:
+        a = list(a)
+        dm = len(m) - 1
+        while len(a) - 1 >= dm and any(a):
+            if a[-1] == 0:
+                a.pop()
+                continue
+            factor = a[-1]
+            shift = len(a) - 1 - dm
+            for i, coeff in enumerate(m):
+                a[shift + i] = (a[shift + i] - factor * coeff) % p
+            while a and a[-1] == 0:
+                a.pop()
+        return a if a else [0]
+
+    def poly_mul(a: list[int], b: list[int]) -> list[int]:
+        out = [0] * (len(a) + len(b) - 1)
+        for i, x in enumerate(a):
+            for j, y in enumerate(b):
+                out[i + j] = (out[i + j] + x * y) % p
+        return out
+
+    def poly_pow_mod(base: list[int], exponent: int, m: list[int]) -> list[int]:
+        result = [1]
+        base = poly_mod(base, m)
+        while exponent > 0:
+            if exponent & 1:
+                result = poly_mod(poly_mul(result, base), m)
+            base = poly_mod(poly_mul(base, base), m)
+            exponent >>= 1
+        return result
+
+    def poly_monic(a: list[int]) -> list[int]:
+        a = list(a)
+        while len(a) > 1 and a[-1] == 0:
+            a.pop()
+        lead = a[-1]
+        if lead not in (0, 1):
+            inv = pow(lead, p - 2, p)
+            a = [(c * inv) % p for c in a]
+        return a
+
+    def poly_gcd(a: list[int], b: list[int]) -> list[int]:
+        a = list(a)
+        b = list(b)
+        while any(b):
+            b = poly_monic(b)
+            a, b = b, poly_mod(a, b)
+        return a
+
+    # Rabin's irreducibility test: x^(p^k) == x (mod f), and for every prime
+    # divisor d of k, gcd(x^(p^(k/d)) - x, f) == constant.
+    x = [0, 1]
+    xq = poly_pow_mod(x, p**k, full)
+    # x^(p^k) - x must be 0 mod f
+    diff = [0] * max(len(xq), 2)
+    for i, c in enumerate(xq):
+        diff[i] = c
+    diff[1] = (diff[1] - 1) % p
+    if any(diff):
+        return False
+    for d in _prime_factors(k):
+        xe = poly_pow_mod(x, p ** (k // d), full)
+        diff = [0] * max(len(xe), 2)
+        for i, c in enumerate(xe):
+            diff[i] = c
+        diff[1] = (diff[1] - 1) % p
+        while len(diff) > 1 and diff[-1] == 0:
+            diff.pop()
+        g = poly_gcd(full, diff)
+        if len([c for c in g if c != 0]) == 0:
+            continue
+        # gcd must be a (non-zero) constant
+        while len(g) > 1 and g[-1] == 0:
+            g.pop()
+        if len(g) > 1:
+            return False
+    return True

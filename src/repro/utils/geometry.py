@@ -1,0 +1,80 @@
+"""Small geometric primitives used by the physical model.
+
+The floorplanning and routing steps of the prediction model (Section IV-B of
+the paper) operate on axis-aligned rectangles (tiles, channels) and integer
+grid coordinates (unit cells).  These classes keep that code readable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import check_non_negative
+
+
+@dataclass(frozen=True)
+class Point:
+    """A point in chip coordinates (millimetres) or grid coordinates."""
+
+    x: float
+    y: float
+
+    def translated(self, dx: float, dy: float) -> "Point":
+        """Return a copy of the point shifted by ``(dx, dy)``."""
+        return Point(self.x + dx, self.y + dy)
+
+
+@dataclass(frozen=True)
+class Rect:
+    """An axis-aligned rectangle defined by its lower-left corner and size."""
+
+    x: float
+    y: float
+    width: float
+    height: float
+
+    def __post_init__(self) -> None:
+        check_non_negative("width", self.width)
+        check_non_negative("height", self.height)
+
+    @property
+    def x2(self) -> float:
+        """Right edge of the rectangle."""
+        return self.x + self.width
+
+    @property
+    def y2(self) -> float:
+        """Top edge of the rectangle."""
+        return self.y + self.height
+
+    @property
+    def area(self) -> float:
+        """Area of the rectangle."""
+        return self.width * self.height
+
+    @property
+    def center(self) -> Point:
+        """Centre point of the rectangle."""
+        return Point(self.x + self.width / 2.0, self.y + self.height / 2.0)
+
+    def contains(self, point: Point) -> bool:
+        """Return ``True`` if ``point`` lies inside or on the boundary."""
+        return self.x <= point.x <= self.x2 and self.y <= point.y <= self.y2
+
+    def intersects(self, other: "Rect") -> bool:
+        """Return ``True`` if the two rectangles overlap with positive area."""
+        return not (
+            self.x2 <= other.x
+            or other.x2 <= self.x
+            or self.y2 <= other.y
+            or other.y2 <= self.y
+        )
+
+
+def manhattan_distance(a: Point, b: Point) -> float:
+    """Return the L1 (Manhattan) distance between two points.
+
+    On-chip wires run along preferred horizontal/vertical directions per metal
+    layer (Section II-A), so physical link length is Manhattan, not Euclidean.
+    """
+    return abs(a.x - b.x) + abs(a.y - b.y)

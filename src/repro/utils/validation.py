@@ -1,0 +1,57 @@
+"""Input validation helpers used across the library.
+
+All public constructors and functions validate their inputs eagerly and raise
+:class:`ValidationError` (a subclass of ``ValueError``) with a descriptive
+message.  Centralising the checks keeps error messages consistent and the
+calling code short.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+class ValidationError(ValueError):
+    """Raised when a user-supplied parameter is invalid."""
+
+
+def check_type(name: str, value: Any, expected: type | tuple[type, ...]) -> None:
+    """Raise :class:`ValidationError` unless ``value`` is an instance of ``expected``.
+
+    Booleans are rejected when an integer is expected because ``bool`` is a
+    subclass of ``int`` in Python and accepting ``True``/``False`` for counts
+    almost always hides a bug.
+    """
+    if isinstance(value, bool) and expected in (int, (int,), float, (float,), (int, float)):
+        raise ValidationError(f"{name} must be {_type_name(expected)}, got bool {value!r}")
+    if not isinstance(value, expected):
+        raise ValidationError(
+            f"{name} must be {_type_name(expected)}, got {type(value).__name__} {value!r}"
+        )
+
+
+def check_positive(name: str, value: float) -> None:
+    """Raise unless ``value`` is a number strictly greater than zero."""
+    check_type(name, value, (int, float))
+    if value <= 0:
+        raise ValidationError(f"{name} must be > 0, got {value!r}")
+
+
+def check_non_negative(name: str, value: float) -> None:
+    """Raise unless ``value`` is a number greater than or equal to zero."""
+    check_type(name, value, (int, float))
+    if value < 0:
+        raise ValidationError(f"{name} must be >= 0, got {value!r}")
+
+
+def check_in_range(name: str, value: float, low: float, high: float) -> None:
+    """Raise unless ``low <= value <= high``."""
+    check_type(name, value, (int, float))
+    if not (low <= value <= high):
+        raise ValidationError(f"{name} must be in [{low}, {high}], got {value!r}")
+
+
+def _type_name(expected: type | tuple[type, ...]) -> str:
+    if isinstance(expected, tuple):
+        return " or ".join(t.__name__ for t in expected)
+    return expected.__name__

@@ -1,0 +1,11 @@
+"""Text-based visualisation of topologies and floorplans (Figures 1, 2 and 5)."""
+
+from repro.viz.ascii_art import render_topology, render_sparse_hamming_construction
+from repro.viz.floorplan_viz import render_floorplan, render_channel_loads
+
+__all__ = [
+    "render_topology",
+    "render_sparse_hamming_construction",
+    "render_floorplan",
+    "render_channel_loads",
+]

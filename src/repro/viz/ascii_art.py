@@ -1,0 +1,84 @@
+"""ASCII rendering of NoC topologies (Figure 1 / Figure 2 analogues).
+
+The renderer draws the tile grid with ``[rc]`` cells and marks direct
+neighbour links with ``-`` and ``|``; longer (skip, wrap-around or
+non-aligned) links are listed below the grid because they cannot be drawn
+unambiguously in character graphics.
+"""
+
+from __future__ import annotations
+
+from repro.topologies.base import Topology
+
+
+def render_topology(topology: Topology, max_listed_links: int = 40) -> str:
+    """Render ``topology`` as ASCII art plus a list of its long links."""
+    rows, cols = topology.rows, topology.cols
+    lines: list[str] = [f"{topology.name} ({rows}x{cols}, {topology.num_links} links)"]
+
+    def cell(row: int, col: int) -> str:
+        return f"[{row},{col}]"
+
+    for row in range(rows):
+        row_cells = []
+        for col in range(cols):
+            row_cells.append(cell(row, col))
+            if col + 1 < cols:
+                tile = topology.tile_index(row, col)
+                right = topology.tile_index(row, col + 1)
+                row_cells.append("--" if topology.has_link(tile, right) else "  ")
+        lines.append("".join(row_cells))
+        if row + 1 < rows:
+            spacer = []
+            for col in range(cols):
+                tile = topology.tile_index(row, col)
+                below = topology.tile_index(row + 1, col)
+                mark = "  |  " if topology.has_link(tile, below) else "     "
+                spacer.append(mark)
+                if col + 1 < cols:
+                    spacer.append("  ")
+            lines.append("".join(spacer))
+
+    long_links = [
+        link for link in topology.links if topology.link_grid_length(link) > 1
+    ]
+    if long_links:
+        lines.append(f"long links ({len(long_links)}):")
+        for link in long_links[:max_listed_links]:
+            a = topology.coord(link.src)
+            b = topology.coord(link.dst)
+            lines.append(f"  ({a.row},{a.col}) <-> ({b.row},{b.col})")
+        if len(long_links) > max_listed_links:
+            lines.append(f"  ... and {len(long_links) - max_listed_links} more")
+    return "\n".join(lines)
+
+
+def render_sparse_hamming_construction(rows: int, cols: int, s_r, s_c) -> str:
+    """Describe the sparse-Hamming-graph construction step by step (Figure 2)."""
+    from repro.core.sparse_hamming import SparseHammingGraph
+
+    lines = [
+        f"Sparse Hamming graph construction for a {rows}x{cols} grid",
+        f"  parameters: S_R={sorted(s_r)} (row skips), S_C={sorted(s_c)} (column skips)",
+        "  step 1: start from the 2D mesh (base links)",
+    ]
+    mesh = SparseHammingGraph(rows, cols)
+    lines.append(f"    mesh links: {mesh.num_links}")
+    step = 2
+    current = mesh
+    for x in sorted(s_r):
+        current = current.add_row_skip(x)
+        lines.append(
+            f"  step {step}: add row links of length {x} "
+            f"({cols - x} per row, {rows * (cols - x)} total) -> {current.num_links} links"
+        )
+        step += 1
+    for x in sorted(s_c):
+        current = current.add_col_skip(x)
+        lines.append(
+            f"  step {step}: add column links of length {x} "
+            f"({rows - x} per column, {cols * (rows - x)} total) -> {current.num_links} links"
+        )
+        step += 1
+    lines.append(render_topology(current))
+    return "\n".join(lines)

@@ -1,0 +1,47 @@
+"""Text rendering of the physical model's intermediate artifacts (Figure 5).
+
+``render_floorplan`` prints the chip geometry after spacing estimation
+(step 3/4): tile dimensions, per-channel spacings and the chip bounding box.
+``render_channel_loads`` prints the per-channel peak link counts produced by
+the global router (step 2), which directly determine those spacings.
+"""
+
+from __future__ import annotations
+
+from repro.physical.global_routing import GlobalRoutingResult
+from repro.physical.model import PhysicalModelResult
+
+
+def render_channel_loads(routing: GlobalRoutingResult) -> str:
+    """Render the peak parallel-link count of every channel."""
+    lines = ["horizontal channels (between tile rows): peak parallel links"]
+    for channel in range(routing.horizontal_loads.shape[0]):
+        lines.append(f"  H{channel:>2}: {routing.max_horizontal_load(channel)}")
+    lines.append("vertical channels (between tile columns): peak parallel links")
+    for channel in range(routing.vertical_loads.shape[0]):
+        lines.append(f"  V{channel:>2}: {routing.max_vertical_load(channel)}")
+    return "\n".join(lines)
+
+
+def render_floorplan(result: PhysicalModelResult) -> str:
+    """Render the floorplan summary of a physical-model evaluation."""
+    geometry = result.tile_geometry
+    grid = result.unit_cells
+    lines = [
+        f"floorplan of {result.topology.name} on architecture {result.params.name!r}",
+        f"  tile: {geometry.width_mm:.3f} x {geometry.height_mm:.3f} mm "
+        f"({geometry.tile_area_mm2:.3f} mm2, router {100 * geometry.router_area_fraction:.1f}%)",
+        f"  unit cell: {grid.cell_width_mm * 1000:.1f} x {grid.cell_height_mm * 1000:.1f} um",
+        f"  chip: {grid.chip_width_mm:.2f} x {grid.chip_height_mm:.2f} mm "
+        f"({result.area.total_area_mm2:.2f} mm2, {grid.total_cells} unit cells)",
+        f"  NoC area overhead: {100 * result.area_overhead:.2f}%",
+        f"  NoC power: {result.noc_power_w:.2f} W",
+        "  horizontal channel spacings (mm): "
+        + ", ".join(f"{s:.3f}" for s in grid.horizontal_spacings_mm),
+        "  vertical channel spacings (mm):   "
+        + ", ".join(f"{s:.3f}" for s in grid.vertical_spacings_mm),
+        f"  link latencies: avg {result.average_link_latency():.2f} cycles, "
+        f"max {result.max_link_latency()} cycles",
+        f"  detailed routing collisions: {result.detailed_routing.collisions}",
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,60 @@
+"""Smoke tests: every example script runs to completion.
+
+The slower examples are exercised through their ``main`` functions with
+reduced scope where they accept arguments; all output goes to stdout and is
+captured by pytest.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+
+def _run_example(name: str, argv: list[str] | None = None) -> None:
+    script = EXAMPLES_DIR / name
+    assert script.exists(), f"example {name} missing"
+    old_argv = sys.argv
+    sys.argv = [str(script)] + (argv or [])
+    try:
+        runpy.run_path(str(script), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+def test_quickstart_runs():
+    _run_example("quickstart.py")
+
+
+def test_design_principles_table_runs():
+    _run_example("design_principles_table.py", ["4", "4"])
+
+
+def test_floorplan_walkthrough_runs():
+    _run_example("floorplan_walkthrough.py")
+
+
+def test_mempool_validation_runs():
+    _run_example("mempool_validation.py")
+
+
+def test_visualize_topologies_runs():
+    _run_example("visualize_topologies.py", ["4", "4"])
+
+
+@pytest.mark.slow
+def test_customize_noc_runs():
+    _run_example("customize_noc.py", ["a"])
+
+
+@pytest.mark.slow
+def test_topology_comparison_runs():
+    _run_example("topology_comparison.py", ["a"])
+
+
+@pytest.mark.slow
+def test_simulate_traffic_runs():
+    _run_example("simulate_traffic.py")

@@ -1,0 +1,122 @@
+"""Property-based tests (hypothesis) on topology generators and their invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config_space import configuration_count
+from repro.core.sparse_hamming import SparseHammingGraph
+from repro.topologies.flattened_butterfly import FlattenedButterflyTopology
+from repro.topologies.folded_torus import FoldedTorusTopology
+from repro.topologies.mesh import MeshTopology
+from repro.topologies.ring import RingTopology
+from repro.topologies.torus import TorusTopology
+
+# Grid dimensions large enough to be interesting, small enough to stay fast.
+grid_dims = st.tuples(st.integers(2, 7), st.integers(2, 7))
+
+
+@st.composite
+def sparse_hamming_configs(draw):
+    """Random (rows, cols, S_R, S_C) tuples with valid skip sets."""
+    rows = draw(st.integers(2, 7))
+    cols = draw(st.integers(2, 7))
+    s_r = draw(st.sets(st.integers(2, max(2, cols - 1)) if cols > 2 else st.nothing()))
+    s_c = draw(st.sets(st.integers(2, max(2, rows - 1)) if rows > 2 else st.nothing()))
+    s_r = {x for x in s_r if 2 <= x < cols}
+    s_c = {x for x in s_c if 2 <= x < rows}
+    return rows, cols, frozenset(s_r), frozenset(s_c)
+
+
+class TestSparseHammingInvariants:
+    @given(config=sparse_hamming_configs())
+    @settings(max_examples=60, deadline=None)
+    def test_always_connected(self, config):
+        rows, cols, s_r, s_c = config
+        assert SparseHammingGraph(rows, cols, s_r=s_r, s_c=s_c).is_connected()
+
+    @given(config=sparse_hamming_configs())
+    @settings(max_examples=60, deadline=None)
+    def test_contains_mesh_and_subset_of_butterfly(self, config):
+        rows, cols, s_r, s_c = config
+        shg = SparseHammingGraph(rows, cols, s_r=s_r, s_c=s_c)
+        mesh = MeshTopology(rows, cols)
+        butterfly = FlattenedButterflyTopology(rows, cols)
+        assert set(mesh.links).issubset(set(shg.links))
+        assert set(shg.links).issubset(set(butterfly.links))
+
+    @given(config=sparse_hamming_configs())
+    @settings(max_examples=60, deadline=None)
+    def test_all_links_aligned(self, config):
+        rows, cols, s_r, s_c = config
+        shg = SparseHammingGraph(rows, cols, s_r=s_r, s_c=s_c)
+        assert all(shg.link_is_aligned(link) for link in shg.links)
+
+    @given(config=sparse_hamming_configs())
+    @settings(max_examples=40, deadline=None)
+    def test_expected_diameter_and_radix_match_graph(self, config):
+        rows, cols, s_r, s_c = config
+        shg = SparseHammingGraph(rows, cols, s_r=s_r, s_c=s_c)
+        assert shg.expected_diameter() == shg.diameter()
+        assert shg.expected_radix() == shg.router_radix()
+
+    @given(config=sparse_hamming_configs())
+    @settings(max_examples=40, deadline=None)
+    def test_diameter_bounded_by_mesh_and_butterfly(self, config):
+        rows, cols, s_r, s_c = config
+        shg = SparseHammingGraph(rows, cols, s_r=s_r, s_c=s_c)
+        mesh_diameter = rows + cols - 2
+        butterfly_diameter = 2 if (rows > 1 and cols > 1) else 1
+        assert butterfly_diameter <= shg.diameter() <= mesh_diameter
+
+    @given(config=sparse_hamming_configs())
+    @settings(max_examples=40, deadline=None)
+    def test_link_count_formula(self, config):
+        rows, cols, s_r, s_c = config
+        shg = SparseHammingGraph(rows, cols, s_r=s_r, s_c=s_c)
+        expected = rows * (cols - 1) + cols * (rows - 1)
+        expected += sum(rows * (cols - x) for x in s_r)
+        expected += sum(cols * (rows - x) for x in s_c)
+        assert shg.num_links == expected
+
+    @given(dims=grid_dims)
+    @settings(max_examples=30, deadline=None)
+    def test_configuration_count_formula(self, dims):
+        rows, cols = dims
+        assert configuration_count(rows, cols) == 2 ** (max(cols - 2, 0) + max(rows - 2, 0))
+
+
+class TestEstablishedTopologyInvariants:
+    @given(dims=grid_dims)
+    @settings(max_examples=30, deadline=None)
+    def test_mesh_diameter_formula(self, dims):
+        rows, cols = dims
+        assert MeshTopology(rows, cols).diameter() == rows + cols - 2
+
+    @given(dims=grid_dims)
+    @settings(max_examples=30, deadline=None)
+    def test_torus_diameter_formula(self, dims):
+        rows, cols = dims
+        assert TorusTopology(rows, cols).diameter() == rows // 2 + cols // 2
+
+    @given(dims=grid_dims)
+    @settings(max_examples=30, deadline=None)
+    def test_folded_torus_isomorphic_diameter(self, dims):
+        rows, cols = dims
+        assert FoldedTorusTopology(rows, cols).diameter() == TorusTopology(rows, cols).diameter()
+
+    @given(dims=grid_dims)
+    @settings(max_examples=30, deadline=None)
+    def test_ring_is_two_regular_cycle(self, dims):
+        rows, cols = dims
+        if rows * cols < 3:
+            return
+        ring = RingTopology(rows, cols)
+        assert ring.num_links == ring.num_tiles
+        assert all(ring.degree(t) == 2 for t in ring.tiles())
+        assert ring.is_connected()
+
+    @given(dims=grid_dims)
+    @settings(max_examples=30, deadline=None)
+    def test_flattened_butterfly_radix_formula(self, dims):
+        rows, cols = dims
+        topo = FlattenedButterflyTopology(rows, cols)
+        assert topo.router_radix() == rows + cols - 2 + 1

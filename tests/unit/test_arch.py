@@ -1,0 +1,102 @@
+"""Unit tests for the KNC scenarios and the MemPool validation experiment."""
+
+import pytest
+
+from repro.arch.knc import (
+    KNC_SCENARIOS,
+    paper_sparse_hamming_parameters,
+    scenario,
+    scenario_parameters,
+)
+from repro.arch.mempool import (
+    MEMPOOL_REFERENCE,
+    PAPER_PREDICTION,
+    mempool_parameters,
+    mempool_simulation_config,
+    mempool_topology,
+    validate_toolchain_against_mempool,
+)
+from repro.core.sparse_hamming import SparseHammingGraph
+from repro.utils.validation import ValidationError
+
+
+class TestKNCScenarios:
+    def test_four_scenarios_defined(self):
+        assert sorted(KNC_SCENARIOS) == ["a", "b", "c", "d"]
+
+    def test_scenario_a_matches_paper(self):
+        s = scenario("a")
+        assert s.num_tiles == 64
+        assert s.rows * s.cols == 64
+        assert s.endpoint_area_ge == pytest.approx(35e6)
+        assert s.cores_per_tile == 1
+        assert s.paper_s_r == frozenset({4})
+        assert s.paper_s_c == frozenset({2, 5})
+
+    def test_scaling_scenarios(self):
+        assert scenario("b").endpoint_area_ge == pytest.approx(2 * scenario("a").endpoint_area_ge)
+        assert scenario("c").num_tiles == 2 * scenario("a").num_tiles
+        assert scenario("d").num_tiles == 128
+        assert scenario("d").endpoint_area_ge == pytest.approx(70e6)
+
+    def test_parameters_match_section_vb(self):
+        params = scenario_parameters("a")
+        assert params.frequency_hz == pytest.approx(1.2e9)
+        assert params.link_bandwidth_bits == pytest.approx(512)
+        assert params.protocol.name == "AXI4"
+        assert params.technology.name == "22nm-hp"
+
+    def test_paper_configuration_constructible(self):
+        for key in KNC_SCENARIOS:
+            s = scenario(key)
+            s_r, s_c = paper_sparse_hamming_parameters(key)
+            shg = SparseHammingGraph(s.rows, s.cols, s_r=s_r, s_c=s_c,
+                                     endpoints_per_tile=s.cores_per_tile)
+            assert shg.is_connected()
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ValidationError):
+            scenario("z")
+
+
+class TestMemPool:
+    def test_reference_values_from_table3(self):
+        assert MEMPOOL_REFERENCE.area_mm2 == pytest.approx(21.16)
+        assert MEMPOOL_REFERENCE.power_w == pytest.approx(1.55)
+        assert MEMPOOL_REFERENCE.latency_cycles == pytest.approx(5.0)
+        assert MEMPOOL_REFERENCE.throughput_fraction == pytest.approx(0.38)
+        assert PAPER_PREDICTION.area_mm2 == pytest.approx(24.26)
+
+    def test_model_parameters(self):
+        params = mempool_parameters()
+        assert params.num_tiles == 16
+        assert params.frequency_hz == pytest.approx(500e6)
+        assert params.technology.name == "gf22fdx"
+        topology = mempool_topology()
+        assert topology.num_tiles == 16
+        assert topology.endpoints_per_tile == 80
+
+    def test_simulation_config_uses_short_packets(self):
+        config = mempool_simulation_config()
+        assert config.packet_size_flits <= 2
+
+    def test_validation_reproduces_table3_trends(self):
+        validation = validate_toolchain_against_mempool()
+        # Area and power predictions are accurate "for a fast high-level model".
+        assert validation.area_error < 0.25
+        assert validation.power_error < 0.25
+        # Latency is over-estimated (the paper reports a 2x over-estimate).
+        assert validation.prediction.zero_load_latency_cycles > MEMPOOL_REFERENCE.latency_cycles
+        # Throughput prediction lands in the right regime (tens of percent).
+        assert 0.1 < validation.prediction.saturation_throughput < 0.7
+
+    def test_validation_table_has_four_rows(self):
+        rows = validate_toolchain_against_mempool().as_table()
+        assert [row["Metric"] for row in rows] == [
+            "Area [mm2]",
+            "Power [W]",
+            "Latency [cycles]",
+            "Throughput [%]",
+        ]
+        for row in rows:
+            assert row["Prediction Error [%]"] >= 0

@@ -1,0 +1,137 @@
+"""Unit tests for the customization strategy (Section V-a)."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.core.customization import (
+    CustomizationGoal,
+    customize_sparse_hamming,
+)
+from repro.core.sparse_hamming import SparseHammingGraph
+from repro.utils.validation import ValidationError
+
+
+@dataclass
+class FakePrediction:
+    area_overhead: float
+    noc_power_w: float
+    zero_load_latency_cycles: float
+    saturation_throughput: float
+
+
+def link_count_predictor(budget_links: int = 400):
+    """A deterministic stand-in for the toolchain.
+
+    Cost (area) grows linearly with the number of links; throughput grows but
+    saturates; latency falls with the diameter.  This captures the qualitative
+    shape of the real toolchain while keeping tests instantaneous.
+    """
+
+    def predict(topology: SparseHammingGraph) -> FakePrediction:
+        links = topology.num_links
+        area = links / budget_links
+        throughput = min(1.0, 0.1 + links / 500.0)
+        latency = 5.0 + 2.0 * topology.diameter()
+        power = links * 0.05
+        return FakePrediction(
+            area_overhead=area,
+            noc_power_w=power,
+            zero_load_latency_cycles=latency,
+            saturation_throughput=throughput,
+        )
+
+    return predict
+
+
+class TestCustomizationGoal:
+    def test_defaults_match_paper(self):
+        goal = CustomizationGoal()
+        assert goal.max_area_overhead == pytest.approx(0.40)
+
+    def test_feasibility(self):
+        goal = CustomizationGoal(max_area_overhead=0.4)
+        assert goal.is_feasible(FakePrediction(0.39, 1, 1, 1))
+        assert not goal.is_feasible(FakePrediction(0.41, 1, 1, 1))
+
+    def test_improvement_prefers_throughput(self):
+        goal = CustomizationGoal()
+        old = FakePrediction(0.1, 1, 20.0, 0.30)
+        better_throughput = FakePrediction(0.2, 2, 25.0, 0.40)
+        assert goal.is_improvement(old, better_throughput)
+
+    def test_improvement_ties_broken_by_latency(self):
+        goal = CustomizationGoal()
+        old = FakePrediction(0.1, 1, 20.0, 0.300)
+        same_throughput_lower_latency = FakePrediction(0.2, 2, 15.0, 0.301)
+        same_throughput_higher_latency = FakePrediction(0.2, 2, 25.0, 0.301)
+        assert goal.is_improvement(old, same_throughput_lower_latency)
+        assert not goal.is_improvement(old, same_throughput_higher_latency)
+
+    def test_rejects_invalid_budget(self):
+        with pytest.raises(ValidationError):
+            CustomizationGoal(max_area_overhead=1.5)
+
+
+class TestCustomizeSparseHamming:
+    def test_starts_from_mesh(self):
+        result = customize_sparse_hamming(6, 6, link_count_predictor(), max_iterations=1)
+        assert result.steps[0].action == "start (mesh)"
+        assert result.steps[0].s_r == frozenset()
+        assert result.steps[0].s_c == frozenset()
+
+    def test_never_exceeds_area_budget(self):
+        goal = CustomizationGoal(max_area_overhead=0.40)
+        result = customize_sparse_hamming(
+            8, 8, link_count_predictor(budget_links=500), goal=goal, max_iterations=20
+        )
+        assert result.prediction.area_overhead <= 0.40
+        for step in result.steps:
+            assert step.area_overhead <= 0.40
+
+    def test_improves_over_mesh(self):
+        result = customize_sparse_hamming(8, 8, link_count_predictor(), max_iterations=10)
+        start = result.steps[0]
+        final = result.steps[-1]
+        assert final.saturation_throughput >= start.saturation_throughput
+        assert final.zero_load_latency_cycles <= start.zero_load_latency_cycles
+
+    def test_stops_when_no_improvement_possible(self):
+        # With a tiny budget no link can ever be added.
+        goal = CustomizationGoal(max_area_overhead=0.05)
+        result = customize_sparse_hamming(
+            8, 8, link_count_predictor(budget_links=500), goal=goal, max_iterations=10
+        )
+        # Mesh has 112 links -> area 0.224 > 0.05: even the mesh is infeasible,
+        # so the search reports the mesh itself.
+        assert result.topology.is_mesh()
+        assert len(result.steps) == 1
+
+    def test_respects_max_iterations(self):
+        result = customize_sparse_hamming(8, 8, link_count_predictor(2000), max_iterations=3)
+        # One start step plus at most three accepted changes.
+        assert len(result.steps) <= 4
+
+    def test_rejects_bad_max_iterations(self):
+        with pytest.raises(ValidationError):
+            customize_sparse_hamming(4, 4, link_count_predictor(), max_iterations=0)
+
+    def test_evaluation_count_reported(self):
+        result = customize_sparse_hamming(6, 6, link_count_predictor(), max_iterations=2)
+        assert result.evaluations >= len(result.steps)
+
+    def test_endpoints_per_tile_propagated(self):
+        result = customize_sparse_hamming(
+            4, 4, link_count_predictor(), endpoints_per_tile=2, max_iterations=1
+        )
+        assert result.topology.endpoints_per_tile == 2
+
+    def test_step_describe_is_readable(self):
+        result = customize_sparse_hamming(6, 6, link_count_predictor(), max_iterations=2)
+        text = result.steps[-1].describe()
+        assert "S_R=" in text and "area=" in text and "thr=" in text
+
+    def test_result_exposes_final_parameters(self):
+        result = customize_sparse_hamming(6, 6, link_count_predictor(), max_iterations=5)
+        assert result.s_r == result.topology.s_r
+        assert result.s_c == result.topology.s_c

@@ -1,0 +1,109 @@
+"""Unit tests for repro.utils.galois (finite field arithmetic)."""
+
+import pytest
+
+from repro.utils.galois import GaloisField
+from repro.utils.validation import ValidationError
+
+
+class TestConstruction:
+    def test_prime_field(self):
+        gf = GaloisField(7)
+        assert gf.order == 7
+        assert gf.characteristic == 7
+        assert gf.degree == 1
+
+    def test_extension_field(self):
+        gf = GaloisField(8)
+        assert gf.order == 8
+        assert gf.characteristic == 2
+        assert gf.degree == 3
+
+    def test_rejects_non_prime_power(self):
+        with pytest.raises(ValidationError):
+            GaloisField(6)
+        with pytest.raises(ValidationError):
+            GaloisField(12)
+
+    def test_rejects_too_small(self):
+        with pytest.raises(ValidationError):
+            GaloisField(1)
+
+    def test_elements_range(self):
+        gf = GaloisField(9)
+        assert list(gf.elements()) == list(range(9))
+
+
+class TestPrimeFieldArithmetic:
+    def test_addition_mod_p(self):
+        gf = GaloisField(5)
+        assert gf.add(3, 4) == 2
+
+    def test_subtraction_mod_p(self):
+        gf = GaloisField(5)
+        assert gf.sub(1, 3) == 3
+
+    def test_multiplication_mod_p(self):
+        gf = GaloisField(7)
+        assert gf.mul(3, 5) == 1
+
+    def test_inverse(self):
+        gf = GaloisField(11)
+        for a in range(1, 11):
+            assert gf.mul(a, gf.inverse(a)) == 1
+
+    def test_zero_has_no_inverse(self):
+        gf = GaloisField(5)
+        with pytest.raises(ValidationError):
+            gf.inverse(0)
+
+    def test_pow(self):
+        gf = GaloisField(7)
+        assert gf.pow(3, 0) == 1
+        assert gf.pow(3, 6) == 1  # Fermat's little theorem
+
+    def test_rejects_out_of_range_element(self):
+        gf = GaloisField(5)
+        with pytest.raises(ValidationError):
+            gf.add(5, 1)
+
+
+class TestExtensionFieldArithmetic:
+    @pytest.mark.parametrize("q", [4, 8, 9, 16, 27])
+    def test_every_nonzero_element_invertible(self, q):
+        gf = GaloisField(q)
+        for a in range(1, q):
+            assert gf.mul(a, gf.inverse(a)) == 1
+
+    @pytest.mark.parametrize("q", [4, 8, 9])
+    def test_addition_is_commutative_and_has_identity(self, q):
+        gf = GaloisField(q)
+        for a in range(q):
+            assert gf.add(a, 0) == a
+            for b in range(q):
+                assert gf.add(a, b) == gf.add(b, a)
+
+    @pytest.mark.parametrize("q", [4, 8, 9])
+    def test_multiplication_distributes_over_addition(self, q):
+        gf = GaloisField(q)
+        for a in range(q):
+            for b in range(q):
+                for c in range(q):
+                    assert gf.mul(a, gf.add(b, c)) == gf.add(gf.mul(a, b), gf.mul(a, c))
+
+    def test_characteristic_two_self_inverse_addition(self):
+        gf = GaloisField(8)
+        for a in range(8):
+            assert gf.add(a, a) == 0
+            assert gf.neg(a) == a
+
+
+class TestPrimitiveElement:
+    @pytest.mark.parametrize("q", [2, 3, 4, 5, 7, 8, 9, 13, 16, 25])
+    def test_primitive_element_generates_multiplicative_group(self, q):
+        gf = GaloisField(q)
+        powers = gf.powers_of_primitive()
+        assert len(powers) == q - 1
+        assert len(set(powers)) == q - 1
+        assert 0 not in powers
+        assert powers[0] == 1

@@ -1,0 +1,76 @@
+"""Unit tests for repro.utils.geometry and repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.geometry import Point, Rect, manhattan_distance
+from repro.utils.rng import make_rng
+from repro.utils.validation import ValidationError
+
+
+class TestPoint:
+    def test_translated(self):
+        p = Point(1.0, 2.0).translated(0.5, -1.0)
+        assert p == Point(1.5, 1.0)
+
+    def test_is_frozen(self):
+        with pytest.raises(AttributeError):
+            Point(0, 0).x = 5  # type: ignore[misc]
+
+
+class TestRect:
+    def test_basic_properties(self):
+        r = Rect(1.0, 2.0, 3.0, 4.0)
+        assert r.x2 == 4.0
+        assert r.y2 == 6.0
+        assert r.area == 12.0
+        assert r.center == Point(2.5, 4.0)
+
+    def test_contains_boundary(self):
+        r = Rect(0, 0, 2, 2)
+        assert r.contains(Point(0, 0))
+        assert r.contains(Point(2, 2))
+        assert not r.contains(Point(2.01, 1))
+
+    def test_intersects(self):
+        a = Rect(0, 0, 2, 2)
+        b = Rect(1, 1, 2, 2)
+        c = Rect(2, 0, 2, 2)  # shares only an edge
+        assert a.intersects(b)
+        assert not a.intersects(c)
+
+    def test_rejects_negative_size(self):
+        with pytest.raises(ValidationError):
+            Rect(0, 0, -1, 1)
+
+
+class TestManhattanDistance:
+    def test_axis_aligned(self):
+        assert manhattan_distance(Point(0, 0), Point(3, 0)) == 3
+
+    def test_diagonal(self):
+        assert manhattan_distance(Point(1, 1), Point(4, 5)) == 7
+
+    def test_symmetry(self):
+        a, b = Point(2, -1), Point(-3, 4)
+        assert manhattan_distance(a, b) == manhattan_distance(b, a)
+
+
+class TestMakeRng:
+    def test_reproducible_with_seed(self):
+        a = make_rng(42).random(5)
+        b = make_rng(42).random(5)
+        assert np.allclose(a, b)
+
+    def test_different_streams_differ(self):
+        a = make_rng(42, stream="traffic").random(5)
+        b = make_rng(42, stream="arbiter").random(5)
+        assert not np.allclose(a, b)
+
+    def test_none_seed_returns_generator(self):
+        rng = make_rng(None)
+        assert isinstance(rng, np.random.Generator)
+
+    def test_rejects_non_int_seed(self):
+        with pytest.raises(ValidationError):
+            make_rng("abc")  # type: ignore[arg-type]

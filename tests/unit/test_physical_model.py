@@ -1,0 +1,120 @@
+"""Unit tests for area/power/latency estimates and the end-to-end physical model."""
+
+import pytest
+
+from repro.core.sparse_hamming import SparseHammingGraph
+from repro.physical.model import NoCPhysicalModel
+from repro.topologies.flattened_butterfly import FlattenedButterflyTopology
+from repro.topologies.mesh import MeshTopology
+from repro.topologies.ring import RingTopology
+from repro.topologies.torus import TorusTopology
+from repro.utils.validation import ValidationError
+
+
+class TestAreaEstimate:
+    def test_total_area_at_least_logic_area(self, small_params):
+        result = NoCPhysicalModel(small_params).evaluate(MeshTopology(4, 4))
+        assert result.area.total_area_mm2 >= result.area.logic_only_area_mm2
+        assert 0.0 <= result.area.area_overhead < 1.0
+
+    def test_overhead_definition(self, small_params):
+        result = NoCPhysicalModel(small_params).evaluate(TorusTopology(4, 4))
+        area = result.area
+        assert area.area_overhead == pytest.approx(
+            (area.total_area_mm2 - area.logic_only_area_mm2) / area.total_area_mm2
+        )
+        assert area.noc_area_mm2 == pytest.approx(
+            area.total_area_mm2 - area.logic_only_area_mm2
+        )
+
+    def test_denser_topology_has_larger_overhead(self, small_params):
+        model = NoCPhysicalModel(small_params)
+        mesh = model.evaluate(MeshTopology(4, 4))
+        butterfly = model.evaluate(FlattenedButterflyTopology(4, 4))
+        assert butterfly.area_overhead > mesh.area_overhead
+
+    def test_total_cells_positive(self, small_params):
+        result = NoCPhysicalModel(small_params).evaluate(MeshTopology(4, 4))
+        assert result.area.total_cells > 0
+        assert result.unit_cells.logic_cells > 0
+
+
+class TestPowerEstimate:
+    def test_noc_power_is_total_minus_logic(self, small_params):
+        result = NoCPhysicalModel(small_params).evaluate(TorusTopology(4, 4))
+        power = result.power
+        assert power.noc_power_w == pytest.approx(
+            power.total_power_w - power.logic_only_power_w
+        )
+        assert power.noc_power_w >= 0
+
+    def test_power_grows_with_link_count(self, small_params):
+        model = NoCPhysicalModel(small_params)
+        mesh = model.evaluate(MeshTopology(4, 4))
+        butterfly = model.evaluate(FlattenedButterflyTopology(4, 4))
+        assert butterfly.noc_power_w > mesh.noc_power_w
+
+    def test_wire_cells_counted(self, small_params):
+        result = NoCPhysicalModel(small_params).evaluate(
+            SparseHammingGraph(4, 4, s_r={2}, s_c={2})
+        )
+        assert result.power.horizontal_cells > 0
+        assert result.power.vertical_cells > 0
+
+
+class TestLinkLatency:
+    def test_every_link_has_latency_of_at_least_one_cycle(self, small_params):
+        result = NoCPhysicalModel(small_params).evaluate(TorusTopology(4, 4))
+        assert set(result.link_latencies) == set(result.topology.links)
+        assert all(latency >= 1 for latency in result.link_latencies.values())
+
+    def test_adjacent_links_are_single_cycle(self, small_params):
+        result = NoCPhysicalModel(small_params).evaluate(MeshTopology(4, 4))
+        assert all(latency == 1 for latency in result.link_latencies.values())
+
+    def test_long_links_take_more_cycles_at_high_frequency(self, small_params):
+        fast = small_params.scaled(frequency_hz=3.0e9, num_tiles=64, name="fast-8x8")
+        result = NoCPhysicalModel(fast).evaluate(TorusTopology(8, 8))
+        assert result.max_link_latency() > 1
+
+    def test_average_and_max_latency_consistent(self, small_params):
+        result = NoCPhysicalModel(small_params).evaluate(TorusTopology(4, 4))
+        assert 1 <= result.average_link_latency() <= result.max_link_latency()
+
+
+class TestNoCPhysicalModel:
+    def test_rejects_mismatched_tile_count(self, small_params):
+        with pytest.raises(ValidationError):
+            NoCPhysicalModel(small_params).evaluate(MeshTopology(8, 8))
+
+    def test_model_is_callable(self, small_params):
+        model = NoCPhysicalModel(small_params)
+        result = model(MeshTopology(4, 4))
+        assert result.topology.name == "2D Mesh"
+
+    def test_result_exposes_intermediate_artifacts(self, small_params):
+        result = NoCPhysicalModel(small_params).evaluate(RingTopology(4, 4))
+        assert result.tile_geometry.router_ports >= 3
+        assert result.floorplan.topology is result.topology
+        assert result.global_routing.rows == 4
+        assert result.unit_cells.chip_width_mm > 0
+        assert result.detailed_routing.collisions == 0
+
+    def test_deterministic(self, small_params):
+        model = NoCPhysicalModel(small_params)
+        a = model.evaluate(SparseHammingGraph(4, 4, s_r={2}, s_c={3}))
+        b = model.evaluate(SparseHammingGraph(4, 4, s_r={2}, s_c={3}))
+        assert a.area.total_area_mm2 == b.area.total_area_mm2
+        assert a.noc_power_w == b.noc_power_w
+        assert a.link_latencies == b.link_latencies
+
+    def test_cost_ordering_matches_paper(self, small_params):
+        # Figure 6 cost ordering: ring/mesh cheapest, flattened butterfly most
+        # expensive, sparse Hamming graph tunable in between.
+        model = NoCPhysicalModel(small_params)
+        ring = model.evaluate(RingTopology(4, 4))
+        mesh = model.evaluate(MeshTopology(4, 4))
+        shg = model.evaluate(SparseHammingGraph(4, 4, s_r={2}, s_c={2}))
+        butterfly = model.evaluate(FlattenedButterflyTopology(4, 4))
+        assert mesh.area_overhead <= shg.area_overhead <= butterfly.area_overhead
+        assert ring.area_overhead <= butterfly.area_overhead

@@ -1,0 +1,107 @@
+"""Unit tests for topology property analysis and the topology registry."""
+
+import pytest
+
+from repro.topologies import analyze_topology, make_topology
+from repro.topologies.properties import bisection_link_count
+from repro.topologies.registry import (
+    DISPLAY_NAMES,
+    PAPER_COMPARISON_ORDER,
+    applicable_topologies,
+    available_topologies,
+    is_applicable,
+)
+from repro.topologies.mesh import MeshTopology
+from repro.topologies.torus import TorusTopology
+from repro.topologies.folded_torus import FoldedTorusTopology
+from repro.topologies.flattened_butterfly import FlattenedButterflyTopology
+from repro.utils.validation import ValidationError
+
+
+class TestAnalyzeTopology:
+    def test_mesh_properties(self):
+        props = analyze_topology(MeshTopology(4, 4))
+        assert props.router_radix == 5
+        assert props.diameter == 6
+        assert props.fraction_aligned_links == 1.0
+        assert props.fraction_short_links == 1.0
+        assert props.max_link_length == 1
+        assert props.minimal_paths_present
+        assert props.minimal_paths_used
+
+    def test_torus_minimal_paths_present_but_not_used(self):
+        # Table I: torus has minimal paths present but hop-minimal routing does
+        # not use them (wrap-around links shorten hop counts, not wire length).
+        props = analyze_topology(TorusTopology(6, 6))
+        assert props.minimal_paths_present
+        assert not props.minimal_paths_used
+
+    def test_folded_torus_minimal_paths_absent(self):
+        props = analyze_topology(FoldedTorusTopology(6, 6))
+        assert not props.minimal_paths_present
+        assert not props.minimal_paths_used
+
+    def test_flattened_butterfly_properties(self):
+        props = analyze_topology(FlattenedButterflyTopology(4, 4))
+        assert props.diameter == 2
+        assert props.router_radix == 7
+        assert props.minimal_paths_present
+        assert props.minimal_paths_used
+
+    def test_average_link_length_mesh_is_one(self):
+        props = analyze_topology(MeshTopology(3, 3))
+        assert props.average_link_length == 1.0
+
+    def test_bisection_counts_vertical_cut(self):
+        assert bisection_link_count(MeshTopology(4, 4)) == 4
+        assert bisection_link_count(TorusTopology(4, 4)) == 8
+
+    def test_bisection_single_column_uses_horizontal_cut(self):
+        topo = MeshTopology(4, 1)
+        assert bisection_link_count(topo) == 1
+
+
+class TestRegistry:
+    def test_available_topologies_contains_all_paper_topologies(self):
+        names = available_topologies()
+        for key in PAPER_COMPARISON_ORDER:
+            assert key in names
+
+    def test_display_names_cover_all_factories(self):
+        assert set(DISPLAY_NAMES) == set(available_topologies())
+
+    def test_applicability_rules(self):
+        assert is_applicable("mesh", 8, 8)
+        assert is_applicable("hypercube", 8, 8)
+        assert not is_applicable("hypercube", 6, 6)
+        assert is_applicable("slimnoc", 8, 16)
+        assert not is_applicable("slimnoc", 8, 8)
+        assert not is_applicable("ring", 1, 2)
+
+    def test_unknown_topology_rejected(self):
+        with pytest.raises(ValidationError):
+            is_applicable("banana", 4, 4)
+        with pytest.raises(ValidationError):
+            make_topology("banana", 4, 4)
+
+    def test_applicable_topologies_scenario_a_excludes_slimnoc(self):
+        names = applicable_topologies(8, 8)
+        assert "slimnoc" not in names
+        assert "flattened_butterfly" in names
+
+    def test_applicable_topologies_scenario_c_includes_slimnoc(self):
+        names = applicable_topologies(8, 16)
+        assert "slimnoc" in names
+
+    def test_make_topology_forwards_kwargs(self):
+        shg = make_topology("sparse_hamming", 4, 6, s_r={3}, s_c={2})
+        assert shg.name == "Sparse Hamming Graph"
+        assert shg.num_tiles == 24
+
+    def test_make_topology_rejects_inapplicable(self):
+        with pytest.raises(ValidationError):
+            make_topology("slimnoc", 8, 8)
+
+    def test_make_topology_endpoints_per_tile(self):
+        topo = make_topology("mesh", 4, 4, endpoints_per_tile=2)
+        assert topo.router_radix() == 6

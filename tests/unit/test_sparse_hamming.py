@@ -1,0 +1,154 @@
+"""Unit tests for the sparse Hamming graph (the paper's primary contribution)."""
+
+import pytest
+
+from repro.core.sparse_hamming import SparseHammingGraph, sparse_hamming_links, validate_skip_sets
+from repro.topologies.flattened_butterfly import FlattenedButterflyTopology
+from repro.topologies.mesh import MeshTopology
+from repro.utils.validation import ValidationError
+
+
+class TestParameterValidation:
+    def test_valid_sets_normalised(self):
+        s_r, s_c = validate_skip_sets(8, 8, [2, 4, 4], (5,))
+        assert s_r == frozenset({2, 4})
+        assert s_c == frozenset({5})
+
+    def test_rejects_skip_of_one(self):
+        with pytest.raises(ValidationError):
+            validate_skip_sets(8, 8, [1], [])
+
+    def test_rejects_skip_equal_to_dimension(self):
+        with pytest.raises(ValidationError):
+            validate_skip_sets(8, 8, [8], [])
+        with pytest.raises(ValidationError):
+            validate_skip_sets(8, 8, [], [8])
+
+    def test_s_r_bounded_by_columns_s_c_by_rows(self):
+        # On a 4x8 grid, S_R may contain up to 7, S_C only up to 3.
+        validate_skip_sets(4, 8, [7], [3])
+        with pytest.raises(ValidationError):
+            validate_skip_sets(4, 8, [], [4])
+
+    def test_rejects_non_integer_elements(self):
+        with pytest.raises(ValidationError):
+            validate_skip_sets(8, 8, [2.5], [])
+
+
+class TestConstruction:
+    def test_empty_sets_give_mesh(self):
+        shg = SparseHammingGraph(5, 6)
+        mesh = MeshTopology(5, 6)
+        assert set(shg.links) == set(mesh.links)
+        assert shg.is_mesh()
+
+    def test_full_sets_give_flattened_butterfly(self):
+        rows, cols = 4, 5
+        shg = SparseHammingGraph(rows, cols, s_r=range(2, cols), s_c=range(2, rows))
+        butterfly = FlattenedButterflyTopology(rows, cols)
+        assert set(shg.links) == set(butterfly.links)
+        assert shg.is_flattened_butterfly()
+
+    def test_link_count_formula(self):
+        # Adding skip x to S_R adds R * (C - x) links; analogous for columns.
+        rows, cols = 6, 8
+        mesh_links = rows * (cols - 1) + cols * (rows - 1)
+        shg = SparseHammingGraph(rows, cols, s_r={3}, s_c={2, 4})
+        expected = mesh_links + rows * (cols - 3) + cols * (rows - 2) + cols * (rows - 4)
+        assert shg.num_links == expected
+
+    def test_all_links_aligned(self):
+        shg = SparseHammingGraph(6, 6, s_r={2, 5}, s_c={3})
+        assert all(shg.link_is_aligned(link) for link in shg.links)
+
+    def test_construction_matches_paper_description(self):
+        # For each row r, each x in S_R and each i <= C - x there is a link
+        # T(r, i) <-> T(r, i + x)  (1-based in the paper, 0-based here).
+        rows, cols, x = 3, 7, 4
+        shg = SparseHammingGraph(rows, cols, s_r={x})
+        for r in range(rows):
+            for i in range(cols - x):
+                assert shg.has_link(r * cols + i, r * cols + i + x)
+
+    def test_figure6a_configuration(self):
+        shg = SparseHammingGraph(8, 8, s_r={4}, s_c={2, 5})
+        assert shg.s_r == frozenset({4})
+        assert shg.s_c == frozenset({2, 5})
+        assert shg.is_connected()
+        assert "S_R={4}" in shg.describe_configuration()
+
+    def test_subgraph_of_hamming_graph(self):
+        # Every link stays within one row or one column (definition of the 2D
+        # Hamming graph, the graph product of two cliques).
+        shg = SparseHammingGraph(5, 7, s_r={2, 3, 6}, s_c={2, 4})
+        for link in shg.links:
+            a, b = shg.coord(link.src), shg.coord(link.dst)
+            assert a.row == b.row or a.col == b.col
+
+
+class TestDerivedConfigurations:
+    def test_add_and_remove_row_skip(self):
+        shg = SparseHammingGraph(6, 6)
+        grown = shg.add_row_skip(3)
+        assert grown.s_r == frozenset({3})
+        assert grown.num_links > shg.num_links
+        back = grown.remove_row_skip(3)
+        assert back.is_mesh()
+
+    def test_add_and_remove_col_skip(self):
+        shg = SparseHammingGraph(6, 6, s_c={2})
+        assert shg.remove_col_skip(2).is_mesh()
+        assert shg.add_col_skip(4).s_c == frozenset({2, 4})
+
+    def test_with_parameters_preserves_grid_and_endpoints(self):
+        shg = SparseHammingGraph(4, 6, endpoints_per_tile=2)
+        other = shg.with_parameters({3}, {2})
+        assert other.rows == 4 and other.cols == 6
+        assert other.endpoints_per_tile == 2
+
+
+class TestExpectedProperties:
+    @pytest.mark.parametrize(
+        "rows,cols,s_r,s_c",
+        [
+            (4, 4, (), ()),
+            (8, 8, (4,), (2, 5)),
+            (8, 8, (2, 4), (2, 4)),
+            (5, 9, (3, 7), (2,)),
+            (8, 16, (3,), (2, 5)),
+        ],
+    )
+    def test_expected_diameter_matches_bfs(self, rows, cols, s_r, s_c):
+        shg = SparseHammingGraph(rows, cols, s_r=s_r, s_c=s_c)
+        assert shg.expected_diameter() == shg.diameter()
+
+    @pytest.mark.parametrize(
+        "rows,cols,s_r,s_c",
+        [
+            (4, 4, (), ()),
+            (8, 8, (4,), (2, 5)),
+            (6, 6, (2, 3, 4, 5), (2, 3, 4, 5)),
+            (5, 9, (3, 7), (2,)),
+        ],
+    )
+    def test_expected_radix_matches_graph(self, rows, cols, s_r, s_c):
+        shg = SparseHammingGraph(rows, cols, s_r=s_r, s_c=s_c)
+        assert shg.expected_radix() == shg.router_radix()
+
+    def test_radix_range_of_table1(self):
+        # Table I: radix in [4, R+C-2] (plus endpoint port).
+        mesh_like = SparseHammingGraph(8, 8)
+        dense = SparseHammingGraph(8, 8, s_r=range(2, 8), s_c=range(2, 8))
+        assert mesh_like.router_radix() == 4 + 1
+        assert dense.router_radix() == 8 + 8 - 2 + 1
+
+    def test_diameter_range_of_table1(self):
+        mesh_like = SparseHammingGraph(8, 8)
+        dense = SparseHammingGraph(8, 8, s_r=range(2, 8), s_c=range(2, 8))
+        assert mesh_like.diameter() == 8 + 8 - 2
+        assert dense.diameter() == 2
+
+    def test_adding_links_never_hurts_diameter(self):
+        base = SparseHammingGraph(8, 8, s_r={4})
+        denser = base.add_row_skip(2)
+        assert denser.diameter() <= base.diameter()

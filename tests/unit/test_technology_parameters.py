@@ -1,0 +1,136 @@
+"""Unit tests for technology models and architectural parameters (Table II)."""
+
+import pytest
+
+from repro.physical.parameters import (
+    AXI4_PROTOCOL,
+    LIGHTWEIGHT_PROTOCOL,
+    ArchitecturalParameters,
+    TransportProtocolModel,
+)
+from repro.physical.technology import TECH_22NM, TECH_GF22FDX, TECHNOLOGY_PRESETS, TechnologyModel
+from repro.utils.validation import ValidationError
+
+
+class TestTechnologyModel:
+    def test_presets_registered(self):
+        assert TECH_22NM.name in TECHNOLOGY_PRESETS
+        assert TECH_GF22FDX.name in TECHNOLOGY_PRESETS
+
+    def test_ge_to_mm2_roundtrip(self):
+        area = TECH_22NM.ge_to_mm2(1e6)
+        assert TECH_22NM.mm2_to_ge(area) == pytest.approx(1e6)
+
+    def test_ge_to_mm2_scale(self):
+        # 1 MGE at 0.20 um^2/GE = 0.2 mm^2.
+        assert TECH_22NM.ge_to_mm2(1e6) == pytest.approx(0.20, rel=1e-6)
+
+    def test_wire_functions_follow_paper_formula(self):
+        # The paper's recipe: x wires need x / sum(1/pitch) nanometres.
+        tech = TechnologyModel(
+            name="paper-example",
+            ge_area_um2=0.2,
+            horizontal_wire_pitches_nm=(40.0, 50.0, 60.0),
+            vertical_wire_pitches_nm=(45.0, 55.0),
+            logic_power_density_w_per_mm2=0.4,
+            wire_power_density_w_per_mm2=0.2,
+            wire_delay_s_per_mm=165e-12,
+        )
+        x = 1000
+        expected_h = x * 1e-6 / (1 / 40 + 1 / 50 + 1 / 60)
+        expected_v = x * 1e-6 / (1 / 45 + 1 / 55)
+        assert tech.h_wires_to_mm(x) == pytest.approx(expected_h)
+        assert tech.v_wires_to_mm(x) == pytest.approx(expected_v)
+
+    def test_wire_functions_are_linear(self):
+        assert TECH_22NM.h_wires_to_mm(200) == pytest.approx(2 * TECH_22NM.h_wires_to_mm(100))
+
+    def test_power_functions(self):
+        assert TECH_22NM.logic_power_w(2.0) == pytest.approx(2.0 * TECH_22NM.logic_power_density_w_per_mm2)
+        assert TECH_22NM.wire_power_w(2.0) == pytest.approx(2.0 * TECH_22NM.wire_power_density_w_per_mm2)
+
+    def test_wire_delay(self):
+        assert TECH_22NM.wire_delay_s(10.0) == pytest.approx(10.0 * TECH_22NM.wire_delay_s_per_mm)
+
+    def test_rejects_missing_pitches(self):
+        with pytest.raises(ValidationError):
+            TechnologyModel(
+                name="bad",
+                ge_area_um2=0.2,
+                horizontal_wire_pitches_nm=(),
+                vertical_wire_pitches_nm=(45.0,),
+                logic_power_density_w_per_mm2=0.4,
+                wire_power_density_w_per_mm2=0.2,
+                wire_delay_s_per_mm=165e-12,
+            )
+
+    def test_rejects_negative_values(self):
+        with pytest.raises(ValidationError):
+            TECH_22NM.ge_to_mm2(-1)
+        with pytest.raises(ValidationError):
+            TECH_22NM.h_wires_to_mm(-1)
+
+
+class TestTransportProtocolModel:
+    def test_bw_to_wires_rounds_up(self):
+        assert AXI4_PROTOCOL.bw_to_wires(512) == int(512 * AXI4_PROTOCOL.wires_per_payload_bit)
+        assert LIGHTWEIGHT_PROTOCOL.bw_to_wires(10) >= 10
+
+    def test_router_area_grows_quadratically_with_radix(self):
+        # Design principle 1: router area scales ~quadratically with the radix.
+        small = AXI4_PROTOCOL.router_area_ge(5, 5, 512)
+        large = AXI4_PROTOCOL.router_area_ge(15, 15, 512)
+        assert large > 3 * small
+
+    def test_router_area_grows_with_bandwidth(self):
+        narrow = AXI4_PROTOCOL.router_area_ge(5, 5, 128)
+        wide = AXI4_PROTOCOL.router_area_ge(5, 5, 512)
+        assert wide > 2 * narrow
+
+    def test_router_area_rejects_zero_ports(self):
+        with pytest.raises(ValidationError):
+            AXI4_PROTOCOL.router_area_ge(0, 5, 512)
+
+    def test_custom_protocol_validation(self):
+        with pytest.raises(ValidationError):
+            TransportProtocolModel(
+                name="bad",
+                wires_per_payload_bit=1.0,
+                crossbar_ge_per_bit=1.0,
+                buffer_ge_per_bit=1.0,
+                buffer_flits_per_port=0,
+                num_virtual_channels=1,
+                control_ge_per_port_vc=1.0,
+            )
+
+
+class TestArchitecturalParameters:
+    def test_table2_functions_are_exposed(self, small_params):
+        assert small_params.f_ge_to_mm2(1e6) > 0
+        assert small_params.f_h_wires_to_mm(100) > 0
+        assert small_params.f_v_wires_to_mm(100) > 0
+        assert small_params.f_l_mm2_to_w(1.0) > 0
+        assert small_params.f_w_mm2_to_w(1.0) > 0
+        assert small_params.f_mm_to_s(1.0) > 0
+        assert small_params.f_bw_to_wires() > 0
+        assert small_params.f_ar(5, 5) > 0
+
+    def test_clock_period(self, small_params):
+        assert small_params.clock_period_s == pytest.approx(1e-9)
+
+    def test_chip_logic_area(self, small_params):
+        expected = small_params.f_ge_to_mm2(16 * 5e6)
+        assert small_params.chip_logic_area_mm2() == pytest.approx(expected)
+
+    def test_scaled_copy(self, small_params):
+        doubled = small_params.scaled(endpoint_area_ge=10e6)
+        assert doubled.endpoint_area_ge == 10e6
+        assert doubled.num_tiles == small_params.num_tiles
+
+    def test_rejects_invalid_values(self):
+        with pytest.raises(ValidationError):
+            ArchitecturalParameters(num_tiles=1, endpoint_area_ge=1e6)
+        with pytest.raises(ValidationError):
+            ArchitecturalParameters(num_tiles=16, endpoint_area_ge=-1)
+        with pytest.raises(ValidationError):
+            ArchitecturalParameters(num_tiles=16, endpoint_area_ge=1e6, endpoints_per_tile=0)

@@ -1,0 +1,161 @@
+"""Unit tests for the Topology base class and Link."""
+
+import pytest
+
+from repro.topologies.base import Link, TileCoord, Topology, grid_dimensions_for
+from repro.utils.validation import ValidationError
+
+
+class TestLink:
+    def test_canonical_orders_endpoints(self):
+        assert Link.canonical(5, 2) == Link(2, 5)
+
+    def test_rejects_self_link(self):
+        with pytest.raises(ValidationError):
+            Link.canonical(3, 3)
+
+    def test_rejects_unordered_construction(self):
+        with pytest.raises(ValidationError):
+            Link(5, 2)
+
+    def test_other_endpoint(self):
+        link = Link(2, 5)
+        assert link.other(2) == 5
+        assert link.other(5) == 2
+
+    def test_other_rejects_non_endpoint(self):
+        with pytest.raises(ValidationError):
+            Link(2, 5).other(3)
+
+    def test_links_are_hashable_and_ordered(self):
+        links = {Link(0, 1), Link(0, 1), Link(1, 2)}
+        assert len(links) == 2
+        assert sorted(links) == [Link(0, 1), Link(1, 2)]
+
+
+class TestTopologyConstruction:
+    def test_basic_construction(self):
+        topo = Topology(2, 3, [(0, 1), (1, 2), (3, 4), (4, 5), (0, 3), (1, 4), (2, 5)], "test")
+        assert topo.rows == 2
+        assert topo.cols == 3
+        assert topo.num_tiles == 6
+        assert topo.num_links == 7
+
+    def test_duplicate_links_collapse(self):
+        topo = Topology(1, 2, [(0, 1), (1, 0), Link(0, 1)], "dup")
+        assert topo.num_links == 1
+
+    def test_rejects_out_of_range_link(self):
+        with pytest.raises(ValidationError):
+            Topology(2, 2, [(0, 4)], "bad")
+
+    def test_rejects_empty_grid(self):
+        with pytest.raises(ValidationError):
+            Topology(0, 3, [], "bad")
+
+    def test_rejects_single_tile(self):
+        with pytest.raises(ValidationError):
+            Topology(1, 1, [], "bad")
+
+    def test_rejects_bad_endpoints_per_tile(self):
+        with pytest.raises(ValidationError):
+            Topology(2, 2, [(0, 1)], "bad", endpoints_per_tile=0)
+
+
+class TestTopologyIndexing:
+    @pytest.fixture
+    def topo(self) -> Topology:
+        return Topology(3, 4, [(i, i + 1) for i in range(11)], "line")
+
+    def test_tile_index_row_major(self, topo):
+        assert topo.tile_index(0, 0) == 0
+        assert topo.tile_index(0, 3) == 3
+        assert topo.tile_index(2, 3) == 11
+
+    def test_coord_inverse_of_tile_index(self, topo):
+        for tile in topo.tiles():
+            coord = topo.coord(tile)
+            assert topo.tile_index(coord.row, coord.col) == tile
+
+    def test_coord_returns_tilecoord(self, topo):
+        assert topo.coord(5) == TileCoord(1, 1)
+
+    def test_tile_index_out_of_range(self, topo):
+        with pytest.raises(ValidationError):
+            topo.tile_index(3, 0)
+        with pytest.raises(ValidationError):
+            topo.coord(12)
+
+
+class TestTopologyGraph:
+    @pytest.fixture
+    def square(self) -> Topology:
+        # 2x2 grid connected as a cycle 0-1-3-2-0.
+        return Topology(2, 2, [(0, 1), (1, 3), (2, 3), (0, 2)], "square")
+
+    def test_neighbors(self, square):
+        assert square.neighbors(0) == [1, 2]
+        assert square.neighbors(3) == [1, 2]
+
+    def test_degree_and_radix(self, square):
+        assert square.degree(0) == 2
+        assert square.router_radix(0) == 3
+        assert square.router_radix() == 3
+
+    def test_radix_with_more_endpoints(self):
+        topo = Topology(2, 2, [(0, 1), (1, 3), (2, 3), (0, 2)], "sq", endpoints_per_tile=2)
+        assert topo.router_radix() == 4
+
+    def test_has_link(self, square):
+        assert square.has_link(0, 1)
+        assert square.has_link(1, 0)
+        assert not square.has_link(0, 3)
+        assert not square.has_link(2, 2)
+
+    def test_diameter_and_average_hops(self, square):
+        assert square.diameter() == 2
+        assert square.average_hop_count() == pytest.approx(4 / 3)
+
+    def test_disconnected_topology_detected(self):
+        topo = Topology(2, 2, [(0, 1)], "disconnected")
+        assert not topo.is_connected()
+        with pytest.raises(ValidationError):
+            topo.validate_connected()
+        with pytest.raises(ValidationError):
+            topo.diameter()
+
+    def test_link_alignment_and_length(self, square):
+        assert square.link_is_aligned(Link(0, 1))
+        assert square.link_grid_length(Link(0, 1)) == 1
+        diag = Topology(2, 2, [(0, 3), (0, 1), (1, 3), (2, 3)], "diag")
+        assert not diag.link_is_aligned(Link(0, 3))
+        assert diag.link_grid_length(Link(0, 3)) == 2
+
+    def test_equality_and_hash(self):
+        a = Topology(2, 2, [(0, 1), (1, 3), (2, 3), (0, 2)], "a")
+        b = Topology(2, 2, [(0, 2), (2, 3), (1, 3), (0, 1)], "b")
+        assert a == b  # names do not participate in equality
+        assert hash(a) == hash(b)
+
+    def test_with_endpoints_per_tile(self, square):
+        doubled = square.with_endpoints_per_tile(2)
+        assert doubled.endpoints_per_tile == 2
+        assert doubled.num_links == square.num_links
+
+    def test_repr_mentions_grid(self, square):
+        assert "2x2" in repr(square)
+
+
+class TestGridDimensionsFor:
+    def test_perfect_square(self):
+        assert grid_dimensions_for(64) == (8, 8)
+
+    def test_rectangular(self):
+        assert grid_dimensions_for(128) == (8, 16)
+
+    def test_prime_count_degenerates_to_row(self):
+        assert grid_dimensions_for(13) == (1, 13)
+
+    def test_rejects_too_small(self):
+        with pytest.raises(ValidationError):
+            grid_dimensions_for(1)

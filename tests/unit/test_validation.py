@@ -1,0 +1,84 @@
+"""Unit tests for repro.utils.validation."""
+
+import pytest
+
+from repro.utils.validation import (
+    ValidationError,
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_type,
+)
+
+
+class TestCheckType:
+    def test_accepts_matching_type(self):
+        check_type("x", 3, int)
+        check_type("x", "hello", str)
+        check_type("x", 2.5, (int, float))
+
+    def test_rejects_wrong_type(self):
+        with pytest.raises(ValidationError, match="x must be int"):
+            check_type("x", "3", int)
+
+    def test_rejects_bool_where_int_expected(self):
+        with pytest.raises(ValidationError, match="bool"):
+            check_type("count", True, int)
+
+    def test_rejects_bool_where_number_expected(self):
+        with pytest.raises(ValidationError):
+            check_type("rate", False, (int, float))
+
+    def test_error_message_contains_value(self):
+        with pytest.raises(ValidationError, match="'abc'"):
+            check_type("name_of_param", "abc", int)
+
+    def test_validation_error_is_value_error(self):
+        assert issubclass(ValidationError, ValueError)
+
+
+class TestCheckPositive:
+    def test_accepts_positive_int_and_float(self):
+        check_positive("x", 1)
+        check_positive("x", 0.001)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValidationError):
+            check_positive("x", 0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            check_positive("x", -5)
+
+    def test_rejects_non_numeric(self):
+        with pytest.raises(ValidationError):
+            check_positive("x", "1")
+
+
+class TestCheckNonNegative:
+    def test_accepts_zero(self):
+        check_non_negative("x", 0)
+
+    def test_accepts_positive(self):
+        check_non_negative("x", 17.5)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            check_non_negative("x", -0.001)
+
+
+class TestCheckInRange:
+    def test_accepts_bounds_inclusive(self):
+        check_in_range("x", 0.0, 0.0, 1.0)
+        check_in_range("x", 1.0, 0.0, 1.0)
+        check_in_range("x", 0.5, 0.0, 1.0)
+
+    def test_rejects_outside_range(self):
+        with pytest.raises(ValidationError):
+            check_in_range("x", 1.01, 0.0, 1.0)
+        with pytest.raises(ValidationError):
+            check_in_range("x", -0.01, 0.0, 1.0)
+
+    def test_rejects_non_numeric(self):
+        with pytest.raises(ValidationError):
+            check_in_range("x", None, 0.0, 1.0)
