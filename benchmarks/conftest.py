@@ -19,10 +19,10 @@ import os
 import pytest
 
 from repro.arch.knc import KNCScenario
+from repro.experiments.campaign import figure6_campaign
+from repro.experiments.runner import ExperimentRunner, ResultSet
 from repro.simulator.simulation import SimulationConfig
 from repro.toolchain.predict import PredictionToolchain
-from repro.toolchain.results import PredictionResult
-from repro.topologies.registry import applicable_topologies, make_topology
 
 
 def performance_mode() -> str:
@@ -30,37 +30,31 @@ def performance_mode() -> str:
     return "simulation" if os.environ.get("REPRO_BENCH_SIMULATE") == "1" else "analytical"
 
 
+#: Shortened simulation phases shared by all benchmarks (both toolchain modes
+#: read the packet size and pipeline depth from this configuration).
+BENCH_SIM_OVERRIDES = {"warmup_cycles": 300, "measurement_cycles": 500}
+
+
 def scenario_toolchain(scenario: KNCScenario) -> PredictionToolchain:
     """Toolchain for one KNC scenario, honouring ``REPRO_BENCH_SIMULATE``."""
     return PredictionToolchain(
         scenario.parameters(),
         performance_mode=performance_mode(),
-        simulation_config=SimulationConfig(warmup_cycles=300, measurement_cycles=500),
+        simulation_config=SimulationConfig(**BENCH_SIM_OVERRIDES),
     )
 
 
-def evaluate_scenario(scenario: KNCScenario) -> dict[str, PredictionResult]:
-    """Evaluate every applicable topology of one scenario (one Figure 6 panel)."""
-    toolchain = scenario_toolchain(scenario)
-    predictions: dict[str, PredictionResult] = {}
-    for name in applicable_topologies(scenario.rows, scenario.cols):
-        kwargs = {}
-        if name == "sparse_hamming":
-            kwargs = {"s_r": scenario.paper_s_r, "s_c": scenario.paper_s_c}
-        topology = make_topology(
-            name,
-            scenario.rows,
-            scenario.cols,
-            endpoints_per_tile=scenario.cores_per_tile,
-            **kwargs,
-        )
-        predictions[name] = toolchain.predict(topology)
-    return predictions
+def evaluate_scenario(scenario: KNCScenario) -> ResultSet:
+    """Evaluate one Figure 6 panel through the declarative experiment API."""
+    campaign = figure6_campaign(
+        scenario.key, performance_mode=performance_mode(), sim=BENCH_SIM_OVERRIDES
+    )
+    return ExperimentRunner().run(campaign)
 
 
-def figure6_rows(predictions: dict[str, PredictionResult]) -> list[dict[str, float | str]]:
+def figure6_rows(results: ResultSet) -> list[dict[str, float | str]]:
     """Figure-6-style rows (one per topology) for reporting."""
-    return [prediction.as_row() for prediction in predictions.values()]
+    return [prediction.as_row() for prediction in results.predictions]
 
 
 def print_rows(title: str, rows: list[dict[str, float | str]]) -> None:

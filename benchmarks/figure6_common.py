@@ -21,9 +21,8 @@ different simulator); EXPERIMENTS.md records both sides.
 
 from __future__ import annotations
 
-from repro.analysis.pareto import best_within_area_budget, latency_rank
 from repro.arch.knc import scenario
-from repro.toolchain.results import PredictionResult
+from repro.experiments.runner import ResultSet
 
 from conftest import evaluate_scenario, figure6_rows
 
@@ -33,18 +32,19 @@ AREA_BUDGET = 0.40
 LOW_COST_TOPOLOGIES = ("ring", "mesh", "torus", "folded_torus")
 
 
-def run_figure6_benchmark(benchmark, record_rows, key: str) -> dict[str, PredictionResult]:
+def run_figure6_benchmark(benchmark, record_rows, key: str) -> ResultSet:
     """Evaluate scenario ``key`` and assert the Figure 6 claims."""
     target = scenario(key)
-    predictions = benchmark.pedantic(
+    results = benchmark.pedantic(
         evaluate_scenario, args=(target,), rounds=1, iterations=1
     )
     record_rows(
         f"Figure 6{key} — {target.description} "
         f"(SHG: S_R={sorted(target.paper_s_r)}, S_C={sorted(target.paper_s_c)})",
-        figure6_rows(predictions),
+        figure6_rows(results),
     )
 
+    predictions = results.as_mapping()
     shg = predictions["sparse_hamming"]
     butterfly = predictions["flattened_butterfly"]
     mesh = predictions["mesh"]
@@ -71,10 +71,10 @@ def run_figure6_benchmark(benchmark, record_rows, key: str) -> dict[str, Predict
 
     # Within the 40% budget the sparse Hamming graph is at (or very near) the
     # top in throughput and among the lowest-latency feasible topologies.
-    feasible = [p for p in predictions.values() if p.area_overhead <= AREA_BUDGET]
-    best = best_within_area_budget(list(predictions.values()), AREA_BUDGET)
+    feasible = results.filter(lambda r: r.prediction.area_overhead <= AREA_BUDGET)
+    best = results.best_within_area_budget(AREA_BUDGET)
     assert best is not None
     assert shg.saturation_throughput >= 0.90 * best.saturation_throughput
-    assert latency_rank(feasible, shg.topology_name) <= 3
+    assert feasible.latency_rank(shg.topology_name) <= 3
 
-    return predictions
+    return results

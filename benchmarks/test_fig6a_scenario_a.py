@@ -8,6 +8,6 @@ from figure6_common import run_figure6_benchmark
 
 
 def test_figure6a(benchmark, record_rows):
-    predictions = run_figure6_benchmark(benchmark, record_rows, "a")
+    predictions = run_figure6_benchmark(benchmark, record_rows, "a").as_mapping()
     # Scenario a/b have 64 tiles, so SlimNoC is not applicable (Table I ‡).
     assert "slimnoc" not in predictions

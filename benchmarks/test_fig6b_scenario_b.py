@@ -8,7 +8,7 @@ from figure6_common import run_figure6_benchmark
 
 
 def test_figure6b(benchmark, record_rows):
-    predictions = run_figure6_benchmark(benchmark, record_rows, "b")
+    predictions = run_figure6_benchmark(benchmark, record_rows, "b").as_mapping()
     assert "slimnoc" not in predictions
     # Doubling the endpoint area makes the same NoC relatively cheaper: the
     # sparse Hamming graph of scenario b is denser than scenario a's, yet its

@@ -8,7 +8,7 @@ from figure6_common import run_figure6_benchmark
 
 
 def test_figure6c(benchmark, record_rows):
-    predictions = run_figure6_benchmark(benchmark, record_rows, "c")
+    predictions = run_figure6_benchmark(benchmark, record_rows, "c").as_mapping()
     # SlimNoC is applicable for 128 tiles and, like the flattened butterfly,
     # exceeds the area budget by a wide margin (its long non-aligned links are
     # expensive to route).

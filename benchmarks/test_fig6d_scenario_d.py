@@ -8,7 +8,7 @@ from figure6_common import run_figure6_benchmark
 
 
 def test_figure6d(benchmark, record_rows):
-    predictions = run_figure6_benchmark(benchmark, record_rows, "d")
+    predictions = run_figure6_benchmark(benchmark, record_rows, "d").as_mapping()
     assert "slimnoc" in predictions
     # Scaling both the tile count and the tile size keeps the qualitative
     # picture of scenario b: the sparse Hamming graph offers the best

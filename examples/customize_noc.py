@@ -11,7 +11,13 @@ Run with:  python examples/customize_noc.py [scenario]      (default: a)
 
 import sys
 
-from repro import CustomizationGoal, PredictionToolchain, customize_sparse_hamming
+from repro import (
+    CustomizationGoal,
+    ExperimentRunner,
+    ExperimentSpec,
+    PredictionToolchain,
+    customize_sparse_hamming,
+)
 from repro.arch import scenario
 
 
@@ -43,6 +49,18 @@ def main() -> None:
     print(f"  zero-load latency:      {result.prediction.zero_load_latency_cycles:.1f} cycles")
     print(f"  saturation throughput:  {result.prediction.saturation_throughput * 100:.1f}%")
     print(f"  toolchain evaluations:  {result.evaluations}")
+
+    # Cross-check against the configuration the paper reports, expressed as a
+    # declarative experiment spec (scenario specs default to the paper's
+    # S_R/S_C, so the spec body stays empty).
+    paper_spec = ExperimentSpec(
+        topology="sparse_hamming", rows=target.rows, cols=target.cols, scenario=key
+    )
+    paper = ExperimentRunner().run(paper_spec)[0].prediction
+    print()
+    print(f"paper's configuration (spec {paper_spec.spec_id}):")
+    print(f"  area overhead:          {paper.area_overhead * 100:.1f}%")
+    print(f"  saturation throughput:  {paper.saturation_throughput * 100:.1f}%")
 
 
 if __name__ == "__main__":

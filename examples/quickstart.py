@@ -1,20 +1,24 @@
 #!/usr/bin/env python3
 """Quickstart: build a sparse Hamming graph and predict its cost and performance.
 
-This example walks through the paper's core workflow in a few lines:
+This example walks through the paper's core workflow in a few lines, using the
+declarative experiment API:
 
 1. construct a sparse Hamming graph for an 8x8 tile grid (Figure 2),
-2. describe the target architecture with its Table II parameters,
-3. run the prediction toolchain (Figure 3) to obtain area overhead, power,
-   zero-load latency and saturation throughput,
+2. describe each run as a serializable :class:`repro.ExperimentSpec`
+   (topology + Table II architecture + traffic + performance mode),
+3. execute the specs with an :class:`repro.ExperimentRunner` to obtain area
+   overhead, power, zero-load latency and saturation throughput,
 4. compare the chosen configuration against the mesh and flattened butterfly
    endpoints of the design space.
+
+The same specs, dumped with ``spec.to_json()``, can be re-run from the command
+line with ``repro campaign --spec <file>``.
 
 Run with:  python examples/quickstart.py
 """
 
-from repro import ArchitecturalParameters, PredictionToolchain, SparseHammingGraph
-from repro.topologies import FlattenedButterflyTopology, MeshTopology
+from repro import ExperimentRunner, ExperimentSpec, SparseHammingGraph
 from repro.viz import render_sparse_hamming_construction
 
 
@@ -30,26 +34,29 @@ def main() -> None:
     print(f"diameter:      {shg.diameter()} (expected {shg.expected_diameter()})")
     print()
 
-    # Step 2: a KNC-like architecture (64 tiles of 35 MGE, 512 b/cycle, 1.2 GHz).
-    params = ArchitecturalParameters(
-        num_tiles=rows * cols,
-        endpoint_area_ge=35e6,
-        frequency_hz=1.2e9,
-        link_bandwidth_bits=512,
-        name="quickstart",
-    )
+    # Step 2: one spec per topology on a KNC-like architecture (64 tiles of
+    # 35 MGE, 512 b/cycle, 1.2 GHz — the spec defaults).  Each spec is pure
+    # data: JSON-round-trippable with a stable content-hash identity.
+    arch = {"frequency_hz": 1.2e9, "link_bandwidth_bits": 512.0, "name": "quickstart"}
+    specs = [
+        ExperimentSpec(topology="mesh", rows=rows, cols=cols, arch=arch),
+        ExperimentSpec(
+            topology="sparse_hamming",
+            rows=rows,
+            cols=cols,
+            topology_kwargs={"s_r": [4], "s_c": [2, 5]},
+            arch=arch,
+        ),
+        ExperimentSpec(topology="flattened_butterfly", rows=rows, cols=cols, arch=arch),
+    ]
+    print(f"spec identity of the SHG run: {specs[1].spec_id}")
 
-    # Step 3: predict cost and performance (analytical performance mode).
-    toolchain = PredictionToolchain(params)
+    # Step 3: run the specs (analytical performance mode is the default).
+    results = ExperimentRunner().run(specs)
     print(f"{'topology':<24s} {'area ovh':>9s} {'power':>9s} {'latency':>9s} {'sat.thr':>9s}")
-    for topology in (
-        MeshTopology(rows, cols),
-        shg,
-        FlattenedButterflyTopology(rows, cols),
-    ):
-        result = toolchain.predict(topology)
+    for result in results.predictions:
         print(
-            f"{topology.name:<24s} "
+            f"{result.topology_name:<24s} "
             f"{result.area_overhead_percent:8.2f}% "
             f"{result.noc_power_w:8.2f}W "
             f"{result.zero_load_latency_cycles:8.1f}c "

@@ -1,10 +1,11 @@
 #!/usr/bin/env python3
 """Compare all established topologies against the sparse Hamming graph (Figure 6).
 
-For one evaluation scenario this example predicts the four Figure 6 metrics
-(area overhead, power, zero-load latency, saturation throughput) for every
-applicable topology, prints the comparison table, and reports which topology
-wins under the paper's design goal (max throughput within 40% area overhead).
+For one evaluation scenario this example expands the Figure 6 campaign (every
+applicable topology with the paper's sparse-Hamming-graph configuration),
+executes it with the experiment runner, prints the comparison table, and
+reports which topology wins under the paper's design goal (max throughput
+within 40% area overhead).
 
 Run with:  python examples/topology_comparison.py [scenario]      (default: a)
 Pass ``--simulate`` to use the cycle-accurate simulator for the performance
@@ -13,11 +14,7 @@ metrics instead of the fast analytical model (much slower).
 
 import sys
 
-from repro import PredictionToolchain
-from repro.analysis import best_within_area_budget, latency_rank, pareto_front, ParetoPoint
-from repro.arch import scenario
-from repro.simulator import SimulationConfig
-from repro.topologies import applicable_topologies, make_topology
+from repro import ExperimentRunner, figure6_campaign
 
 
 def main() -> None:
@@ -25,28 +22,18 @@ def main() -> None:
     key = args[0] if args else "a"
     use_simulation = "--simulate" in sys.argv
 
-    target = scenario(key)
-    print(f"scenario {target.key}: {target.description}")
-    toolchain = PredictionToolchain(
-        target.parameters(),
+    campaign = figure6_campaign(
+        key,
         performance_mode="simulation" if use_simulation else "analytical",
-        simulation_config=SimulationConfig(warmup_cycles=300, measurement_cycles=500),
+        sim={"warmup_cycles": 300, "measurement_cycles": 500},
     )
-
-    predictions = []
-    for name in applicable_topologies(target.rows, target.cols):
-        kwargs = {}
-        if name == "sparse_hamming":
-            kwargs = {"s_r": target.paper_s_r, "s_c": target.paper_s_c}
-        topology = make_topology(
-            name, target.rows, target.cols, endpoints_per_tile=target.cores_per_tile, **kwargs
-        )
-        predictions.append(toolchain.predict(topology))
+    print(f"campaign {campaign.name!r}: {len(campaign)} experiments")
+    results = ExperimentRunner().run(campaign)
 
     header = f"{'topology':<24s} {'area ovh':>9s} {'power':>9s} {'latency':>9s} {'sat.thr':>9s}"
     print(header)
     print("-" * len(header))
-    for result in predictions:
+    for result in results.predictions:
         print(
             f"{result.topology_name:<24s} "
             f"{result.area_overhead_percent:8.2f}% "
@@ -56,12 +43,12 @@ def main() -> None:
         )
 
     print()
-    best = best_within_area_budget(predictions, max_area_overhead=0.40)
+    best = results.best_within_area_budget(max_area_overhead=0.40)
     if best is not None:
-        rank = latency_rank(predictions, best.topology_name)
+        rank = results.latency_rank(best.topology_name)
         print(f"best within the 40% area budget: {best.topology_name}")
-        print(f"  (latency rank {rank} of {len(predictions)} topologies)")
-    front = pareto_front(ParetoPoint.from_prediction(p) for p in predictions)
+        print(f"  (latency rank {rank} of {len(results)} topologies)")
+    front = results.pareto_front()
     print("Pareto-optimal topologies: " + ", ".join(point.name for point in front))
 
 

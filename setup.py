@@ -1,10 +1,27 @@
-"""Setup shim for environments without PEP 517 build isolation (offline installs).
+"""Packaging for the sparse-Hamming-graph NoC reproduction.
 
-The project is fully described by ``pyproject.toml``; this file only exists so
-that ``pip install -e . --no-build-isolation --no-use-pep517`` works on
-machines without network access to fetch build backends.
+Metadata lives here (rather than in a pyproject.toml) so that
+``pip install -e . --no-build-isolation`` works on machines without network
+access to fetch build backends.  The ``repro`` console script is the
+command-line front end of :mod:`repro.experiments`.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-sparse-hamming-noc",
+    version="1.1.0",
+    description=(
+        "Reproduction of 'Sparse Hamming Graph: A Customizable Network-on-Chip "
+        "Topology' with a declarative experiment API"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=["numpy", "networkx"],
+    entry_points={
+        "console_scripts": [
+            "repro=repro.experiments.cli:main",
+        ]
+    },
+)

@@ -9,12 +9,15 @@ The library is organised as:
 * :mod:`repro.physical` — the area/power/link-latency model (approximate
   floorplanning and link routing);
 * :mod:`repro.simulator` — the cycle-accurate VC-router simulator (BookSim2
-  substitute);
+  substitute) and the traffic-pattern registry;
 * :mod:`repro.toolchain` — the end-to-end prediction toolchain;
 * :mod:`repro.arch` — the KNC-like evaluation scenarios and the MemPool
   validation target;
 * :mod:`repro.analysis` — Table I compliance, Pareto analysis, design-space
   sweeps;
+* :mod:`repro.experiments` — the declarative experiment API: serializable
+  :class:`ExperimentSpec`, :class:`Campaign` grids, the memoizing (optionally
+  process-parallel) :class:`ExperimentRunner`, and the ``repro`` CLI;
 * :mod:`repro.viz` — text rendering of topologies and floorplans.
 """
 
@@ -24,12 +27,21 @@ from repro.core import (
     SparseHammingGraph,
     customize_sparse_hamming,
 )
+from repro.experiments import (
+    Campaign,
+    ExperimentResult,
+    ExperimentRunner,
+    ExperimentSpec,
+    ResultSet,
+    figure6_campaign,
+    run_campaign,
+)
 from repro.physical import ArchitecturalParameters, NoCPhysicalModel
 from repro.simulator import SimulationConfig, Simulator
 from repro.toolchain import PredictionResult, PredictionToolchain, predict
 from repro.topologies import Topology, make_topology
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "SparseHammingGraph",
@@ -45,5 +57,12 @@ __all__ = [
     "predict",
     "Topology",
     "make_topology",
+    "ExperimentSpec",
+    "Campaign",
+    "figure6_campaign",
+    "ExperimentRunner",
+    "ExperimentResult",
+    "ResultSet",
+    "run_campaign",
     "__version__",
 ]

@@ -9,6 +9,9 @@ from repro.analysis.pareto import (
 )
 from repro.analysis.design_space import (
     DesignSpaceSample,
+    design_space_campaign,
+    select_configurations,
+    sweep_design_space,
     sweep_sparse_hamming_configurations,
     trade_off_curve,
 )
@@ -22,6 +25,9 @@ __all__ = [
     "best_within_area_budget",
     "latency_rank",
     "DesignSpaceSample",
+    "design_space_campaign",
+    "select_configurations",
+    "sweep_design_space",
     "sweep_sparse_hamming_configurations",
     "trade_off_curve",
 ]

@@ -5,18 +5,29 @@ configuration space spanning the range between the 2D mesh and the flattened
 butterfly.  This module sweeps (exhaustively for small grids, sampled for
 large ones) over configurations and records the cost/performance trade-off of
 each — the data behind the customization strategy and the ablation benchmarks.
+
+Two execution paths are provided: the legacy predictor-callable interface
+(:func:`sweep_sparse_hamming_configurations`) and the declarative
+experiment-API path (:func:`design_space_campaign` /
+:func:`sweep_design_space`), which routes every configuration through
+:class:`~repro.experiments.ExperimentRunner` and therefore inherits on-disk
+memoization and process-parallel execution for free.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterable
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Mapping
 
 from repro.core.config_space import enumerate_configurations, random_configuration
 from repro.core.sparse_hamming import SparseHammingGraph
 from repro.toolchain.results import PredictionResult
 from repro.utils.rng import make_rng
 from repro.utils.validation import ValidationError, check_type
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid a circular import
+    from repro.experiments.campaign import Campaign
+    from repro.experiments.runner import ExperimentRunner
 
 
 @dataclass(frozen=True)
@@ -42,6 +53,43 @@ class DesignSpaceSample:
 Predictor = Callable[[SparseHammingGraph], PredictionResult]
 
 
+def select_configurations(
+    rows: int,
+    cols: int,
+    max_configurations: int | None = None,
+    seed: int = 0,
+) -> list[tuple[frozenset[int], frozenset[int]]]:
+    """Choose the ``(S_R, S_C)`` configurations a design-space sweep evaluates.
+
+    Exhaustive when the space fits within ``max_configurations`` (or no limit
+    is given); otherwise a uniform random sample that always includes the mesh
+    and flattened-butterfly endpoints.
+    """
+    check_type("rows", rows, int)
+    check_type("cols", cols, int)
+    if max_configurations is not None and max_configurations < 2:
+        raise ValidationError("max_configurations must be >= 2 (mesh + flattened butterfly)")
+
+    total = 2 ** (max(cols - 2, 0) + max(rows - 2, 0))
+    if max_configurations is None or total <= max_configurations:
+        return list(enumerate_configurations(rows, cols))
+
+    configurations: list[tuple[frozenset[int], frozenset[int]]] = []
+    seen: set[tuple[frozenset[int], frozenset[int]]] = set()
+    mesh = (frozenset(), frozenset())
+    butterfly = (frozenset(range(2, cols)), frozenset(range(2, rows)))
+    for endpoint in (mesh, butterfly):
+        seen.add(endpoint)
+        configurations.append(endpoint)
+    rng = make_rng(seed, stream="design-space")
+    while len(configurations) < max_configurations:
+        candidate = random_configuration(rows, cols, rng=rng)
+        if candidate not in seen:
+            seen.add(candidate)
+            configurations.append(candidate)
+    return configurations
+
+
 def sweep_sparse_hamming_configurations(
     rows: int,
     cols: int,
@@ -57,29 +105,7 @@ def sweep_sparse_hamming_configurations(
     distinct configurations are sampled uniformly at random (always including
     the mesh and the flattened butterfly endpoints of the design space).
     """
-    check_type("rows", rows, int)
-    check_type("cols", cols, int)
-    if max_configurations is not None and max_configurations < 2:
-        raise ValidationError("max_configurations must be >= 2 (mesh + flattened butterfly)")
-
-    configurations: list[tuple[frozenset[int], frozenset[int]]] = []
-    total = 2 ** (max(cols - 2, 0) + max(rows - 2, 0))
-    if max_configurations is None or total <= max_configurations:
-        configurations = list(enumerate_configurations(rows, cols))
-    else:
-        seen: set[tuple[frozenset[int], frozenset[int]]] = set()
-        mesh = (frozenset(), frozenset())
-        butterfly = (frozenset(range(2, cols)), frozenset(range(2, rows)))
-        for endpoint in (mesh, butterfly):
-            seen.add(endpoint)
-            configurations.append(endpoint)
-        rng = make_rng(seed, stream="design-space")
-        while len(configurations) < max_configurations:
-            candidate = random_configuration(rows, cols, rng=rng)
-            if candidate not in seen:
-                seen.add(candidate)
-                configurations.append(candidate)
-
+    configurations = select_configurations(rows, cols, max_configurations, seed)
     samples: list[DesignSpaceSample] = []
     for s_r, s_c in configurations:
         topology = SparseHammingGraph(
@@ -121,3 +147,83 @@ def trade_off_curve(samples: Iterable[DesignSpaceSample]) -> list[DesignSpaceSam
         if not dominated:
             frontier.append(candidate)
     return sorted(frontier, key=lambda sample: sample.area_overhead)
+
+
+# ------------------------------------------------- experiment-API execution
+def design_space_campaign(
+    rows: int,
+    cols: int,
+    scenario: str | None = None,
+    arch: Mapping[str, Any] | None = None,
+    sim: Mapping[str, Any] | None = None,
+    traffic: str = "uniform",
+    performance_mode: str = "analytical",
+    endpoints_per_tile: int | None = None,
+    max_configurations: int | None = None,
+    seed: int = 0,
+) -> "Campaign":
+    """Build the campaign that sweeps sparse-Hamming-graph configurations.
+
+    Each selected ``(S_R, S_C)`` configuration becomes one
+    :class:`~repro.experiments.ExperimentSpec`, so the sweep is serializable,
+    memoizable and parallelizable like any other campaign.
+    """
+    from repro.experiments.campaign import Campaign
+    from repro.experiments.spec import ExperimentSpec
+
+    specs = []
+    for s_r, s_c in select_configurations(rows, cols, max_configurations, seed):
+        kwargs: dict[str, Any] = {"s_r": sorted(s_r), "s_c": sorted(s_c)}
+        if endpoints_per_tile is not None:
+            kwargs["endpoints_per_tile"] = endpoints_per_tile
+        specs.append(
+            ExperimentSpec(
+                topology="sparse_hamming",
+                rows=rows,
+                cols=cols,
+                topology_kwargs=kwargs,
+                scenario=scenario,
+                arch=arch or {},
+                traffic=traffic,
+                performance_mode=performance_mode,
+                sim=sim or {},
+            )
+        )
+    return Campaign(specs=specs, name=f"design-space-{rows}x{cols}")
+
+
+def sweep_design_space(
+    rows: int,
+    cols: int,
+    runner: "ExperimentRunner | None" = None,
+    parallel: int | None = None,
+    **campaign_kwargs,
+) -> list[DesignSpaceSample]:
+    """Design-space sweep routed through the experiment runner.
+
+    Equivalent to :func:`sweep_sparse_hamming_configurations` but executed via
+    :class:`~repro.experiments.ExperimentRunner`, so results are memoized on
+    disk when the runner has a cache directory and can run process-parallel.
+    """
+    from repro.experiments.runner import ExperimentRunner
+
+    campaign = design_space_campaign(rows, cols, **campaign_kwargs)
+    runner = runner or ExperimentRunner()
+    results = runner.run(campaign, parallel=parallel)
+    samples = []
+    for result in results:
+        kwargs = result.spec.topology_kwargs
+        s_r = frozenset(kwargs["s_r"])
+        s_c = frozenset(kwargs["s_c"])
+        # num_links is a property of the graph, not of the prediction; rebuild
+        # the (cheap) link structure so cached results stay self-contained.
+        topology = SparseHammingGraph(rows, cols, s_r=s_r, s_c=s_c)
+        samples.append(
+            DesignSpaceSample(
+                s_r=s_r,
+                s_c=s_c,
+                num_links=topology.num_links,
+                prediction=result.prediction,
+            )
+        )
+    return samples

@@ -1,0 +1,263 @@
+"""``repro`` — the command-line front end of the experiment API.
+
+Subcommands
+-----------
+``repro list-topologies``
+    Registered topology generators, optionally filtered by grid applicability.
+``repro list-traffic``
+    Registered traffic patterns.
+``repro predict``
+    Run one experiment spec built from command-line flags.
+``repro campaign``
+    Run a JSON campaign (explicit spec list or declarative grid) with
+    optional process parallelism, on-disk memoization, and CSV/JSON export.
+``repro figure6``
+    Reproduce one (or all) Figure 6 panels of the paper.
+
+The console script is registered in ``setup.py``; without installing, use
+``PYTHONPATH=src python -m repro.experiments.cli ...``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Sequence
+
+from repro.arch.knc import KNC_SCENARIOS
+from repro.experiments.campaign import Campaign, figure6_campaign
+from repro.experiments.runner import ExperimentRunner, ResultSet, prediction_to_dict
+from repro.experiments.spec import ExperimentSpec
+from repro.simulator.traffic import available_traffic_patterns
+from repro.topologies.registry import (
+    DISPLAY_NAMES,
+    available_topologies,
+    is_applicable,
+)
+from repro.utils.validation import ValidationError
+
+
+def _print_table(rows: list[dict[str, Any]]) -> None:
+    if not rows:
+        print("(no rows)")
+        return
+    columns = list(rows[0].keys())
+    widths = {c: max(len(c), *(len(str(r[c])) for r in rows)) for c in columns}
+    print(" | ".join(c.ljust(widths[c]) for c in columns))
+    print("-+-".join("-" * widths[c] for c in columns))
+    for row in rows:
+        print(" | ".join(str(row[c]).ljust(widths[c]) for c in columns))
+
+
+def _result_rows(results: ResultSet) -> list[dict[str, Any]]:
+    rows = []
+    for record in results.to_records():
+        rows.append(
+            {
+                "topology": record["topology"],
+                "grid": f"{record['rows']}x{record['cols']}",
+                "scenario": record["scenario"] or "-",
+                "traffic": record["traffic"],
+                "mode": record["performance_mode"],
+                "area ovh [%]": f"{100 * record['area_overhead']:.2f}",
+                "power [W]": f"{record['noc_power_w']:.2f}",
+                "latency [cyc]": f"{record['zero_load_latency_cycles']:.1f}",
+                "sat. thr [%]": f"{100 * record['saturation_throughput']:.2f}",
+                "cached": "yes" if record["cached"] else "no",
+            }
+        )
+    return rows
+
+
+def _emit_results(results: ResultSet, args: argparse.Namespace) -> None:
+    if getattr(args, "json_out", None):
+        results.to_json(args.json_out)
+        print(f"wrote {len(results)} results to {args.json_out}")
+    if getattr(args, "csv", None):
+        results.to_csv(args.csv)
+        print(f"wrote {len(results)} results to {args.csv}")
+    if getattr(args, "as_json", False):
+        print(results.to_json(), end="")
+    else:
+        _print_table(_result_rows(results))
+        if results.num_cached:
+            print(f"({results.num_cached}/{len(results)} results served from cache)")
+
+
+# ------------------------------------------------------------- subcommands
+def _cmd_list_topologies(args: argparse.Namespace) -> int:
+    rows = []
+    for key in available_topologies():
+        row: dict[str, Any] = {"key": key, "name": DISPLAY_NAMES.get(key, key)}
+        if args.rows and args.cols:
+            row["applicable"] = "yes" if is_applicable(key, args.rows, args.cols) else "no"
+        rows.append(row)
+    if args.as_json:
+        print(json.dumps(rows, indent=2))
+    else:
+        _print_table(rows)
+    return 0
+
+
+def _cmd_list_traffic(args: argparse.Namespace) -> int:
+    patterns = available_traffic_patterns()
+    if args.as_json:
+        print(json.dumps(patterns, indent=2))
+    else:
+        for name in patterns:
+            print(name)
+    return 0
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    spec = ExperimentSpec(
+        topology=args.topology,
+        rows=args.rows,
+        cols=args.cols,
+        topology_kwargs=json.loads(args.topology_kwargs),
+        scenario=args.scenario,
+        arch=json.loads(args.arch),
+        traffic=args.traffic,
+        performance_mode=args.mode,
+        sim=json.loads(args.sim),
+    )
+    runner = ExperimentRunner(cache_dir=args.cache_dir)
+    results = runner.run(spec)
+    if args.as_json:
+        print(
+            json.dumps(
+                {
+                    "spec_id": spec.spec_id,
+                    "spec": spec.to_dict(),
+                    "result": prediction_to_dict(results[0].prediction),
+                    "cached": results[0].cached,
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        print(f"spec {spec.spec_id}: {spec.describe()}")
+        _print_table(_result_rows(results))
+    return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    campaign = Campaign.load(args.spec)
+    runner = ExperimentRunner(cache_dir=args.cache_dir)
+    results = runner.run(campaign, parallel=args.parallel)
+    if not args.as_json:
+        print(f"campaign {campaign.name!r}: {len(campaign)} experiments")
+    _emit_results(results, args)
+    return 0
+
+
+def _cmd_figure6(args: argparse.Namespace) -> int:
+    keys = sorted(KNC_SCENARIOS) if args.scenario == "all" else [args.scenario]
+    runner = ExperimentRunner(cache_dir=args.cache_dir)
+    combined: list[Any] = []
+    for key in keys:
+        scenario = KNC_SCENARIOS[key]
+        campaign = figure6_campaign(key, performance_mode=args.mode)
+        results = runner.run(campaign, parallel=args.parallel)
+        combined.extend(results)
+        if args.as_json:
+            continue
+        print(f"Figure 6{key} — {scenario.description}")
+        _print_table(_result_rows(results))
+        best = results.best_within_area_budget(0.40)
+        if best is not None:
+            print(f"best within the 40% area budget: {best.topology_name}")
+        print()
+    # Exports cover every requested panel in one file (not one file per
+    # panel overwriting the last), and --json emits a single JSON document.
+    all_results = ResultSet(combined)
+    if args.json_out:
+        all_results.to_json(args.json_out)
+        print(f"wrote {len(all_results)} results to {args.json_out}")
+    if args.csv:
+        all_results.to_csv(args.csv)
+        print(f"wrote {len(all_results)} results to {args.csv}")
+    if args.as_json:
+        print(all_results.to_json(), end="")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro`` argument parser (exposed for docs and tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Declarative experiment runner for the sparse-Hamming-graph NoC reproduction.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_topo = sub.add_parser("list-topologies", help="list registered topology generators")
+    p_topo.add_argument("--rows", type=int, default=0, help="grid rows for applicability check")
+    p_topo.add_argument("--cols", type=int, default=0, help="grid cols for applicability check")
+    p_topo.add_argument("--json", dest="as_json", action="store_true", help="emit JSON")
+    p_topo.set_defaults(handler=_cmd_list_topologies)
+
+    p_traffic = sub.add_parser("list-traffic", help="list registered traffic patterns")
+    p_traffic.add_argument("--json", dest="as_json", action="store_true", help="emit JSON")
+    p_traffic.set_defaults(handler=_cmd_list_traffic)
+
+    p_predict = sub.add_parser("predict", help="run one experiment spec")
+    p_predict.add_argument("--topology", required=True, help="topology registry name")
+    p_predict.add_argument("--rows", type=int, required=True)
+    p_predict.add_argument("--cols", type=int, required=True)
+    p_predict.add_argument(
+        "--topology-kwargs", default="{}", help="JSON generator kwargs (e.g. s_r/s_c)"
+    )
+    p_predict.add_argument("--scenario", default=None, choices=sorted(KNC_SCENARIOS))
+    p_predict.add_argument("--arch", default="{}", help="JSON ArchitecturalParameters overrides")
+    p_predict.add_argument("--traffic", default="uniform")
+    p_predict.add_argument("--mode", default="analytical", choices=("analytical", "simulation"))
+    p_predict.add_argument("--sim", default="{}", help="JSON SimulationConfig overrides")
+    p_predict.add_argument("--cache-dir", default=None, help="on-disk result cache directory")
+    p_predict.add_argument("--json", dest="as_json", action="store_true", help="emit JSON")
+    p_predict.set_defaults(handler=_cmd_predict)
+
+    p_campaign = sub.add_parser("campaign", help="run a JSON campaign file")
+    p_campaign.add_argument("--spec", required=True, help="campaign JSON (specs list or grid)")
+    p_campaign.add_argument("--parallel", type=int, default=None, help="worker processes")
+    p_campaign.add_argument("--cache-dir", default=None, help="on-disk result cache directory")
+    p_campaign.add_argument("--csv", default=None, help="write results as CSV")
+    p_campaign.add_argument("--json-out", default=None, help="write results as JSON")
+    p_campaign.add_argument("--json", dest="as_json", action="store_true", help="emit JSON")
+    p_campaign.set_defaults(handler=_cmd_campaign)
+
+    p_fig6 = sub.add_parser("figure6", help="reproduce Figure 6 panels")
+    p_fig6.add_argument(
+        "--scenario", default="a", choices=sorted(KNC_SCENARIOS) + ["all"]
+    )
+    p_fig6.add_argument("--mode", default="analytical", choices=("analytical", "simulation"))
+    p_fig6.add_argument("--parallel", type=int, default=None, help="worker processes")
+    p_fig6.add_argument("--cache-dir", default=None, help="on-disk result cache directory")
+    p_fig6.add_argument("--csv", default=None, help="write results as CSV")
+    p_fig6.add_argument("--json-out", default=None, help="write results as JSON")
+    p_fig6.add_argument("--json", dest="as_json", action="store_true", help="emit JSON")
+    p_fig6.set_defaults(handler=_cmd_figure6)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point of the ``repro`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ValidationError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except json.JSONDecodeError as error:
+        print(f"error: invalid JSON: {error}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,355 @@
+"""Campaign execution: serial or process-parallel, with on-disk memoization.
+
+:class:`ExperimentRunner` turns campaigns into :class:`ResultSet` objects.
+Results are memoized on disk keyed by :attr:`ExperimentSpec.spec_id` (a
+content hash of the spec), so re-running an identical campaign — the Figure 6
+reproduction, a design-space sweep — is instant.  The serial path shares
+prediction toolchains across specs that differ only in traffic pattern, which
+lets the toolchain's per-topology routing-table cache skip redundant BFS work;
+the parallel path fans specs out over a :class:`ProcessPoolExecutor`.
+
+Cache entries and parallel-worker payloads round-trip through JSON: the
+scalar prediction metrics and the analytical performance details survive,
+while heavyweight intermediate artifacts (the physical-model result,
+cycle-accurate sweep statistics) are dropped.  When those artifacts are
+needed, run serially without a cache directory — the serial uncached path
+returns the live :class:`PredictionResult` objects untouched.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+from repro.analysis.pareto import (
+    ParetoPoint,
+    best_within_area_budget,
+    latency_rank,
+    pareto_front,
+)
+from repro.experiments.campaign import Campaign
+from repro.experiments.spec import ExperimentSpec, toolchain_key, topology_key
+from repro.toolchain.analytical import AnalyticalPerformance
+from repro.toolchain.results import PredictionResult
+from repro.utils.validation import ValidationError
+
+_RESULT_SCALARS = (
+    "topology_name",
+    "area_overhead",
+    "total_area_mm2",
+    "noc_power_w",
+    "zero_load_latency_cycles",
+    "saturation_throughput",
+    "performance_mode",
+)
+
+
+def prediction_to_dict(prediction: PredictionResult) -> dict[str, Any]:
+    """JSON-serializable form of a prediction (scalar metrics + analytical details)."""
+    data = {key: getattr(prediction, key) for key in _RESULT_SCALARS}
+    analytical = prediction.details.get("analytical")
+    if isinstance(analytical, AnalyticalPerformance):
+        data["analytical"] = {
+            "zero_load_latency_cycles": analytical.zero_load_latency_cycles,
+            "saturation_throughput": analytical.saturation_throughput,
+            "average_hops": analytical.average_hops,
+            "max_channel_load": analytical.max_channel_load,
+        }
+    return data
+
+
+def prediction_from_dict(data: Mapping[str, Any]) -> PredictionResult:
+    """Rebuild a prediction from :func:`prediction_to_dict` output."""
+    details: dict[str, Any] = {}
+    if "analytical" in data:
+        details["analytical"] = AnalyticalPerformance(**data["analytical"])
+    return PredictionResult(
+        **{key: data[key] for key in _RESULT_SCALARS},
+        physical=None,
+        details=details,
+    )
+
+
+def _predict_payload(spec_dict: dict[str, Any]) -> dict[str, Any]:
+    """Process-pool worker: run one spec, return the serialized prediction."""
+    spec = ExperimentSpec.from_dict(spec_dict)
+    return prediction_to_dict(spec.run())
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """One executed spec: the spec, its prediction, and cache provenance."""
+
+    spec: ExperimentSpec
+    prediction: PredictionResult
+    cached: bool = False
+
+
+class ResultSet:
+    """Ordered collection of experiment results with tabular export and
+    Pareto/compliance helpers wrapping :mod:`repro.analysis`."""
+
+    def __init__(self, results: Iterable[ExperimentResult]) -> None:
+        self.results = list(results)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __getitem__(self, index: int) -> ExperimentResult:
+        return self.results[index]
+
+    @property
+    def predictions(self) -> list[PredictionResult]:
+        """The predictions in campaign order."""
+        return [result.prediction for result in self.results]
+
+    @property
+    def num_cached(self) -> int:
+        """How many results were served from the on-disk cache."""
+        return sum(1 for result in self.results if result.cached)
+
+    def get(self, spec_id: str) -> ExperimentResult:
+        """Result of the spec with the given ``spec_id``."""
+        for result in self.results:
+            if result.spec.spec_id == spec_id:
+                return result
+        raise KeyError(spec_id)
+
+    def filter(self, predicate: Callable[[ExperimentResult], bool]) -> "ResultSet":
+        """Subset of results satisfying ``predicate`` (as a new ResultSet)."""
+        return ResultSet(result for result in self.results if predicate(result))
+
+    def as_mapping(self) -> dict[str, PredictionResult]:
+        """``{topology registry name: prediction}`` (last spec wins on clashes)."""
+        return {result.spec.topology: result.prediction for result in self.results}
+
+    # --------------------------------------------------------------- export
+    def to_records(self) -> list[dict[str, Any]]:
+        """Flat tabular rows: spec identity columns + the four Figure 6 metrics."""
+        records = []
+        for result in self.results:
+            spec, prediction = result.spec, result.prediction
+            records.append(
+                {
+                    "spec_id": spec.spec_id,
+                    "topology": spec.topology,
+                    "rows": spec.rows,
+                    "cols": spec.cols,
+                    "scenario": spec.scenario or "",
+                    "traffic": spec.traffic,
+                    "performance_mode": spec.performance_mode,
+                    "label": spec.label,
+                    "cached": result.cached,
+                    "area_overhead": prediction.area_overhead,
+                    "total_area_mm2": prediction.total_area_mm2,
+                    "noc_power_w": prediction.noc_power_w,
+                    "zero_load_latency_cycles": prediction.zero_load_latency_cycles,
+                    "saturation_throughput": prediction.saturation_throughput,
+                }
+            )
+        return records
+
+    def to_csv(self, path: str | Path) -> Path:
+        """Write :meth:`to_records` as CSV; returns the path."""
+        path = Path(path)
+        records = self.to_records()
+        if not records:
+            path.write_text("")
+            return path
+        with path.open("w", newline="") as handle:
+            writer = csv.DictWriter(handle, fieldnames=list(records[0].keys()))
+            writer.writeheader()
+            writer.writerows(records)
+        return path
+
+    def to_json(self, path: str | Path | None = None) -> str | Path:
+        """Dump specs + predictions as JSON; to ``path`` if given, else return text."""
+        payload = [
+            {
+                "spec": result.spec.to_dict(),
+                "result": prediction_to_dict(result.prediction),
+                "cached": result.cached,
+            }
+            for result in self.results
+        ]
+        text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        if path is None:
+            return text
+        path = Path(path)
+        path.write_text(text)
+        return path
+
+    # ------------------------------------------------------------- analysis
+    def pareto_front(self) -> list[ParetoPoint]:
+        """Non-dominated predictions in the four-metric comparison."""
+        return pareto_front(ParetoPoint.from_prediction(p) for p in self.predictions)
+
+    def best_within_area_budget(self, max_area_overhead: float = 0.40) -> PredictionResult | None:
+        """Best prediction under the paper's design goal (see :mod:`repro.analysis`)."""
+        return best_within_area_budget(self.predictions, max_area_overhead)
+
+    def latency_rank(self, topology_name: str) -> int:
+        """1-based zero-load-latency rank of ``topology_name`` in this set."""
+        return latency_rank(self.predictions, topology_name)
+
+
+class ExperimentRunner:
+    """Executes specs and campaigns, memoizing results on disk by spec_id.
+
+    Parameters
+    ----------
+    cache_dir:
+        Directory for the JSON result cache; ``None`` disables memoization.
+    max_workers:
+        Default process count for parallel runs (``run(..., parallel=...)``
+        overrides per call); ``None`` or 1 runs serially.
+    """
+
+    def __init__(self, cache_dir: str | Path | None = None, max_workers: int | None = None) -> None:
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.max_workers = max_workers
+        if self.cache_dir is not None:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+
+    # ---------------------------------------------------------------- cache
+    def cache_path(self, spec: ExperimentSpec) -> Path | None:
+        """On-disk location of the memoized result for ``spec`` (or ``None``)."""
+        if self.cache_dir is None:
+            return None
+        return self.cache_dir / f"{spec.spec_id}.json"
+
+    def _load_cached(self, spec: ExperimentSpec) -> PredictionResult | None:
+        path = self.cache_path(spec)
+        if path is None or not path.exists():
+            return None
+        try:
+            payload = json.loads(path.read_text())
+            return prediction_from_dict(payload["result"])
+        except (json.JSONDecodeError, KeyError, TypeError):
+            # A corrupt cache entry is recomputed, not fatal.
+            return None
+
+    def _store(self, spec: ExperimentSpec, prediction: PredictionResult) -> None:
+        path = self.cache_path(spec)
+        if path is None:
+            return
+        payload = {"spec": spec.to_dict(), "result": prediction_to_dict(prediction)}
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    # ------------------------------------------------------------ execution
+    def run(
+        self,
+        experiments: Campaign | ExperimentSpec | Sequence[ExperimentSpec],
+        parallel: int | None = None,
+    ) -> ResultSet:
+        """Execute a campaign (or spec, or list of specs) and return results.
+
+        Memoized results are served from the cache; the remainder runs
+        serially (default) or across ``parallel`` worker processes.  Result
+        order always matches the input spec order.  Cached and
+        parallel-computed predictions carry only the scalar metrics and
+        analytical details (``physical`` is ``None``); the serial uncached
+        path returns full :class:`PredictionResult` objects.
+        """
+        if isinstance(experiments, ExperimentSpec):
+            specs = [experiments]
+        elif isinstance(experiments, Campaign):
+            specs = list(experiments.specs)
+        else:
+            specs = list(experiments)
+            for spec in specs:
+                if not isinstance(spec, ExperimentSpec):
+                    raise ValidationError(f"runner expects ExperimentSpec, got {spec!r}")
+        if parallel is None:
+            parallel = self.max_workers
+
+        slots: list[ExperimentResult | None] = [None] * len(specs)
+        pending: list[tuple[int, ExperimentSpec]] = []
+        computed: dict[str, PredictionResult] = {}
+        for index, spec in enumerate(specs):
+            cached = self._load_cached(spec)
+            if cached is not None:
+                slots[index] = ExperimentResult(spec=spec, prediction=cached, cached=True)
+            else:
+                pending.append((index, spec))
+
+        # Deduplicate identical pending specs so each unique spec runs once.
+        unique: dict[str, ExperimentSpec] = {}
+        for _, spec in pending:
+            unique.setdefault(spec.spec_id, spec)
+
+        if parallel is not None and parallel > 1 and len(unique) > 1:
+            with ProcessPoolExecutor(max_workers=parallel) as pool:
+                payloads = pool.map(
+                    _predict_payload, [spec.to_dict() for spec in unique.values()]
+                )
+                for spec, payload in zip(unique.values(), payloads):
+                    computed[spec.spec_id] = prediction_from_dict(payload)
+        else:
+            # Share toolchains and topology objects between specs that agree
+            # on them (so the toolchain's routing-table cache kicks in), but
+            # evict each as soon as the last spec needing it has run — a
+            # 4096-configuration design-space sweep must not hold 4096
+            # routing tables in memory at once.
+            remaining_chain: dict[tuple, int] = {}
+            remaining_topo: dict[tuple, int] = {}
+            for spec in unique.values():
+                remaining_chain[toolchain_key(spec)] = (
+                    remaining_chain.get(toolchain_key(spec), 0) + 1
+                )
+                remaining_topo[topology_key(spec)] = (
+                    remaining_topo.get(topology_key(spec), 0) + 1
+                )
+            toolchains: dict[tuple, Any] = {}
+            topologies: dict[tuple, Any] = {}
+            for spec in unique.values():
+                chain_key, topo_key = toolchain_key(spec), topology_key(spec)
+                chain = toolchains.get(chain_key)
+                if chain is None:
+                    chain = spec.build_toolchain()
+                    toolchains[chain_key] = chain
+                topo = topologies.get(topo_key)
+                if topo is None:
+                    topo = spec.build_topology()
+                    topologies[topo_key] = topo
+                computed[spec.spec_id] = chain.predict(topo, traffic=spec.traffic)
+                remaining_chain[chain_key] -= 1
+                if remaining_chain[chain_key] == 0:
+                    del toolchains[chain_key]
+                remaining_topo[topo_key] -= 1
+                if remaining_topo[topo_key] == 0:
+                    del topologies[topo_key]
+
+        for spec_id, prediction in computed.items():
+            self._store(unique[spec_id], prediction)
+        for index, spec in pending:
+            slots[index] = ExperimentResult(
+                spec=spec, prediction=computed[spec.spec_id], cached=False
+            )
+        return ResultSet(slots)
+
+
+def run_campaign(
+    campaign: Campaign,
+    cache_dir: str | Path | None = None,
+    parallel: int | None = None,
+) -> ResultSet:
+    """One-shot convenience wrapper around :class:`ExperimentRunner`."""
+    return ExperimentRunner(cache_dir=cache_dir).run(campaign, parallel=parallel)
+
+
+__all__ = [
+    "ExperimentResult",
+    "ExperimentRunner",
+    "ResultSet",
+    "run_campaign",
+    "prediction_to_dict",
+    "prediction_from_dict",
+]

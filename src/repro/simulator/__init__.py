@@ -19,6 +19,7 @@ this package implements the required subset from scratch:
 
 from repro.simulator.flit import Flit, Packet
 from repro.simulator.traffic import (
+    TRAFFIC_FACTORIES,
     TrafficPattern,
     UniformRandomTraffic,
     TransposeTraffic,
@@ -26,6 +27,8 @@ from repro.simulator.traffic import (
     TornadoTraffic,
     NeighborTraffic,
     HotspotTraffic,
+    available_traffic_patterns,
+    make_traffic,
     make_traffic_pattern,
 )
 from repro.simulator.routing_tables import RoutingTables, build_routing_tables
@@ -49,6 +52,9 @@ __all__ = [
     "TornadoTraffic",
     "NeighborTraffic",
     "HotspotTraffic",
+    "TRAFFIC_FACTORIES",
+    "available_traffic_patterns",
+    "make_traffic",
     "make_traffic_pattern",
     "RoutingTables",
     "build_routing_tables",

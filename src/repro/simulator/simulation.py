@@ -26,7 +26,11 @@ from repro.simulator.network import Network, NetworkConfig, build_network
 from repro.simulator.router import INJECT_PORT, Router
 from repro.simulator.routing_tables import RoutingTables
 from repro.simulator.statistics import SimulationStats, _Accumulator
-from repro.simulator.traffic import InjectionProcess, make_traffic_pattern
+from repro.simulator.traffic import (
+    InjectionProcess,
+    check_traffic_name,
+    make_traffic_pattern,
+)
 from repro.topologies.base import Link, Topology
 from repro.utils.validation import ValidationError, check_in_range, check_type
 
@@ -61,6 +65,7 @@ class SimulationConfig:
     seed: int = 1
 
     def __post_init__(self) -> None:
+        check_traffic_name(self.traffic)
         check_in_range("injection_rate", self.injection_rate, 0.0, 1.0)
         check_type("warmup_cycles", self.warmup_cycles, int)
         check_type("measurement_cycles", self.measurement_cycles, int)

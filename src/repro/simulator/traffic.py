@@ -14,6 +14,7 @@ so that the offered load equals ``injection_rate`` flits per tile per cycle.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from typing import Callable
 
 import numpy as np
 
@@ -129,31 +130,78 @@ class HotspotTraffic(TrafficPattern):
         return self._uniform.destination(source, rng)
 
 
-def make_traffic_pattern(name: str, topology: Topology, **kwargs) -> TrafficPattern:
-    """Create a traffic pattern by name for ``topology``.
+# --------------------------------------------------------------- registry
+# Mirrors the topology registry: a single place to enumerate and instantiate
+# all traffic patterns by name.  Every factory takes the tile count and grid
+# dimensions (some patterns, like transpose, need the grid shape) plus
+# pattern-specific keyword arguments.
 
-    Supported names: ``uniform``, ``transpose``, ``bit_complement``,
-    ``tornado``, ``neighbor``, ``hotspot``.
+
+def _make_uniform(num_tiles: int, rows: int, cols: int, **kwargs) -> TrafficPattern:
+    return UniformRandomTraffic(num_tiles)
+
+
+def _make_transpose(num_tiles: int, rows: int, cols: int, **kwargs) -> TrafficPattern:
+    return TransposeTraffic(num_tiles, rows, cols)
+
+
+def _make_bit_complement(num_tiles: int, rows: int, cols: int, **kwargs) -> TrafficPattern:
+    return BitComplementTraffic(num_tiles)
+
+
+def _make_tornado(num_tiles: int, rows: int, cols: int, **kwargs) -> TrafficPattern:
+    return TornadoTraffic(num_tiles)
+
+
+def _make_neighbor(num_tiles: int, rows: int, cols: int, **kwargs) -> TrafficPattern:
+    return NeighborTraffic(num_tiles)
+
+
+def _make_hotspot(num_tiles: int, rows: int, cols: int, **kwargs) -> TrafficPattern:
+    hotspots = kwargs.pop("hotspots", (0,))
+    fraction = kwargs.pop("hotspot_fraction", 0.2)
+    return HotspotTraffic(num_tiles, tuple(hotspots), fraction)
+
+
+TrafficFactory = Callable[..., TrafficPattern]
+
+TRAFFIC_FACTORIES: dict[str, TrafficFactory] = {
+    "uniform": _make_uniform,
+    "transpose": _make_transpose,
+    "bit_complement": _make_bit_complement,
+    "tornado": _make_tornado,
+    "neighbor": _make_neighbor,
+    "hotspot": _make_hotspot,
+}
+
+
+def available_traffic_patterns() -> list[str]:
+    """Return the identifiers of all registered traffic patterns."""
+    return sorted(TRAFFIC_FACTORIES)
+
+
+def check_traffic_name(name: str) -> None:
+    """Raise :class:`ValidationError` unless ``name`` is a registered pattern."""
+    if name not in TRAFFIC_FACTORIES:
+        raise ValidationError(
+            f"unknown traffic pattern {name!r}; "
+            f"known: {available_traffic_patterns()}"
+        )
+
+
+def make_traffic(name: str, num_tiles: int, rows: int, cols: int, **kwargs) -> TrafficPattern:
+    """Instantiate a registered traffic pattern by identifier.
+
+    Extra keyword arguments are forwarded to the pattern (e.g. ``hotspots``
+    and ``hotspot_fraction`` for the hotspot pattern).
     """
-    num_tiles = topology.num_tiles
-    if name == "uniform":
-        return UniformRandomTraffic(num_tiles)
-    if name == "transpose":
-        return TransposeTraffic(num_tiles, topology.rows, topology.cols)
-    if name == "bit_complement":
-        return BitComplementTraffic(num_tiles)
-    if name == "tornado":
-        return TornadoTraffic(num_tiles)
-    if name == "neighbor":
-        return NeighborTraffic(num_tiles)
-    if name == "hotspot":
-        hotspots = kwargs.pop("hotspots", (0,))
-        fraction = kwargs.pop("hotspot_fraction", 0.2)
-        return HotspotTraffic(num_tiles, tuple(hotspots), fraction)
-    raise ValidationError(
-        f"unknown traffic pattern {name!r}; supported: uniform, transpose, "
-        "bit_complement, tornado, neighbor, hotspot"
-    )
+    check_traffic_name(name)
+    return TRAFFIC_FACTORIES[name](num_tiles, rows, cols, **kwargs)
+
+
+def make_traffic_pattern(name: str, topology: Topology, **kwargs) -> TrafficPattern:
+    """Create a traffic pattern by name for ``topology``."""
+    return make_traffic(name, topology.num_tiles, topology.rows, topology.cols, **kwargs)
 
 
 class InjectionProcess:

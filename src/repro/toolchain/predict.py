@@ -9,11 +9,12 @@ throughput.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import weakref
+from dataclasses import dataclass, field, replace
 
 from repro.physical.model import NoCPhysicalModel
 from repro.physical.parameters import ArchitecturalParameters
-from repro.simulator.routing_tables import build_routing_tables
+from repro.simulator.routing_tables import RoutingTables, build_routing_tables
 from repro.simulator.simulation import SimulationConfig
 from repro.simulator.sweep import find_saturation_throughput
 from repro.toolchain.analytical import analytical_performance
@@ -55,16 +56,46 @@ class PredictionToolchain:
                 f"got {self.performance_mode!r}"
             )
         self._physical_model = NoCPhysicalModel(self.params)
+        # Routing tables depend only on the topology, not on the traffic or
+        # injection rate, so sweeps that vary only those knobs reuse the BFS
+        # work.  Keyed by object identity with a weakref guard against id()
+        # reuse after garbage collection.
+        self._routing_cache: dict[int, tuple[weakref.ref, RoutingTables]] = {}
 
-    def predict(self, topology: Topology) -> PredictionResult:
-        """Predict cost and performance of ``topology`` on this architecture."""
-        physical = self._physical_model.evaluate(topology)
+    def routing_for(self, topology: Topology) -> RoutingTables:
+        """Routing tables for ``topology``, memoized per topology object."""
+        key = id(topology)
+        entry = self._routing_cache.get(key)
+        if entry is not None and entry[0]() is topology:
+            return entry[1]
         routing = build_routing_tables(topology)
+        if len(self._routing_cache) >= 256:
+            self._routing_cache = {
+                k: (ref, tables)
+                for k, (ref, tables) in self._routing_cache.items()
+                if ref() is not None
+            }
+        self._routing_cache[key] = (weakref.ref(topology), routing)
+        return routing
+
+    def predict(self, topology: Topology, traffic: str | None = None) -> PredictionResult:
+        """Predict cost and performance of ``topology`` on this architecture.
+
+        ``traffic`` overrides the toolchain's default traffic pattern for this
+        call only (used by campaign sweeps that vary the pattern while keeping
+        the architecture fixed).
+        """
+        physical = self._physical_model.evaluate(topology)
+        routing = self.routing_for(topology)
+        traffic = self.traffic if traffic is None else traffic
 
         if self.performance_mode == "simulation":
+            config = self.simulation_config
+            if traffic != config.traffic:
+                config = replace(config, traffic=traffic)
             sweep = find_saturation_throughput(
                 topology,
-                config=self.simulation_config,
+                config=config,
                 link_latencies=physical.link_latencies,
                 routing=routing,
             )
@@ -76,7 +107,7 @@ class PredictionToolchain:
                 topology,
                 link_latencies=physical.link_latencies,
                 routing=routing,
-                traffic=self.traffic,
+                traffic=traffic,
                 packet_size_flits=self.simulation_config.packet_size_flits,
                 router_pipeline_cycles=self.simulation_config.router_pipeline_cycles,
             )
@@ -96,9 +127,9 @@ class PredictionToolchain:
             details=details,
         )
 
-    def __call__(self, topology: Topology) -> PredictionResult:
+    def __call__(self, topology: Topology, traffic: str | None = None) -> PredictionResult:
         """Alias for :meth:`predict` (lets the toolchain act as a plain predictor)."""
-        return self.predict(topology)
+        return self.predict(topology, traffic=traffic)
 
 
 def predict(

@@ -45,6 +45,10 @@ def test_visualize_topologies_runs():
     _run_example("visualize_topologies.py", ["4", "4"])
 
 
+def test_campaign_grid_runs():
+    _run_example("campaign_grid.py", ["4", "4"])
+
+
 @pytest.mark.slow
 def test_customize_noc_runs():
     _run_example("customize_noc.py", ["a"])

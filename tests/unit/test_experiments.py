@@ -1,0 +1,263 @@
+"""Unit tests of the declarative experiment API (specs, campaigns, CLI)."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.experiments import Campaign, ExperimentSpec, figure6_campaign
+from repro.experiments.cli import main as cli_main
+from repro.toolchain.predict import PredictionToolchain
+from repro.topologies.mesh import MeshTopology
+from repro.utils.validation import ValidationError
+
+SRC_DIR = Path(repro.__file__).resolve().parents[1]
+
+
+def small_spec(**overrides) -> ExperimentSpec:
+    fields = dict(
+        topology="sparse_hamming",
+        rows=4,
+        cols=4,
+        topology_kwargs={"s_r": {2}, "s_c": (2,)},
+        arch={"endpoint_area_ge": 5e6},
+        traffic="uniform",
+    )
+    fields.update(overrides)
+    return ExperimentSpec(**fields)
+
+
+class TestExperimentSpec:
+    def test_json_round_trip_equality(self):
+        spec = small_spec()
+        clone = ExperimentSpec.from_json(spec.to_json())
+        assert clone == spec
+        assert hash(clone) == hash(spec)
+        assert clone.spec_id == spec.spec_id
+
+    def test_kwargs_normalised_to_canonical_form(self):
+        # Sets and tuples are accepted and canonicalised to sorted lists, so
+        # differently-spelled but identical specs share one identity.
+        a = small_spec(topology_kwargs={"s_r": {2}, "s_c": (2,)})
+        b = small_spec(topology_kwargs={"s_r": [2], "s_c": [2]})
+        assert a == b
+        assert a.spec_id == b.spec_id
+
+    def test_label_is_not_part_of_identity(self):
+        assert small_spec(label="x").spec_id == small_spec(label="y").spec_id
+
+    def test_spec_id_stable_across_processes(self):
+        spec = small_spec()
+        program = (
+            "import json, sys\n"
+            "from repro.experiments import ExperimentSpec\n"
+            "spec = ExperimentSpec.from_json(sys.stdin.read())\n"
+            "print(spec.spec_id)\n"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(SRC_DIR) + os.pathsep + env.get("PYTHONPATH", "")
+        completed = subprocess.run(
+            [sys.executable, "-c", program],
+            input=spec.to_json(),
+            capture_output=True,
+            text=True,
+            env=env,
+            check=True,
+        )
+        assert completed.stdout.strip() == spec.spec_id
+
+    def test_unknown_topology_rejected(self):
+        with pytest.raises(ValidationError, match="unknown topology"):
+            ExperimentSpec(topology="moebius", rows=4, cols=4)
+
+    def test_unknown_traffic_rejected(self):
+        with pytest.raises(ValidationError, match="unknown traffic"):
+            small_spec(traffic="avalanche")
+
+    def test_unknown_arch_override_rejected(self):
+        with pytest.raises(ValidationError, match="unknown arch override"):
+            small_spec(arch={"warp_factor": 9})
+
+    def test_unknown_sim_override_rejected(self):
+        with pytest.raises(ValidationError, match="unknown simulation override"):
+            small_spec(sim={"cycles": 10})
+
+    def test_traffic_sim_override_rejected(self):
+        # Traffic has exactly one spelling (the spec-level field); a sim
+        # override would create contradictory specs with distinct spec_ids.
+        with pytest.raises(ValidationError, match="spec-level 'traffic' field"):
+            small_spec(sim={"traffic": "tornado"})
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ValidationError, match="unknown scenario"):
+            small_spec(scenario="z")
+
+    def test_non_serializable_kwargs_rejected(self):
+        with pytest.raises(ValidationError, match="not JSON-serializable"):
+            small_spec(topology_kwargs={"s_r": object()})
+
+    def test_from_dict_rejects_unknown_fields(self):
+        data = small_spec().to_dict()
+        data["surprise"] = 1
+        with pytest.raises(ValidationError, match="unknown spec fields"):
+            ExperimentSpec.from_dict(data)
+
+    def test_run_matches_direct_toolchain(self):
+        spec = small_spec()
+        direct = spec.build_toolchain().predict(spec.build_topology())
+        via_spec = spec.run()
+        assert via_spec.zero_load_latency_cycles == direct.zero_load_latency_cycles
+        assert via_spec.saturation_throughput == direct.saturation_throughput
+        assert via_spec.area_overhead == direct.area_overhead
+
+    def test_scenario_supplies_architecture_and_paper_config(self):
+        spec = ExperimentSpec(topology="sparse_hamming", rows=8, cols=8, scenario="a")
+        params = spec.build_parameters()
+        assert params.num_tiles == 64
+        assert params.endpoint_area_ge == 35e6
+        topology = spec.build_topology()
+        assert topology.s_r == frozenset({4})
+        assert topology.s_c == frozenset({2, 5})
+
+
+class TestCampaign:
+    def test_grid_skips_inapplicable_topologies(self):
+        # 4x4: hypercube applies (16 = 2^4) but SlimNoC does not; 3x3 flips
+        # both off; 8x16 (128 tiles = 2*8^2) re-admits SlimNoC.
+        names = {spec.topology for spec in Campaign.grid(sizes=[(4, 4)])}
+        assert "hypercube" in names and "slimnoc" not in names
+        names = {spec.topology for spec in Campaign.grid(sizes=[(3, 3)])}
+        assert "hypercube" not in names and "slimnoc" not in names
+        names = {spec.topology for spec in Campaign.grid(sizes=[(8, 16)])}
+        assert "slimnoc" in names
+
+    def test_grid_raises_when_skipping_disabled(self):
+        with pytest.raises(ValidationError, match="not applicable"):
+            Campaign.grid(topologies=["slimnoc"], sizes=[(4, 4)], skip_inapplicable=False)
+
+    def test_grid_cartesian_expansion(self):
+        campaign = Campaign.grid(
+            topologies=["mesh", "torus"],
+            sizes=[(4, 4), (4, 8)],
+            traffics=["uniform", "tornado"],
+            performance_modes=["analytical"],
+        )
+        assert len(campaign) == 2 * 2 * 2
+        assert len({spec.spec_id for spec in campaign}) == len(campaign)
+
+    def test_campaign_json_round_trip(self, tmp_path):
+        campaign = Campaign.grid(sizes=[(4, 4)], name="round-trip")
+        path = campaign.save(tmp_path / "campaign.json")
+        loaded = Campaign.load(path)
+        assert loaded.name == "round-trip"
+        assert [s.spec_id for s in loaded] == [s.spec_id for s in campaign]
+
+    def test_declarative_grid_json(self, tmp_path):
+        path = tmp_path / "grid.json"
+        path.write_text(
+            json.dumps(
+                {"name": "g", "grid": {"sizes": [[4, 4]], "topologies": ["mesh", "ring"]}}
+            )
+        )
+        campaign = Campaign.load(path)
+        assert campaign.name == "g"
+        assert [spec.topology for spec in campaign] == ["mesh", "ring"]
+
+    def test_figure6_campaign_matches_paper_setup(self):
+        campaign = figure6_campaign("c")
+        topologies = [spec.topology for spec in campaign]
+        assert "slimnoc" in topologies
+        shg = next(s for s in campaign if s.topology == "sparse_hamming")
+        assert shg.topology_kwargs["s_r"] == [3]
+        assert shg.topology_kwargs["s_c"] == [2, 5]
+
+    def test_deduplicated(self):
+        spec = small_spec()
+        campaign = Campaign(specs=[spec, small_spec(label="other")])
+        assert len(campaign.deduplicated()) == 1
+
+
+class TestRoutingTableCache:
+    def test_routing_built_once_per_topology_object(self, small_params, monkeypatch):
+        import importlib
+
+        # repro.toolchain re-exports the predict *function* under the module's
+        # name, so resolve the module through importlib.
+        predict_module = importlib.import_module("repro.toolchain.predict")
+
+        calls = []
+        real = predict_module.build_routing_tables
+
+        def counting(topology):
+            calls.append(topology)
+            return real(topology)
+
+        monkeypatch.setattr(predict_module, "build_routing_tables", counting)
+        toolchain = PredictionToolchain(small_params)
+        topology = MeshTopology(4, 4)
+        toolchain.predict(topology)
+        toolchain.predict(topology, traffic="tornado")
+        toolchain.predict(topology)
+        assert len(calls) == 1
+        # A different object (even of the same shape) is keyed separately.
+        toolchain.predict(MeshTopology(4, 4))
+        assert len(calls) == 2
+
+
+class TestCli:
+    def test_list_topologies(self, capsys):
+        assert cli_main(["list-topologies", "--rows", "4", "--cols", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "sparse_hamming" in out and "slimnoc" in out
+
+    def test_list_traffic(self, capsys):
+        assert cli_main(["list-traffic"]) == 0
+        out = capsys.readouterr().out
+        assert "uniform" in out and "tornado" in out
+
+    def test_predict_json(self, capsys):
+        code = cli_main(
+            [
+                "predict",
+                "--topology",
+                "mesh",
+                "--rows",
+                "4",
+                "--cols",
+                "4",
+                "--arch",
+                '{"endpoint_area_ge": 5e6}',
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["spec_id"].startswith("exp-")
+        assert payload["result"]["topology_name"] == "2D Mesh"
+
+    def test_campaign_command(self, tmp_path, capsys):
+        campaign = Campaign.grid(
+            topologies=["mesh"], sizes=[(4, 4)], arch={"endpoint_area_ge": 5e6}
+        )
+        path = campaign.save(tmp_path / "campaign.json")
+        csv_path = tmp_path / "out.csv"
+        code = cli_main(
+            ["campaign", "--spec", str(path), "--csv", str(csv_path)]
+        )
+        assert code == 0
+        assert csv_path.exists()
+        assert "mesh" in capsys.readouterr().out
+
+    def test_validation_error_is_reported_not_raised(self, capsys):
+        code = cli_main(
+            ["predict", "--topology", "mesh", "--rows", "4", "--cols", "4",
+             "--traffic", "bogus"]
+        )
+        assert code == 2
+        assert "unknown traffic" in capsys.readouterr().err

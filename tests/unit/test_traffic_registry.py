@@ -1,0 +1,59 @@
+"""Unit tests of the traffic-pattern registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulator.simulation import SimulationConfig
+from repro.simulator.traffic import (
+    TRAFFIC_FACTORIES,
+    HotspotTraffic,
+    TransposeTraffic,
+    UniformRandomTraffic,
+    available_traffic_patterns,
+    make_traffic,
+    make_traffic_pattern,
+)
+from repro.toolchain.analytical import analytical_performance
+from repro.topologies.mesh import MeshTopology
+from repro.utils.validation import ValidationError
+
+
+def test_registry_enumerates_all_patterns():
+    assert available_traffic_patterns() == sorted(TRAFFIC_FACTORIES)
+    assert {"uniform", "transpose", "bit_complement", "tornado", "neighbor", "hotspot"} == set(
+        TRAFFIC_FACTORIES
+    )
+
+
+def test_make_traffic_builds_patterns():
+    assert isinstance(make_traffic("uniform", 16, 4, 4), UniformRandomTraffic)
+    transpose = make_traffic("transpose", 16, 4, 4)
+    assert isinstance(transpose, TransposeTraffic)
+    assert transpose.rows == 4 and transpose.cols == 4
+    hotspot = make_traffic("hotspot", 16, 4, 4, hotspots=(3, 5), hotspot_fraction=0.5)
+    assert isinstance(hotspot, HotspotTraffic)
+    assert hotspot.hotspots == (3, 5)
+
+
+def test_make_traffic_unknown_name():
+    with pytest.raises(ValidationError, match="unknown traffic pattern 'bogus'"):
+        make_traffic("bogus", 16, 4, 4)
+
+
+def test_make_traffic_pattern_delegates_to_registry():
+    pattern = make_traffic_pattern("transpose", MeshTopology(4, 4))
+    assert isinstance(pattern, TransposeTraffic)
+    with pytest.raises(ValidationError, match="unknown traffic pattern"):
+        make_traffic_pattern("nonsense", MeshTopology(4, 4))
+
+
+def test_simulation_config_validates_traffic_name():
+    SimulationConfig(traffic="tornado")  # valid names construct fine
+    with pytest.raises(ValidationError, match="unknown traffic pattern"):
+        SimulationConfig(traffic="freeway")
+
+
+def test_analytical_performance_validates_traffic_name():
+    with pytest.raises(ValidationError, match="unknown traffic pattern"):
+        analytical_performance(MeshTopology(4, 4), traffic="gridlock")
