@@ -1,0 +1,155 @@
+#!/usr/bin/env python
+"""Simulator throughput benchmark: simulated cycles per wall-clock second.
+
+Measures the cycle-accurate kernel on three canonical workloads (small,
+medium, large) and writes the results to ``BENCH_simulator.json`` so the
+performance trajectory of the simulation kernel is tracked PR over PR.
+
+The *simulated-cycles/second* metric divides the number of kernel cycles the
+run advanced through (warmup + measurement + drain, as reported by the
+simulator) by the wall-clock time of ``Simulator.run()``.  Network and
+routing-table construction are excluded — they are one-time costs that load
+sweeps amortize across many runs.
+
+Run it from the repository root::
+
+    PYTHONPATH=src python benchmarks/perf/bench_simulator.py
+    PYTHONPATH=src python benchmarks/perf/bench_simulator.py --size small
+    PYTHONPATH=src python benchmarks/perf/bench_simulator.py --output BENCH_simulator.json
+
+See ``docs/PERFORMANCE.md`` for the recorded baseline-vs-optimized numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+from repro.simulator.network import build_network
+from repro.simulator.routing_tables import build_routing_tables
+from repro.simulator.simulation import SimulationConfig, Simulator
+from repro.topologies.mesh import MeshTopology
+from repro.topologies.torus import TorusTopology
+from repro.core.sparse_hamming import SparseHammingGraph
+
+#: The benchmark matrix.  Each workload pins a topology, an injection rate and
+#: the phase lengths; everything is fully seeded so repeated runs measure the
+#: exact same simulation.
+WORKLOADS = {
+    "small": {
+        "description": "4x4 mesh, moderate load",
+        "topology": lambda: MeshTopology(4, 4),
+        "config": SimulationConfig(
+            injection_rate=0.10,
+            warmup_cycles=500,
+            measurement_cycles=2000,
+            drain_max_cycles=3000,
+            seed=7,
+        ),
+    },
+    "medium": {
+        "description": "8x8 torus, moderate load",
+        "topology": lambda: TorusTopology(8, 8),
+        "config": SimulationConfig(
+            injection_rate=0.10,
+            warmup_cycles=500,
+            measurement_cycles=2000,
+            drain_max_cycles=3000,
+            seed=7,
+        ),
+    },
+    "large": {
+        "description": "16x16 sparse Hamming graph, light load",
+        "topology": lambda: SparseHammingGraph(16, 16, s_r={4}, s_c={4}),
+        "config": SimulationConfig(
+            injection_rate=0.05,
+            warmup_cycles=300,
+            measurement_cycles=1000,
+            drain_max_cycles=2000,
+            seed=7,
+        ),
+    },
+}
+
+
+def run_workload(name: str, repeats: int = 3) -> dict:
+    """Benchmark one workload; returns the best-of-``repeats`` record."""
+    workload = WORKLOADS[name]
+    topology = workload["topology"]()
+    config = workload["config"]
+    routing = build_routing_tables(topology)
+    network = build_network(topology, config=config.network_config(), routing=routing)
+
+    best: dict | None = None
+    for _ in range(repeats):
+        simulator = Simulator(topology, config, routing=routing, network=network)
+        start = time.perf_counter()
+        stats = simulator.run()
+        elapsed = time.perf_counter() - start
+        cycles = simulator.cycles_simulated
+        record = {
+            "workload": name,
+            "description": workload["description"],
+            "topology": topology.name,
+            "num_tiles": topology.num_tiles,
+            "injection_rate": config.injection_rate,
+            "cycles_simulated": cycles,
+            "wall_seconds": round(elapsed, 4),
+            "cycles_per_second": round(cycles / elapsed, 1),
+            "packets_delivered": stats.packets_delivered,
+            "average_packet_latency": round(stats.average_packet_latency, 4),
+            "drained": stats.drained,
+        }
+        if best is None or record["cycles_per_second"] > best["cycles_per_second"]:
+            best = record
+    assert best is not None
+    return best
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--size",
+        choices=sorted(WORKLOADS) + ["all"],
+        default="all",
+        help="workload to run (default: all)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="timed repetitions per workload (best wins)"
+    )
+    parser.add_argument(
+        "--output",
+        default="BENCH_simulator.json",
+        help="JSON output path (default: BENCH_simulator.json)",
+    )
+    args = parser.parse_args(argv)
+
+    names = sorted(WORKLOADS) if args.size == "all" else [args.size]
+    records = []
+    for name in names:
+        record = run_workload(name, repeats=args.repeats)
+        records.append(record)
+        print(
+            f"{name:8s} {record['topology']:32s} "
+            f"{record['cycles_simulated']:7d} cycles in {record['wall_seconds']:8.3f}s "
+            f"-> {record['cycles_per_second']:>10.1f} cycles/s"
+        )
+
+    payload = {
+        "benchmark": "simulator-cycles-per-second",
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "workloads": records,
+    }
+    output = Path(args.output)
+    output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

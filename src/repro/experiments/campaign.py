@@ -27,7 +27,39 @@ from repro.utils.validation import ValidationError
 
 @dataclass
 class Campaign:
-    """A named, ordered batch of experiment specs."""
+    """A named, ordered batch of experiment specs.
+
+    Parameters
+    ----------
+    specs:
+        The :class:`~repro.experiments.spec.ExperimentSpec` entries, in
+        execution order.
+    name:
+        Free-form campaign name used in reports and the CLI.
+
+    Examples
+    --------
+    Expand a cartesian grid — inapplicable topology/size combinations
+    (hypercube on non-power-of-two grids, SlimNoC off its supported sizes)
+    are skipped automatically:
+
+    >>> from repro.experiments import Campaign
+    >>> campaign = Campaign.grid(
+    ...     topologies=("mesh", "torus", "hypercube"),
+    ...     sizes=((8, 8), (8, 12)),
+    ...     traffics=("uniform", "tornado"),
+    ...     scenarios=("a",),
+    ... )
+    >>> len(campaign)       # hypercube is skipped on the 8x12 grid
+    10
+
+    Campaigns round-trip through JSON (explicit spec list or declarative
+    grid) so whole studies live in version control:
+
+    >>> path = campaign.save("study.json")          # doctest: +SKIP
+    >>> Campaign.load("study.json").name            # doctest: +SKIP
+    'grid'
+    """
 
     specs: list[ExperimentSpec] = field(default_factory=list)
     name: str = "campaign"
@@ -189,7 +221,37 @@ def figure6_campaign(
     traffic: str = "uniform",
 ) -> Campaign:
     """The campaign behind one Figure 6 panel: every applicable topology of a
-    KNC scenario, with the paper's sparse-Hamming-graph configuration."""
+    KNC scenario, with the paper's sparse-Hamming-graph configuration.
+
+    Parameters
+    ----------
+    scenario_key:
+        KNC scenario (``"a"`` .. ``"d"``, Table II).
+    performance_mode:
+        ``"analytical"`` (fast, default) or ``"simulation"``
+        (cycle-accurate, the paper's BookSim2 setup).
+    sim:
+        :class:`~repro.simulator.simulation.SimulationConfig` overrides
+        shared by every spec (e.g. shortened phases for CI).
+    traffic:
+        Traffic pattern name (the paper evaluates ``"uniform"``).
+
+    Returns
+    -------
+    Campaign
+        One spec per topology applicable to the scenario's grid, in the
+        paper's comparison order.
+
+    Examples
+    --------
+    >>> from repro.experiments import figure6_campaign, run_campaign
+    >>> campaign = figure6_campaign("a")
+    >>> campaign.name
+    'figure6a'
+    >>> results = run_campaign(campaign)           # doctest: +SKIP
+    >>> results.best_within_area_budget(0.40).topology_name  # doctest: +SKIP
+    'Sparse Hamming Graph'
+    """
     if scenario_key not in KNC_SCENARIOS:
         raise ValidationError(
             f"unknown scenario {scenario_key!r}; known: {sorted(KNC_SCENARIOS)}"

@@ -185,7 +185,23 @@ def _cmd_figure6(args: argparse.Namespace) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
-    """The ``repro`` argument parser (exposed for docs and tests)."""
+    """The ``repro`` argument parser (exposed for docs and tests).
+
+    Returns
+    -------
+    argparse.ArgumentParser
+        Parser with one subparser per subcommand (``list-topologies``,
+        ``list-traffic``, ``predict``, ``campaign``, ``figure6``); each sets
+        a ``handler`` default that :func:`main` dispatches to.
+
+    Examples
+    --------
+    >>> parser = build_parser()
+    >>> args = parser.parse_args(["predict", "--topology", "mesh",
+    ...                           "--rows", "4", "--cols", "4"])
+    >>> args.command
+    'predict'
+    """
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Declarative experiment runner for the sparse-Hamming-graph NoC reproduction.",
@@ -243,7 +259,32 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    """Entry point of the ``repro`` console script."""
+    """Entry point of the ``repro`` console script.
+
+    Parameters
+    ----------
+    argv:
+        Argument list without the program name; ``None`` reads
+        ``sys.argv[1:]`` (the console-script path).
+
+    Returns
+    -------
+    int
+        ``0`` on success, ``2`` on invalid input (unknown registry name,
+        malformed JSON, missing campaign file) — matching the reference in
+        ``README.md``.
+
+    Examples
+    --------
+    >>> main(["list-traffic"])
+    bit_complement
+    hotspot
+    neighbor
+    tornado
+    transpose
+    uniform
+    0
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
     try:

@@ -49,7 +49,26 @@ _RESULT_SCALARS = (
 
 
 def prediction_to_dict(prediction: PredictionResult) -> dict[str, Any]:
-    """JSON-serializable form of a prediction (scalar metrics + analytical details)."""
+    """JSON-serializable form of a prediction (scalar metrics + analytical details).
+
+    Parameters
+    ----------
+    prediction:
+        A live :class:`~repro.toolchain.results.PredictionResult`.
+
+    Returns
+    -------
+    dict
+        The scalar Figure 6 metrics plus, when present, the analytical
+        performance details.  Heavyweight artifacts (the physical-model
+        result, cycle-accurate sweep statistics) are dropped.
+
+    Examples
+    --------
+    >>> payload = prediction_to_dict(spec.run())        # doctest: +SKIP
+    >>> sorted(payload)[:3]                             # doctest: +SKIP
+    ['analytical', 'area_overhead', 'noc_power_w']
+    """
     data = {key: getattr(prediction, key) for key in _RESULT_SCALARS}
     analytical = prediction.details.get("analytical")
     if isinstance(analytical, AnalyticalPerformance):
@@ -63,7 +82,26 @@ def prediction_to_dict(prediction: PredictionResult) -> dict[str, Any]:
 
 
 def prediction_from_dict(data: Mapping[str, Any]) -> PredictionResult:
-    """Rebuild a prediction from :func:`prediction_to_dict` output."""
+    """Rebuild a prediction from :func:`prediction_to_dict` output.
+
+    Parameters
+    ----------
+    data:
+        A mapping previously produced by :func:`prediction_to_dict` (e.g. a
+        cache entry or a parallel-worker payload).
+
+    Returns
+    -------
+    PredictionResult
+        The scalar metrics and analytical details; ``physical`` is ``None``
+        (it does not survive serialization).
+
+    Examples
+    --------
+    >>> rebuilt = prediction_from_dict(prediction_to_dict(p))  # doctest: +SKIP
+    >>> rebuilt.zero_load_latency_cycles == p.zero_load_latency_cycles  # doctest: +SKIP
+    True
+    """
     details: dict[str, Any] = {}
     if "analytical" in data:
         details["analytical"] = AnalyticalPerformance(**data["analytical"])
@@ -82,7 +120,26 @@ def _predict_payload(spec_dict: dict[str, Any]) -> dict[str, Any]:
 
 @dataclass(frozen=True)
 class ExperimentResult:
-    """One executed spec: the spec, its prediction, and cache provenance."""
+    """One executed spec: the spec, its prediction, and cache provenance.
+
+    Attributes
+    ----------
+    spec:
+        The :class:`~repro.experiments.spec.ExperimentSpec` that was run.
+    prediction:
+        The resulting :class:`~repro.toolchain.results.PredictionResult`.
+    cached:
+        ``True`` when the prediction was served from the runner's on-disk
+        cache instead of being computed.
+
+    Examples
+    --------
+    >>> result = ExperimentRunner().run(spec)[0]        # doctest: +SKIP
+    >>> result.cached                                   # doctest: +SKIP
+    False
+    >>> result.prediction.area_overhead < 0.40          # doctest: +SKIP
+    True
+    """
 
     spec: ExperimentSpec
     prediction: PredictionResult
@@ -91,7 +148,33 @@ class ExperimentResult:
 
 class ResultSet:
     """Ordered collection of experiment results with tabular export and
-    Pareto/compliance helpers wrapping :mod:`repro.analysis`."""
+    Pareto/compliance helpers wrapping :mod:`repro.analysis`.
+
+    Parameters
+    ----------
+    results:
+        :class:`ExperimentResult` entries, in campaign order.
+
+    Examples
+    --------
+    Run a campaign and export/analyse the results:
+
+    >>> from repro.experiments import Campaign, ExperimentRunner
+    >>> campaign = Campaign.grid(
+    ...     topologies=("mesh", "torus", "sparse_hamming"),
+    ...     sizes=((8, 8),), scenarios=("a",),
+    ...     topology_kwargs={"sparse_hamming": {"s_r": [4], "s_c": [2, 5]}},
+    ... )
+    >>> results = ExperimentRunner().run(campaign)      # doctest: +SKIP
+    >>> len(results)                                    # doctest: +SKIP
+    3
+    >>> results.to_csv("results.csv")                   # doctest: +SKIP
+    PosixPath('results.csv')
+    >>> results.best_within_area_budget(0.40).topology_name  # doctest: +SKIP
+    'Sparse Hamming Graph'
+    >>> [point.name for point in results.pareto_front()]     # doctest: +SKIP
+    ['Sparse Hamming Graph', ...]
+    """
 
     def __init__(self, results: Iterable[ExperimentResult]) -> None:
         self.results = list(results)
@@ -210,6 +293,22 @@ class ExperimentRunner:
     max_workers:
         Default process count for parallel runs (``run(..., parallel=...)``
         overrides per call); ``None`` or 1 runs serially.
+
+    Examples
+    --------
+    Memoized execution — the second run is served entirely from the cache:
+
+    >>> from repro.experiments import ExperimentRunner, ExperimentSpec
+    >>> spec = ExperimentSpec(topology="mesh", rows=4, cols=4, scenario="a")
+    >>> runner = ExperimentRunner(cache_dir=".repro-cache")  # doctest: +SKIP
+    >>> runner.run(spec).num_cached                          # doctest: +SKIP
+    0
+    >>> runner.run(spec).num_cached                          # doctest: +SKIP
+    1
+
+    Fan a campaign out over four worker processes:
+
+    >>> results = runner.run(campaign, parallel=4)           # doctest: +SKIP
     """
 
     def __init__(self, cache_dir: str | Path | None = None, max_workers: int | None = None) -> None:
@@ -341,7 +440,29 @@ def run_campaign(
     cache_dir: str | Path | None = None,
     parallel: int | None = None,
 ) -> ResultSet:
-    """One-shot convenience wrapper around :class:`ExperimentRunner`."""
+    """One-shot convenience wrapper around :class:`ExperimentRunner`.
+
+    Parameters
+    ----------
+    campaign:
+        The campaign to execute.
+    cache_dir:
+        Directory for the JSON result cache; ``None`` disables memoization.
+    parallel:
+        Worker process count; ``None`` or 1 runs serially.
+
+    Returns
+    -------
+    ResultSet
+        One result per spec, in campaign order.
+
+    Examples
+    --------
+    >>> from repro.experiments import figure6_campaign, run_campaign
+    >>> results = run_campaign(figure6_campaign("a"))   # doctest: +SKIP
+    >>> len(results) > 0                                # doctest: +SKIP
+    True
+    """
     return ExperimentRunner(cache_dir=cache_dir).run(campaign, parallel=parallel)
 
 

@@ -102,11 +102,23 @@ class Flit:
     creates one object per flit and moves it through buffers and links.
     """
 
-    __slots__ = ("packet", "sequence", "is_head", "is_tail", "vc", "escape", "hops")
+    __slots__ = (
+        "packet",
+        "sequence",
+        "destination",
+        "is_head",
+        "is_tail",
+        "vc",
+        "escape",
+        "hops",
+    )
 
     def __init__(self, packet: Packet, sequence: int) -> None:
         self.packet = packet
         self.sequence = sequence
+        #: Destination tile, copied from the parent packet so the router's
+        #: allocation loop reads it with one attribute load instead of two.
+        self.destination = packet.destination
         self.is_head = sequence == 0
         self.is_tail = sequence == packet.size_flits - 1
         #: Virtual channel currently occupied (set while traversing the network).
@@ -116,11 +128,6 @@ class Flit:
         self.escape = False
         #: Number of router-to-router hops taken so far (statistics).
         self.hops = 0
-
-    @property
-    def destination(self) -> int:
-        """Destination tile of the parent packet."""
-        return self.packet.destination
 
     def __repr__(self) -> str:
         kind = "H" if self.is_head else ("T" if self.is_tail else "B")

@@ -82,6 +82,11 @@ class Channel:
 class Network:
     """Static structure of the simulated network.
 
+    A ``Network`` is immutable once built and carries no per-run state, so
+    one instance can (and, for performance, should) be shared across many
+    :class:`~repro.simulator.simulation.Simulator` runs — a load sweep builds
+    the network once and reuses it for every injection rate.
+
     Attributes
     ----------
     topology:
@@ -107,11 +112,21 @@ class Network:
     channel_ids: dict[tuple[int, int], int] = field(default_factory=dict)
     outputs: list[dict[int, int]] = field(default_factory=list)
     inputs: list[list[int]] = field(default_factory=list)
+    # Lazily built hot-path lookup tables (see compiled_routes); not part of
+    # the network's value identity.
+    _compiled_routes: tuple[list[list[int]], list[list[int]]] | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     @property
     def num_nodes(self) -> int:
         """Number of routers (= tiles)."""
         return self.topology.num_tiles
+
+    @property
+    def max_latency_cycles(self) -> int:
+        """Largest channel latency (sizes the simulator's event wheel)."""
+        return max((channel.latency_cycles for channel in self.channels), default=1)
 
     def channel(self, source: int, destination: int) -> Channel:
         """The directed channel from ``source`` to ``destination``."""
@@ -123,6 +138,39 @@ class Network:
     def latency(self, source: int, destination: int) -> int:
         """Latency in cycles of the channel ``source -> destination``."""
         return self.channel(source, destination).latency_cycles
+
+    def compiled_routes(self) -> tuple[list[list[int]], list[list[int]]]:
+        """Routing tables flattened into channel-id arrays for the hot path.
+
+        Returns ``(minimal_channel, escape_channel)`` where
+        ``minimal_channel[node][destination]`` is the *outgoing channel id*
+        a head flit at ``node`` takes towards ``destination`` on the adaptive
+        (hop-minimal) layer, and ``escape_channel`` likewise for the escape
+        (spanning-tree) layer.  Entries for ``node == destination`` are ``-1``
+        (the flit ejects instead of routing).  Collapsing the two-step
+        ``routing table -> neighbour -> channel id`` lookup into one list
+        index removes two dict probes per head flit per hop from the router's
+        allocation loop.  Built once per network and cached.
+        """
+        if self._compiled_routes is None:
+            num = self.num_nodes
+            minimal_table, escape_table = self.routing.minimal, self.routing.escape
+            minimal = [
+                [
+                    self.outputs[node][minimal_table[node][dst]] if dst != node else -1
+                    for dst in range(num)
+                ]
+                for node in range(num)
+            ]
+            escape = [
+                [
+                    self.outputs[node][escape_table[node][dst]] if dst != node else -1
+                    for dst in range(num)
+                ]
+                for node in range(num)
+            ]
+            self._compiled_routes = (minimal, escape)
+        return self._compiled_routes
 
 
 def build_network(

@@ -20,6 +20,22 @@ Per cycle the router performs (in this order):
 
 The router pipeline latency is modelled by making every arriving flit eligible
 for forwarding only ``router_pipeline_cycles`` after its arrival.
+
+Hot-path structure
+------------------
+:meth:`Router.step` fuses both phases into a single pass over a pre-flattened
+``(input port, VC)`` list: each ready front flit is allocated (if it is an
+unallocated head) and immediately *bucketed* under its output port; switch
+allocation then draws each port's round-robin winner from its bucket.  This
+is behaviour-identical to the textbook two-phase formulation (allocation
+never depends on other VCs' switch decisions within a cycle, and credits and
+buffers only change for switch winners, which the one-flit-per-input-port
+rule excludes from later ports anyway) but visits every VC once per cycle
+instead of once per output port.  Routing lookups use the network's
+:meth:`~repro.simulator.network.Network.compiled_routes` channel-id arrays,
+and the scheduler only calls ``step`` on routers that hold buffered flits
+(see :class:`~repro.simulator.simulation.Simulator`), which ``Router`` tracks
+in :attr:`buffered_count`.
 """
 
 from __future__ import annotations
@@ -59,8 +75,8 @@ class Router:
     """One input-queued VC router.
 
     The router communicates with the rest of the simulator through callbacks:
-    ``send_flit(channel_id, vc, flit, latency)`` schedules a flit on a channel,
-    ``send_credit(channel_id, vc, latency)`` returns a credit upstream and
+    ``send_flit(channel_id, vc, flit)`` schedules a flit on a channel,
+    ``send_credit(channel_id, vc)`` returns a credit upstream and
     ``eject(flit, cycle)`` delivers a flit to the local endpoint.
     """
 
@@ -85,23 +101,38 @@ class Router:
         }
         #: round-robin pointers for switch allocation, per output port.
         self._rr_pointer: dict[int, int] = {ch: 0 for ch in self.output_channels + [EJECT_PORT]}
-        #: lookup neighbour -> outgoing channel id.
-        self._channel_to: dict[int, int] = dict(network.outputs[node])
+        #: Number of flits currently buffered across all input VCs; the
+        #: simulator's active-set scheduler skips routers at zero.
+        self.buffered_count = 0
+
+        # Hot-path precomputation: the (port, VC) scan order of the two-phase
+        # reference implementation, flattened into one list, and the routing
+        # tables collapsed into destination -> outgoing-channel-id arrays.
+        self._vc_states: list[tuple[int, int, InputVC]] = [
+            (key, vc_index, state)
+            for key in self.input_keys
+            for vc_index, state in enumerate(self.inputs[key])
+        ]
+        self._switch_ports: list[int] = self.output_channels + [EJECT_PORT]
+        minimal, escape = network.compiled_routes()
+        self._minimal_channel: list[int] = minimal[node]
+        self._escape_channel: list[int] = escape[node]
 
     # ----------------------------------------------------------- occupancy
     def has_work(self) -> bool:
         """``True`` if any input VC holds flits (the router needs stepping)."""
-        return any(vc.buffer for vcs in self.inputs.values() for vc in vcs)
+        return self.buffered_count > 0
 
     def buffered_flits(self) -> int:
         """Total number of flits currently buffered in this router."""
-        return sum(len(vc.buffer) for vcs in self.inputs.values() for vc in vcs)
+        return self.buffered_count
 
     # ------------------------------------------------------------ receiving
     def receive_flit(self, channel_id: int, vc: int, flit: Flit, cycle: int) -> None:
         """Accept a flit arriving on an input channel (or the injection port)."""
         ready = cycle + self.config.router_pipeline_cycles
         self.inputs[channel_id][vc].buffer.append((flit, ready))
+        self.buffered_count += 1
 
     def receive_credit(self, channel_id: int, vc: int) -> None:
         """Accept a credit returned by the downstream router."""
@@ -127,88 +158,94 @@ class Router:
         eject: Callable[[Flit, int], None],
     ) -> int:
         """Run one cycle of the router.  Returns the number of flits forwarded."""
-        self._allocate(cycle)
-        return self._switch(cycle, send_flit, send_credit, eject)
-
-    # --------------------------------------------------------- VC allocation
-    def _allocate(self, cycle: int) -> None:
-        routing = self.network.routing
         config = self.config
-        for key in self.input_keys:
-            for input_vc, state in enumerate(self.inputs[key]):
-                if not state.buffer or state.out_channel is not None:
-                    continue
-                flit, ready = state.buffer[0]
-                if ready > cycle:
-                    continue
+        node = self.node
+        out_alloc = self.out_alloc
+        credits = self.credits
+        adaptive_vcs = config.adaptive_vcs
+        escape_vc = config.escape_vc
+        has_adaptive_layer = config.num_vcs > 1
+        minimal_channel = self._minimal_channel
+        escape_channel = self._escape_channel
+
+        # Phase 1 — VC allocation + switch candidacy, one pass over all VCs.
+        # Buckets list each output port's candidates in (input port, VC)
+        # order, exactly the order the reference per-port scan visits them.
+        buckets: dict[int, list[tuple[int, int, InputVC]]] = {}
+        for key, vc_index, state in self._vc_states:
+            buffer = state.buffer
+            if not buffer:
+                continue
+            flit, ready = buffer[0]
+            if ready > cycle:
+                continue
+            out_channel = state.out_channel
+            if out_channel is None:
                 if not flit.is_head:
-                    # Packets never interleave within an input VC (the upstream
-                    # output VC is held until the tail), so a body flit at the
-                    # front always inherits the head's allocation; nothing to do.
+                    # Packets never interleave within an input VC (the
+                    # upstream output VC is held until the tail), so a body
+                    # flit at the front always inherits the head's
+                    # allocation; nothing to do.
                     continue
                 destination = flit.destination
-                if destination == self.node:
-                    state.out_channel = EJECT_PORT
+                if destination == node:
+                    state.out_channel = out_channel = EJECT_PORT
                     state.out_vc = 0
-                    continue
-                allocated = False
-                if not flit.escape and config.num_vcs > 1:
-                    next_hop = routing.minimal_next_hop(self.node, destination)
-                    channel = self._channel_to[next_hop]
-                    for vc in config.adaptive_vcs:
-                        if self.out_alloc[channel][vc] is None:
-                            self.out_alloc[channel][vc] = (key, input_vc)
-                            state.out_channel = channel
-                            state.out_vc = vc
-                            allocated = True
-                            break
-                if not allocated:
-                    next_hop = routing.escape_next_hop(self.node, destination)
-                    channel = self._channel_to[next_hop]
-                    escape_vc = config.escape_vc
-                    if self.out_alloc[channel][escape_vc] is None:
-                        self.out_alloc[channel][escape_vc] = (key, input_vc)
-                        state.out_channel = channel
-                        state.out_vc = escape_vc
-                        flit.escape = True
-                        flit.packet.used_escape = True
+                else:
+                    if not flit.escape and has_adaptive_layer:
+                        channel = minimal_channel[destination]
+                        alloc = out_alloc[channel]
+                        for vc in adaptive_vcs:
+                            if alloc[vc] is None:
+                                alloc[vc] = (key, vc_index)
+                                state.out_channel = out_channel = channel
+                                state.out_vc = vc
+                                break
+                    if out_channel is None:
+                        channel = escape_channel[destination]
+                        alloc = out_alloc[channel]
+                        if alloc[escape_vc] is None:
+                            alloc[escape_vc] = (key, vc_index)
+                            state.out_channel = out_channel = channel
+                            state.out_vc = escape_vc
+                            flit.escape = True
+                            flit.packet.used_escape = True
+                        else:
+                            continue  # no output VC free this cycle
+            if out_channel != EJECT_PORT and credits[out_channel][state.out_vc] <= 0:
+                continue  # no downstream buffer space
+            bucket = buckets.get(out_channel)
+            if bucket is None:
+                buckets[out_channel] = [(key, vc_index, state)]
+            else:
+                bucket.append((key, vc_index, state))
 
-    # ------------------------------------------------- switch allocation/ST
-    def _switch(
-        self,
-        cycle: int,
-        send_flit: Callable[[int, int, Flit], None],
-        send_credit: Callable[[int, int], None],
-        eject: Callable[[Flit, int], None],
-    ) -> int:
-        config = self.config
+        if not buckets:
+            return 0
+
+        # Phase 2 — switch allocation + traversal: per output port, pick the
+        # round-robin winner among candidates whose input port has not yet
+        # forwarded a flit this cycle.
+        rr_pointer = self._rr_pointer
         used_inputs: set[int] = set()
         forwarded = 0
-
-        for out_port in self.output_channels + [EJECT_PORT]:
-            candidates: list[tuple[int, int, InputVC]] = []
-            for key in self.input_keys:
-                if key in used_inputs:
-                    continue
-                for vc_index, state in enumerate(self.inputs[key]):
-                    if not state.buffer or state.out_channel != out_port:
-                        continue
-                    flit, ready = state.buffer[0]
-                    if ready > cycle:
-                        continue
-                    if out_port != EJECT_PORT:
-                        assert state.out_vc is not None
-                        if self.credits[out_port][state.out_vc] <= 0:
-                            continue
-                    candidates.append((key, vc_index, state))
-            if not candidates:
+        for out_port in self._switch_ports:
+            bucket = buckets.get(out_port)
+            if not bucket:
                 continue
-            pointer = self._rr_pointer[out_port]
+            if used_inputs:
+                candidates = [entry for entry in bucket if entry[0] not in used_inputs]
+                if not candidates:
+                    continue
+            else:
+                candidates = bucket
+            pointer = rr_pointer[out_port]
             winner = candidates[pointer % len(candidates)]
-            self._rr_pointer[out_port] = pointer + 1
+            rr_pointer[out_port] = pointer + 1
             key, vc_index, state = winner
             used_inputs.add(key)
             flit, _ = state.buffer.popleft()
+            self.buffered_count -= 1
             forwarded += 1
 
             # Return a credit to the upstream router for the freed buffer slot.
@@ -224,12 +261,12 @@ class Router:
 
             out_vc = state.out_vc
             assert out_vc is not None
-            self.credits[out_port][out_vc] -= 1
+            credits[out_port][out_vc] -= 1
             flit.vc = out_vc
             flit.hops += 1
             send_flit(out_port, out_vc, flit)
             if flit.is_tail:
-                self.out_alloc[out_port][out_vc] = None
+                out_alloc[out_port][out_vc] = None
                 state.out_channel = None
                 state.out_vc = None
         return forwarded

@@ -11,10 +11,29 @@ phases:
   limit is reached (a saturated network never drains; the statistics flag
   this).
 
-Flits and credits in flight on channels are kept in per-cycle event queues, so
-a link with an ``L``-cycle latency simply schedules its deliveries ``L``
-cycles into the future — this is how the physical model's per-link latency
-estimates enter the performance prediction (Figure 3 of the paper).
+Flits and credits in flight on channels are kept in a *slotted event wheel*
+sized by the maximum link latency: a link with an ``L``-cycle latency simply
+schedules its deliveries ``L`` slots ahead on the wheel — this is how the
+physical model's per-link latency estimates enter the performance prediction
+(Figure 3 of the paper).
+
+Scheduling
+----------
+The kernel is *activity-driven* (the scheduling style BookSim2-class
+simulators use): instead of scanning every router every cycle, the simulator
+maintains an **active set** of routers that hold buffered flits and a
+**pending set** of tiles with queued or partially injected packets.  Routers
+enter the active set when a flit is delivered to them (from a channel or the
+injection port) and leave it when their buffers drain; a router outside the
+active set provably has nothing to do (credits arriving at an empty router
+change no observable state until its next flit arrives).  Both sets are
+iterated in ascending node order, so results are **bit-identical** to the
+dense per-cycle scan — enforced by ``tests/unit/test_simulation_golden.py``.
+
+For repeated runs on the same topology (load sweeps), pass a prebuilt
+``network`` (and ``routing``): the network is immutable, so sharing it across
+runs skips per-run construction and reuses the compiled routing arrays.  See
+``docs/PERFORMANCE.md`` for the measured effect of this design.
 """
 
 from __future__ import annotations
@@ -99,7 +118,26 @@ class _InjectionState:
 
 
 class Simulator:
-    """Cycle-accurate simulation of one topology under one traffic load."""
+    """Cycle-accurate simulation of one topology under one traffic load.
+
+    Parameters
+    ----------
+    topology:
+        The NoC topology to simulate.
+    config:
+        Run configuration; defaults to the paper's evaluation setup.
+    link_latencies:
+        Per-link latency estimates from the physical model (ignored when a
+        prebuilt ``network`` is given, which already carries them).
+    routing:
+        Pre-built routing tables to share across runs (ignored when a
+        prebuilt ``network`` is given).
+    network:
+        A prebuilt :class:`Network` to reuse.  It must have been built from
+        ``topology`` with a :class:`NetworkConfig` equal to
+        ``config.network_config()`` — load sweeps use this to skip per-run
+        network construction.
+    """
 
     def __init__(
         self,
@@ -107,15 +145,28 @@ class Simulator:
         config: SimulationConfig | None = None,
         link_latencies: dict[Link, int] | None = None,
         routing: RoutingTables | None = None,
+        network: Network | None = None,
     ) -> None:
         self.config = config or SimulationConfig()
-        self.network: Network = build_network(
-            topology,
-            config=self.config.network_config(),
-            link_latencies=link_latencies,
-            routing=routing,
-        )
-        self.routers = [Router(node, self.network) for node in range(self.network.num_nodes)]
+        if network is not None:
+            if network.topology is not topology:
+                raise ValidationError(
+                    "prebuilt network was constructed from a different topology"
+                )
+            if network.config != self.config.network_config():
+                raise ValidationError(
+                    "prebuilt network was constructed with a different NetworkConfig"
+                )
+            self.network = network
+        else:
+            self.network = build_network(
+                topology,
+                config=self.config.network_config(),
+                link_latencies=link_latencies,
+                routing=routing,
+            )
+        num_nodes = self.network.num_nodes
+        self.routers = [Router(node, self.network) for node in range(num_nodes)]
         pattern = make_traffic_pattern(self.config.traffic, topology)
         self.injection = InjectionProcess(
             pattern,
@@ -123,33 +174,70 @@ class Simulator:
             self.config.packet_size_flits,
             seed=self.config.seed,
         )
-        self._flit_events: dict[int, list[tuple[int, int, int, Flit]]] = {}
-        self._credit_events: dict[int, list[tuple[int, int, int]]] = {}
-        self._injection_states = [_InjectionState() for _ in range(self.network.num_nodes)]
+
+        # Channel attributes flattened into arrays indexed by channel id, so
+        # event scheduling does one list index instead of an object traversal.
+        channels = self.network.channels
+        self._channel_latency = [channel.latency_cycles for channel in channels]
+        self._channel_dest = [channel.destination for channel in channels]
+        self._channel_src = [channel.source for channel in channels]
+
+        # The event wheel: slot (cycle % wheel size) holds the deliveries due
+        # in that cycle.  One extra slot keeps "now + max latency" distinct
+        # from "now".
+        self._wheel_size = self.network.max_latency_cycles + 1
+        self._flit_wheel: list[list[tuple[int, int, int, Flit]]] = [
+            [] for _ in range(self._wheel_size)
+        ]
+        self._credit_wheel: list[list[tuple[int, int, int]]] = [
+            [] for _ in range(self._wheel_size)
+        ]
+
+        self._injection_states = [_InjectionState() for _ in range(num_nodes)]
+        #: Routers currently holding buffered flits (the only ones stepped).
+        self._active: set[int] = set()
+        #: Tiles with queued packets or a partially injected packet.
+        self._pending_injection: set[int] = set()
+
         self._accumulator = _Accumulator()
         self._packet_counter = 0
         self._cycle = 0
         self._packets_measured = 0
         self._measured_in_flight = 0
 
+    @property
+    def cycles_simulated(self) -> int:
+        """Number of cycles the kernel has advanced through so far."""
+        return self._cycle
+
     # ----------------------------------------------------------- event plumbing
     def _schedule_flit(self, channel_id: int, vc: int, flit: Flit) -> None:
-        channel = self.network.channels[channel_id]
-        arrival = self._cycle + channel.latency_cycles
-        self._flit_events.setdefault(arrival, []).append(
-            (channel.destination, channel_id, vc, flit)
-        )
+        latency = self._channel_latency[channel_id]
+        slot = (self._cycle + latency) % self._wheel_size
+        self._flit_wheel[slot].append((self._channel_dest[channel_id], channel_id, vc, flit))
 
     def _schedule_credit(self, channel_id: int, vc: int) -> None:
-        channel = self.network.channels[channel_id]
-        arrival = self._cycle + channel.latency_cycles
-        self._credit_events.setdefault(arrival, []).append((channel.source, channel_id, vc))
+        latency = self._channel_latency[channel_id]
+        slot = (self._cycle + latency) % self._wheel_size
+        self._credit_wheel[slot].append((self._channel_src[channel_id], channel_id, vc))
 
     def _deliver_events(self) -> None:
-        for node, channel_id, vc, flit in self._flit_events.pop(self._cycle, []):
-            self.routers[node].receive_flit(channel_id, vc, flit, self._cycle)
-        for node, channel_id, vc in self._credit_events.pop(self._cycle, []):
-            self.routers[node].receive_credit(channel_id, vc)
+        slot = self._cycle % self._wheel_size
+        flit_events = self._flit_wheel[slot]
+        if flit_events:
+            routers = self.routers
+            active = self._active
+            cycle = self._cycle
+            for node, channel_id, vc, flit in flit_events:
+                routers[node].receive_flit(channel_id, vc, flit, cycle)
+                active.add(node)
+            self._flit_wheel[slot] = []
+        credit_events = self._credit_wheel[slot]
+        if credit_events:
+            routers = self.routers
+            for node, channel_id, vc in credit_events:
+                routers[node].receive_credit(channel_id, vc)
+            self._credit_wheel[slot] = []
 
     # ------------------------------------------------------------- injection
     def _create_packets(self, measured: bool) -> None:
@@ -168,9 +256,16 @@ class Simulator:
                 self._packets_measured += 1
                 self._measured_in_flight += 1
             self._injection_states[source].queue.append(packet)
+            self._pending_injection.add(source)
 
     def _inject_flits(self) -> None:
-        for node, state in enumerate(self._injection_states):
+        if not self._pending_injection:
+            return
+        states = self._injection_states
+        active = self._active
+        cycle = self._cycle
+        for node in sorted(self._pending_injection):
+            state = states[node]
             router = self.routers[node]
             if not state.current_flits and state.queue:
                 vc = router.free_injection_vc()
@@ -182,12 +277,23 @@ class Simulator:
                 if router.injection_space(state.current_vc):
                     flit = state.current_flits.pop(0)
                     if flit.is_head:
-                        flit.packet.injection_cycle = self._cycle
-                    router.receive_flit(INJECT_PORT, state.current_vc, flit, self._cycle)
+                        flit.packet.injection_cycle = cycle
+                    router.receive_flit(INJECT_PORT, state.current_vc, flit, cycle)
+                    active.add(node)
                     if flit.is_tail:
                         state.current_vc = None
+            if state.idle:
+                self._pending_injection.discard(node)
 
     # -------------------------------------------------------------- ejection
+    def _eject_measured(self, flit: Flit, cycle: int) -> None:
+        """Ejection callback for cycles inside the measurement window."""
+        self._eject(flit, cycle, True)
+
+    def _eject_unmeasured(self, flit: Flit, cycle: int) -> None:
+        """Ejection callback for warmup and drain cycles."""
+        self._eject(flit, cycle, False)
+
     def _eject(self, flit: Flit, cycle: int, in_measurement_window: bool) -> None:
         if flit.is_tail:
             packet = flit.packet
@@ -208,19 +314,26 @@ class Simulator:
         measurement_end = warmup_end + config.measurement_cycles
         hard_end = measurement_end + config.drain_max_cycles
 
+        routers = self.routers
+        active = self._active
+        schedule_flit = self._schedule_flit
+        schedule_credit = self._schedule_credit
+
         drained = True
         while True:
-            in_warmup = self._cycle < warmup_end
             in_measurement = warmup_end <= self._cycle < measurement_end
+            eject = self._eject_measured if in_measurement else self._eject_unmeasured
 
             self._deliver_events()
             self._create_packets(measured=in_measurement)
             self._inject_flits()
 
-            eject = lambda flit, cycle: self._eject(flit, cycle, in_measurement)  # noqa: E731
-            for router in self.routers:
-                if router.has_work():
-                    router.step(self._cycle, self._schedule_flit, self._schedule_credit, eject)
+            if active:
+                for node in sorted(active):
+                    router = routers[node]
+                    router.step(self._cycle, schedule_flit, schedule_credit, eject)
+                    if not router.buffered_count:
+                        active.discard(node)
 
             self._cycle += 1
             if self._cycle >= measurement_end and self._measured_in_flight == 0:
@@ -228,7 +341,6 @@ class Simulator:
             if self._cycle >= hard_end:
                 drained = self._measured_in_flight == 0
                 break
-            del in_warmup
 
         return self._accumulator.finalize(
             offered_load=config.injection_rate,

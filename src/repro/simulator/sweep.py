@@ -15,12 +15,19 @@ bisection refinement; a load point counts as *saturated* when the average
 latency exceeds ``latency_blowup`` times the zero-load latency, when the
 accepted throughput falls short of the offered load, or when the network fails
 to drain the measured packets.
+
+Every sweep builds the routing tables and the :class:`Network` **once** and
+shares them across all simulated load points — only the injection rate varies
+between points, and neither structure depends on it.  Callers that sweep the
+same topology repeatedly (e.g. the prediction toolchain) can pass prebuilt
+``routing`` and/or ``network`` objects to skip construction entirely.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
+from repro.simulator.network import Network, build_network
 from repro.simulator.routing_tables import RoutingTables, build_routing_tables
 from repro.simulator.simulation import SimulationConfig, Simulator
 from repro.simulator.statistics import SimulationStats
@@ -48,13 +55,37 @@ class LoadSweepResult:
     points: list[tuple[float, SimulationStats]]
 
 
-def _simulate(
+def _shared_network(
     topology: Topology,
     config: SimulationConfig,
     link_latencies: dict[Link, int] | None,
-    routing: RoutingTables,
+    routing: RoutingTables | None,
+    network: Network | None,
+) -> Network:
+    """The network reused by every load point of one sweep.
+
+    A prebuilt ``network`` wins outright (it already carries its routing
+    tables); otherwise the tables are built here — only when actually needed,
+    so the prebuilt-network fast path never pays the all-pairs BFS.
+    """
+    if network is not None:
+        return network
+    if routing is None:
+        routing = build_routing_tables(topology)
+    return build_network(
+        topology,
+        config=config.network_config(),
+        link_latencies=link_latencies,
+        routing=routing,
+    )
+
+
+def _simulate(
+    topology: Topology,
+    config: SimulationConfig,
+    network: Network,
 ) -> SimulationStats:
-    simulator = Simulator(topology, config, link_latencies=link_latencies, routing=routing)
+    simulator = Simulator(topology, config, network=network)
     return simulator.run()
 
 
@@ -64,13 +95,14 @@ def measure_zero_load_latency(
     link_latencies: dict[Link, int] | None = None,
     routing: RoutingTables | None = None,
     probe_rate: float = 0.01,
+    network: Network | None = None,
 ) -> SimulationStats:
     """Measure the latency at a probe load low enough to avoid contention."""
     check_in_range("probe_rate", probe_rate, 0.0, 1.0)
     base = config or SimulationConfig()
-    routing = routing or build_routing_tables(topology)
+    network = _shared_network(topology, base, link_latencies, routing, network)
     probe_config = replace(base, injection_rate=probe_rate)
-    return _simulate(topology, probe_config, link_latencies, routing)
+    return _simulate(topology, probe_config, network)
 
 
 def _is_saturated(
@@ -96,20 +128,24 @@ def find_saturation_throughput(
     coarse_steps: int = 6,
     refine_steps: int = 3,
     max_rate: float = 1.0,
+    network: Network | None = None,
 ) -> LoadSweepResult:
     """Estimate zero-load latency and saturation throughput by simulation.
 
     The sweep first probes a geometric sequence of injection rates to bracket
     the saturation point, then bisects the bracket ``refine_steps`` times.
+    When the probe load itself is already saturated, the bracket degenerates
+    to the probe rate and the reported saturation throughput is the probe
+    rate (the network sustains no less than what it was shown to carry).
     """
     if coarse_steps < 2:
         raise ValidationError("coarse_steps must be >= 2")
     base = config or SimulationConfig()
-    routing = routing or build_routing_tables(topology)
+    network = _shared_network(topology, base, link_latencies, routing, network)
 
     points: list[tuple[float, SimulationStats]] = []
     zero_load_stats = measure_zero_load_latency(
-        topology, base, link_latencies, routing, probe_rate=min(0.01, max_rate)
+        topology, base, probe_rate=min(0.01, max_rate), network=network
     )
     zero_load_latency = zero_load_stats.average_packet_latency
     points.append((min(0.01, max_rate), zero_load_stats))
@@ -119,7 +155,7 @@ def find_saturation_throughput(
     last_good = min(0.01, max_rate)
     for step in range(1, coarse_steps + 1):
         rate = min(max_rate, 0.02 * (max_rate / 0.02) ** (step / coarse_steps))
-        stats = _simulate(topology, replace(base, injection_rate=rate), link_latencies, routing)
+        stats = _simulate(topology, replace(base, injection_rate=rate), network)
         points.append((rate, stats))
         if _is_saturated(stats, zero_load_latency, latency_blowup):
             lo, hi = last_good, rate
@@ -136,7 +172,7 @@ def find_saturation_throughput(
     # Bisection refinement of the bracket [lo, hi].
     for _ in range(refine_steps):
         mid = (lo + hi) / 2.0
-        stats = _simulate(topology, replace(base, injection_rate=mid), link_latencies, routing)
+        stats = _simulate(topology, replace(base, injection_rate=mid), network)
         points.append((mid, stats))
         if _is_saturated(stats, zero_load_latency, latency_blowup):
             hi = mid
@@ -155,12 +191,13 @@ def run_load_sweep(
     config: SimulationConfig | None = None,
     link_latencies: dict[Link, int] | None = None,
     routing: RoutingTables | None = None,
+    network: Network | None = None,
 ) -> list[tuple[float, SimulationStats]]:
     """Simulate a fixed list of injection rates (latency/throughput curves)."""
     base = config or SimulationConfig()
-    routing = routing or build_routing_tables(topology)
+    network = _shared_network(topology, base, link_latencies, routing, network)
     results = []
     for rate in rates:
-        stats = _simulate(topology, replace(base, injection_rate=rate), link_latencies, routing)
+        stats = _simulate(topology, replace(base, injection_rate=rate), network)
         results.append((rate, stats))
     return results

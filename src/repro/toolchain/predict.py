@@ -14,6 +14,7 @@ from dataclasses import dataclass, field, replace
 
 from repro.physical.model import NoCPhysicalModel
 from repro.physical.parameters import ArchitecturalParameters
+from repro.simulator.network import build_network
 from repro.simulator.routing_tables import RoutingTables, build_routing_tables
 from repro.simulator.simulation import SimulationConfig
 from repro.simulator.sweep import find_saturation_throughput
@@ -93,11 +94,20 @@ class PredictionToolchain:
             config = self.simulation_config
             if traffic != config.traffic:
                 config = replace(config, traffic=traffic)
+            # Build the simulation network once up front (with the physical
+            # model's link latencies baked in) so that every load point of
+            # the sweep shares it — and with it the compiled routing arrays.
+            network = build_network(
+                topology,
+                config=config.network_config(),
+                link_latencies=physical.link_latencies,
+                routing=routing,
+            )
             sweep = find_saturation_throughput(
                 topology,
                 config=config,
-                link_latencies=physical.link_latencies,
                 routing=routing,
+                network=network,
             )
             zero_load = sweep.zero_load_latency
             saturation = sweep.saturation_throughput

@@ -1,0 +1,212 @@
+"""Golden-value regression tests for the simulation kernel.
+
+The PR that introduced the active-set scheduler and the slotted event wheel
+(see ``docs/PERFORMANCE.md``) is required to be a pure performance refactor:
+for a fixed :class:`~repro.simulator.simulation.SimulationConfig` and seed the
+optimized kernel must produce **bit-identical** :class:`SimulationStats` to
+the pre-refactor dense-scan kernel.  The expected values below were captured
+by running the pre-refactor kernel at the seed commit; every field is compared
+with exact equality (no tolerance), so any behavioural drift in the router,
+the event plumbing, the injection process, or the statistics accumulation
+fails these tests.
+
+If a future PR *intentionally* changes simulation behaviour, these constants
+must be regenerated (run the simulator at the configs below and paste the new
+``dataclasses.asdict`` output) and the change must be called out in the PR.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.core.sparse_hamming import SparseHammingGraph
+from repro.simulator.simulation import SimulationConfig, Simulator
+from repro.topologies.mesh import MeshTopology
+from repro.topologies.ring import RingTopology
+from repro.topologies.torus import TorusTopology
+
+# --------------------------------------------------------------------------
+# Scenario definitions: (topology factory, link-latency factory, config).
+# The scenarios cover the kernel's distinct regimes: a lightly loaded mesh,
+# a wrap-around torus at default configuration, a saturated non-draining
+# ring, multi-cycle links (the event wheel's raison d'être), and a 1-VC
+# network where every packet rides the escape layer.
+# --------------------------------------------------------------------------
+
+SCENARIOS = {
+    "mesh_4x4_low_load": dict(
+        topology=lambda: MeshTopology(4, 4),
+        link_latencies=None,
+        config=SimulationConfig(
+            injection_rate=0.05,
+            warmup_cycles=100,
+            measurement_cycles=300,
+            drain_max_cycles=1500,
+            packet_size_flits=2,
+            num_vcs=4,
+            buffer_depth_flits=2,
+            seed=11,
+        ),
+    ),
+    "torus_5x5_default": dict(
+        topology=lambda: TorusTopology(5, 5),
+        link_latencies=None,
+        config=SimulationConfig(
+            injection_rate=0.10,
+            warmup_cycles=200,
+            measurement_cycles=400,
+            drain_max_cycles=2000,
+            seed=3,
+        ),
+    ),
+    "ring_4x4_saturated": dict(
+        topology=lambda: RingTopology(4, 4),
+        link_latencies=None,
+        config=SimulationConfig(
+            injection_rate=0.60,
+            warmup_cycles=100,
+            measurement_cycles=300,
+            drain_max_cycles=600,
+            packet_size_flits=2,
+            num_vcs=4,
+            buffer_depth_flits=2,
+            seed=2,
+        ),
+    ),
+    "shg_4x6_multicycle_links": dict(
+        topology=lambda: SparseHammingGraph(4, 6, s_r={3}, s_c={2}),
+        link_latencies=3,
+        config=SimulationConfig(
+            injection_rate=0.08,
+            warmup_cycles=150,
+            measurement_cycles=350,
+            drain_max_cycles=1500,
+            seed=9,
+        ),
+    ),
+    "torus_4x4_single_vc_escape": dict(
+        topology=lambda: TorusTopology(4, 4),
+        link_latencies=None,
+        config=SimulationConfig(
+            injection_rate=0.03,
+            num_vcs=1,
+            buffer_depth_flits=4,
+            packet_size_flits=2,
+            warmup_cycles=100,
+            measurement_cycles=200,
+            drain_max_cycles=2000,
+            seed=5,
+        ),
+    ),
+}
+
+# Captured from the pre-refactor (dense per-cycle scan) kernel.
+GOLDEN = {
+    "mesh_4x4_low_load": {
+        "offered_load": 0.05,
+        "accepted_load": 0.05229166666666667,
+        "average_packet_latency": 11.459016393442623,
+        "average_network_latency": 11.401639344262295,
+        "p99_packet_latency": 21.0,
+        "average_hops": 2.6721311475409837,
+        "packets_measured": 122,
+        "packets_delivered": 170,
+        "packets_created": 171,
+        "flits_delivered_measurement": 251,
+        "measurement_cycles": 300,
+        "num_tiles": 16,
+        "escape_fraction": 0.0,
+        "drained": True,
+    },
+    "torus_5x5_default": {
+        "offered_load": 0.1,
+        "accepted_load": 0.1005,
+        "average_packet_latency": 13.30952380952381,
+        "average_network_latency": 13.154761904761905,
+        "p99_packet_latency": 21.49000000000001,
+        "average_hops": 2.4761904761904763,
+        "packets_measured": 252,
+        "packets_delivered": 382,
+        "packets_created": 390,
+        "flits_delivered_measurement": 1005,
+        "measurement_cycles": 400,
+        "num_tiles": 25,
+        "escape_fraction": 0.0,
+        "drained": True,
+    },
+    "ring_4x4_saturated": {
+        "offered_load": 0.6,
+        "accepted_load": 0.24,
+        "average_packet_latency": 315.89156626506025,
+        "average_network_latency": 71.9855421686747,
+        "p99_packet_latency": 681.6799999999998,
+        "average_hops": 4.3831325301204815,
+        "packets_measured": 1436,
+        "packets_delivered": 1959,
+        "packets_created": 4788,
+        "flits_delivered_measurement": 1152,
+        "measurement_cycles": 300,
+        "num_tiles": 16,
+        "escape_fraction": 0.2955823293172691,
+        "drained": False,
+    },
+    "shg_4x6_multicycle_links": {
+        "offered_load": 0.08,
+        "accepted_load": 0.08369047619047619,
+        "average_packet_latency": 17.067039106145252,
+        "average_network_latency": 16.949720670391063,
+        "p99_packet_latency": 28.22,
+        "average_hops": 2.2402234636871508,
+        "packets_measured": 179,
+        "packets_delivered": 243,
+        "packets_created": 250,
+        "flits_delivered_measurement": 703,
+        "measurement_cycles": 350,
+        "num_tiles": 24,
+        "escape_fraction": 0.0,
+        "drained": True,
+    },
+    "torus_4x4_single_vc_escape": {
+        "offered_load": 0.03,
+        "accepted_load": 0.02625,
+        "average_packet_latency": 13.695652173913043,
+        "average_network_latency": 13.608695652173912,
+        "p99_packet_latency": 24.0,
+        "average_hops": 3.4782608695652173,
+        "packets_measured": 46,
+        "packets_delivered": 61,
+        "packets_created": 66,
+        "flits_delivered_measurement": 84,
+        "measurement_cycles": 200,
+        "num_tiles": 16,
+        "escape_fraction": 1.0,
+        "drained": True,
+    },
+}
+
+
+def _run_scenario(name: str):
+    scenario = SCENARIOS[name]
+    topology = scenario["topology"]()
+    latency = scenario["link_latencies"]
+    link_latencies = {link: latency for link in topology.links} if latency else None
+    simulator = Simulator(topology, scenario["config"], link_latencies=link_latencies)
+    return simulator.run()
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_kernel_matches_pre_refactor_golden_stats(name):
+    stats = dataclasses.asdict(_run_scenario(name))
+    assert stats == GOLDEN[name], (
+        f"simulation kernel drifted from the pre-refactor golden stats for {name}"
+    )
+
+
+def test_back_to_back_runs_are_identical():
+    # The kernel must be a pure function of (topology, config): no state may
+    # leak between Simulator instances (e.g. via caches on shared objects).
+    first = dataclasses.asdict(_run_scenario("torus_5x5_default"))
+    second = dataclasses.asdict(_run_scenario("torus_5x5_default"))
+    assert first == second

@@ -1,0 +1,108 @@
+#!/usr/bin/env python
+"""Fail CI when a Markdown file links to a repo path that does not exist.
+
+Scans ``docs/**/*.md`` plus the top-level ``README.md`` for inline Markdown
+links and images (``[text](target)`` / ``![alt](target)``).  External links
+(``http://``, ``https://``, ``mailto:``) are skipped; pure in-page anchors
+(``#section``) are skipped; for relative links the ``#fragment`` is stripped
+and the remaining path is resolved relative to the linking file and must
+exist inside the repository.
+
+Usage (from the repository root)::
+
+    python tools/check_docs_links.py            # check docs/ + README.md
+    python tools/check_docs_links.py FILE...    # check specific files
+
+Exit status 0 when all intra-repo links resolve, 1 otherwise (each broken
+link is reported as ``file:line: broken link -> target``).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: Inline Markdown link/image: [text](target) — target captured up to the
+#: first unescaped closing parenthesis; titles ("...") are stripped later.
+_LINK = re.compile(r"!?\[[^\]]*\]\(([^()\s]+(?:\([^()]*\))?[^()]*?)\)")
+
+_EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def _targets(markdown: str):
+    """Yield ``(line_number, raw_target)`` for every inline link."""
+    for line_number, line in enumerate(markdown.splitlines(), start=1):
+        for match in _LINK.finditer(line):
+            target = match.group(1).strip()
+            # Drop an optional link title: [t](path "title")
+            if '"' in target:
+                target = target.split('"', 1)[0].strip()
+            yield line_number, target
+
+
+def _display(path: Path, repo_root: Path) -> str:
+    """Repo-relative path when possible, absolute otherwise (explicit FILE mode)."""
+    try:
+        return str(path.relative_to(repo_root))
+    except ValueError:
+        return str(path)
+
+
+def check_file(path: Path, repo_root: Path) -> list[str]:
+    """Return human-readable error strings for broken links in ``path``."""
+    errors = []
+    for line_number, target in _targets(path.read_text(encoding="utf-8")):
+        if target.startswith(_EXTERNAL_PREFIXES):
+            continue
+        if target.startswith("#"):
+            continue  # in-page anchor
+        file_part = target.split("#", 1)[0]
+        if not file_part:
+            continue
+        resolved = (path.parent / file_part).resolve()
+        try:
+            resolved.relative_to(repo_root)
+        except ValueError:
+            errors.append(
+                f"{_display(path, repo_root)}:{line_number}: "
+                f"link escapes the repository -> {target}"
+            )
+            continue
+        if not resolved.exists():
+            errors.append(
+                f"{_display(path, repo_root)}:{line_number}: broken link -> {target}"
+            )
+    return errors
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    repo_root = Path(__file__).resolve().parent.parent
+    if argv:
+        files = [Path(arg).resolve() for arg in argv]
+    else:
+        files = sorted((repo_root / "docs").rglob("*.md"))
+        readme = repo_root / "README.md"
+        if readme.exists():
+            files.append(readme)
+    if not files:
+        print("no Markdown files to check")
+        return 1
+
+    all_errors: list[str] = []
+    for path in files:
+        all_errors.extend(check_file(path, repo_root))
+
+    for error in all_errors:
+        print(error, file=sys.stderr)
+    checked = ", ".join(_display(f, repo_root) for f in files)
+    if all_errors:
+        print(f"{len(all_errors)} broken link(s) in: {checked}", file=sys.stderr)
+        return 1
+    print(f"all intra-repo links resolve in: {checked}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
