@@ -35,10 +35,12 @@ from repro.simulator.simulation import SimulationConfig, Simulator
 from repro.topologies.mesh import MeshTopology
 from repro.topologies.torus import TorusTopology
 from repro.core.sparse_hamming import SparseHammingGraph
+from repro.workloads import make_workload_trace
 
 #: The benchmark matrix.  Each workload pins a topology, an injection rate and
-#: the phase lengths; everything is fully seeded so repeated runs measure the
-#: exact same simulation.
+#: the phase lengths (or, for the trace-replay case, a fixed-seed workload
+#: trace); everything is fully seeded so repeated runs measure the exact same
+#: simulation.
 WORKLOADS = {
     "small": {
         "description": "4x4 mesh, moderate load",
@@ -73,6 +75,21 @@ WORKLOADS = {
             seed=7,
         ),
     },
+    "trace_replay": {
+        "description": "8x8 mesh, DNN-inference trace replay",
+        "topology": lambda: MeshTopology(8, 8),
+        "config": SimulationConfig(drain_max_cycles=3000, seed=7),
+        "trace": lambda: make_workload_trace(
+            "dnn_inference",
+            8,
+            8,
+            seed=7,
+            layers=8,
+            layer_window=256,
+            activations_per_tile=4,
+            fan_out=4,
+        ),
+    },
 }
 
 
@@ -81,12 +98,15 @@ def run_workload(name: str, repeats: int = 3) -> dict:
     workload = WORKLOADS[name]
     topology = workload["topology"]()
     config = workload["config"]
+    trace = workload["trace"]() if "trace" in workload else None
     routing = build_routing_tables(topology)
     network = build_network(topology, config=config.network_config(), routing=routing)
 
     best: dict | None = None
     for _ in range(repeats):
-        simulator = Simulator(topology, config, routing=routing, network=network)
+        simulator = Simulator(
+            topology, config, routing=routing, network=network, trace=trace
+        )
         start = time.perf_counter()
         stats = simulator.run()
         elapsed = time.perf_counter() - start
@@ -96,7 +116,8 @@ def run_workload(name: str, repeats: int = 3) -> dict:
             "description": workload["description"],
             "topology": topology.name,
             "num_tiles": topology.num_tiles,
-            "injection_rate": config.injection_rate,
+            "injection_rate": None if trace is not None else config.injection_rate,
+            "trace_packets": trace.num_packets if trace is not None else None,
             "cycles_simulated": cycles,
             "wall_seconds": round(elapsed, 4),
             "cycles_per_second": round(cycles / elapsed, 1),

@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""Replay one DNN-inference trace on a mesh and a customized sparse Hamming graph.
+
+Synthetic Bernoulli traffic cannot express what a real application does:
+bursty, phase-structured, spatially skewed exchanges.  This walkthrough
+generates a **layer-wise DNN-inference trace** once, replays the *identical*
+trace on an 8x8 mesh and on the paper's customized sparse Hamming graph
+(the Figure 6a configuration), and compares them phase by phase — which
+topology wins which layer, where the bottleneck sits, and whether any phase
+saturates.
+
+Run it from the repository root::
+
+    PYTHONPATH=src python examples/workload_replay.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.phases import (
+    bottleneck_phase,
+    phase_pareto_fronts,
+    phase_records,
+    phase_speedups,
+)
+from repro.core.sparse_hamming import SparseHammingGraph
+from repro.simulator.simulation import SimulationConfig
+from repro.simulator.sweep import replay_trace
+from repro.topologies.mesh import MeshTopology
+from repro.workloads import make_workload_trace
+
+
+def main() -> None:
+    rows = cols = 8
+
+    # One trace, generated once from a fixed seed: both topologies see the
+    # exact same packets at the exact same cycles.
+    trace = make_workload_trace(
+        "dnn_inference",
+        rows,
+        cols,
+        seed=7,
+        layers=8,
+        layer_window=128,
+        activations_per_tile=3,
+        fan_out=4,
+    )
+    print(f"workload: {trace.name} ({trace.trace_id})")
+    print(
+        f"  {trace.num_packets} packets / {trace.total_flits} flits over "
+        f"{trace.duration} cycles, phases: {', '.join(trace.phase_names)}"
+    )
+
+    config = SimulationConfig(drain_max_cycles=5000)
+    topologies = {
+        "mesh": MeshTopology(rows, cols),
+        # The paper's customized configuration for the 8x8 KNC scenario (a).
+        "sparse_hamming": SparseHammingGraph(rows, cols, s_r={4}, s_c={2, 5}),
+    }
+
+    replays = {}
+    for label, topology in topologies.items():
+        stats = replay_trace(topology, trace, config=config)
+        replays[label] = stats
+        print(f"\n{label} ({topology.name}):")
+        print(
+            f"  latency {stats.average_packet_latency:7.2f} cyc "
+            f"(p99 {stats.p99_packet_latency:7.2f}), "
+            f"accepted {stats.accepted_load:.4f} flits/tile/cyc, "
+            f"drained {'yes' if stats.drained else 'NO'}"
+        )
+        for row in phase_records(stats):
+            print(
+                f"    {row['phase']:>7s}  latency {row['average_packet_latency']:7.2f} "
+                f"p99 {row['p99_packet_latency']:7.2f}  "
+                f"thr {row['throughput']:.4f}  "
+                f"{'SATURATED' if row['saturated'] else 'ok'}"
+            )
+        worst = bottleneck_phase(stats)
+        assert worst is not None
+        print(f"  bottleneck phase: {worst.name} ({worst.average_packet_latency:.2f} cyc)")
+
+    print("\nper-phase latency speedup of sparse_hamming over mesh:")
+    speedups = phase_speedups(replays["mesh"], replays["sparse_hamming"])
+    for phase, speedup in speedups.items():
+        print(f"  {phase:>7s}: {speedup:5.2f}x")
+
+    print("\nper-phase Pareto winners (latency down, throughput up):")
+    for phase, front in phase_pareto_fronts(replays).items():
+        winners = ", ".join(point.label for point in front)
+        print(f"  {phase:>7s}: {winners}")
+
+    mean = sum(speedups.values()) / len(speedups)
+    print(
+        f"\nThe customized sparse Hamming graph's richer row/column express "
+        f"links shorten the activation scatter of every layer "
+        f"(mean phase speedup {mean:.2f}x over the mesh) under identical, "
+        f"replayed traffic — the trace makes the comparison apples-to-apples."
+    )
+
+
+if __name__ == "__main__":
+    main()

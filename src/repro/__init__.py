@@ -10,6 +10,10 @@ The library is organised as:
   floorplanning and link routing);
 * :mod:`repro.simulator` — the cycle-accurate VC-router simulator (BookSim2
   substitute) and the traffic-pattern registry;
+* :mod:`repro.workloads` — trace-driven application workloads: the
+  replayable trace format, the workload-generator registry (DNN inference,
+  MPI collectives, stencil, ON/OFF), and trace replay with per-phase
+  statistics;
 * :mod:`repro.toolchain` — the end-to-end prediction toolchain;
 * :mod:`repro.arch` — the KNC-like evaluation scenarios and the MemPool
   validation target;
@@ -40,6 +44,7 @@ from repro.physical import ArchitecturalParameters, NoCPhysicalModel
 from repro.simulator import SimulationConfig, Simulator
 from repro.toolchain import PredictionResult, PredictionToolchain, predict
 from repro.topologies import Topology, make_topology
+from repro.workloads import WorkloadTrace, make_workload_trace, replay_trace
 
 __version__ = "1.1.0"
 
@@ -64,5 +69,8 @@ __all__ = [
     "ExperimentResult",
     "ResultSet",
     "run_campaign",
+    "WorkloadTrace",
+    "make_workload_trace",
+    "replay_trace",
     "__version__",
 ]

@@ -1,4 +1,5 @@
-"""Analysis utilities: Table I compliance, Pareto fronts, design-space stats."""
+"""Analysis utilities: Table I compliance, Pareto fronts, design-space and
+per-phase workload statistics."""
 
 from repro.analysis.compliance import ComplianceRow, compliance_table, format_compliance_table
 from repro.analysis.pareto import (
@@ -6,6 +7,16 @@ from repro.analysis.pareto import (
     pareto_front,
     best_within_area_budget,
     latency_rank,
+)
+from repro.analysis.phases import (
+    PhasePoint,
+    bottleneck_phase,
+    phase_pareto_front,
+    phase_pareto_fronts,
+    phase_points,
+    phase_records,
+    phase_speedups,
+    saturated_phases,
 )
 from repro.analysis.design_space import (
     DesignSpaceSample,
@@ -24,6 +35,14 @@ __all__ = [
     "pareto_front",
     "best_within_area_budget",
     "latency_rank",
+    "PhasePoint",
+    "bottleneck_phase",
+    "phase_pareto_front",
+    "phase_pareto_fronts",
+    "phase_points",
+    "phase_records",
+    "phase_speedups",
+    "saturated_phases",
     "DesignSpaceSample",
     "design_space_campaign",
     "select_configurations",

@@ -1,0 +1,199 @@
+"""Per-phase analysis of trace-replay statistics.
+
+Trace replays report one :class:`~repro.simulator.statistics.PhaseStats` per
+named workload phase (DNN layers, collective steps, stencil iterations, ...).
+This module provides the helpers the examples and the ``repro replay`` CLI
+build on: flat per-phase tables, bottleneck and saturation detection,
+phase-by-phase speedup between two topologies replaying the same trace, and
+a two-metric (latency down, throughput up) Pareto front across labelled
+replays — the per-phase analogue of :mod:`repro.analysis.pareto`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping
+
+from repro.simulator.statistics import PhaseStats, SimulationStats
+from repro.utils.validation import ValidationError
+
+
+def phase_records(stats: SimulationStats) -> list[dict[str, Any]]:
+    """Flat tabular rows of a replay's per-phase statistics, in trace order.
+
+    Each row carries the phase window, packet/flit counters, offered load,
+    delivered throughput, latency aggregates and the saturation flag —
+    ready for CSV export or table printing.
+    """
+    rows = []
+    for phase in stats.phases.values():
+        rows.append(
+            {
+                "phase": phase.name,
+                "start_cycle": phase.start_cycle,
+                "end_cycle": phase.end_cycle,
+                "packets_created": phase.packets_created,
+                "packets_delivered": phase.packets_delivered,
+                "flits_delivered": phase.flits_delivered,
+                "offered_load": phase.offered_load,
+                "throughput": phase.throughput,
+                "average_packet_latency": phase.average_packet_latency,
+                "p99_packet_latency": phase.p99_packet_latency,
+                "average_hops": phase.average_hops,
+                "saturated": phase.saturated,
+            }
+        )
+    return rows
+
+
+def bottleneck_phase(stats: SimulationStats) -> PhaseStats | None:
+    """The phase with the highest average packet latency (``None`` if unphased).
+
+    Ties are broken towards the earlier phase, so the result is
+    deterministic for replays with identical per-phase latencies.
+    """
+    worst: PhaseStats | None = None
+    for phase in stats.phases.values():
+        if worst is None or phase.average_packet_latency > worst.average_packet_latency:
+            worst = phase
+    return worst
+
+
+def saturated_phases(stats: SimulationStats) -> list[str]:
+    """Names of the phases whose packets were not all delivered.
+
+    A phase saturates when packets it created were still undelivered when
+    the run hit its drain limit (see
+    :attr:`~repro.simulator.statistics.PhaseStats.saturated`).
+    """
+    return [phase.name for phase in stats.phases.values() if phase.saturated]
+
+
+def phase_speedups(
+    baseline: SimulationStats, candidate: SimulationStats
+) -> dict[str, float]:
+    """Per-phase latency speedup of ``candidate`` over ``baseline``.
+
+    Both replays must cover the same phases (i.e. replay the same trace).
+    A value above 1.0 means the candidate topology delivered that phase's
+    packets with proportionally lower average latency.
+    """
+    if set(baseline.phases) != set(candidate.phases):
+        raise ValidationError(
+            "phase_speedups needs replays of the same trace; phase sets differ: "
+            f"{sorted(baseline.phases)} vs {sorted(candidate.phases)}"
+        )
+    speedups = {}
+    for name, base in baseline.phases.items():
+        other = candidate.phases[name]
+        if other.average_packet_latency > 0:
+            speedups[name] = base.average_packet_latency / other.average_packet_latency
+        else:
+            speedups[name] = float("inf") if base.average_packet_latency > 0 else 1.0
+    return speedups
+
+
+@dataclass(frozen=True)
+class PhasePoint:
+    """One (replay label, phase) position in the latency/throughput plane."""
+
+    label: str
+    phase: str
+    average_packet_latency: float
+    throughput: float
+
+    def dominates(self, other: "PhasePoint") -> bool:
+        """``True`` if at least as good in both metrics and better in one."""
+        at_least_as_good = (
+            self.average_packet_latency <= other.average_packet_latency
+            and self.throughput >= other.throughput
+        )
+        strictly_better = (
+            self.average_packet_latency < other.average_packet_latency
+            or self.throughput > other.throughput
+        )
+        return at_least_as_good and strictly_better
+
+
+def phase_points(label: str, stats: SimulationStats) -> list[PhasePoint]:
+    """Build :class:`PhasePoint` entries for every phase of one replay."""
+    return [
+        PhasePoint(
+            label=label,
+            phase=phase.name,
+            average_packet_latency=phase.average_packet_latency,
+            throughput=phase.throughput,
+        )
+        for phase in stats.phases.values()
+    ]
+
+
+def phase_pareto_front(points: Iterable[PhasePoint]) -> list[PhasePoint]:
+    """Non-dominated subset of phase points (order preserved).
+
+    Applied per phase across labelled replays (``phase_pareto_fronts``)
+    this answers "which topology wins which application phase"; applied to
+    one replay's own phases it exposes the latency/throughput spread of the
+    workload.
+    """
+    point_list = list(points)
+    return [
+        candidate
+        for candidate in point_list
+        if not any(
+            other.dominates(candidate)
+            for other in point_list
+            if other is not candidate
+        )
+    ]
+
+
+def phase_pareto_fronts(
+    replays: Mapping[str, SimulationStats],
+) -> dict[str, list[PhasePoint]]:
+    """Per-phase Pareto fronts across several labelled replays of one trace.
+
+    Parameters
+    ----------
+    replays:
+        ``{label: stats}`` of replays of the *same* trace on different
+        topologies or configurations.
+
+    Returns
+    -------
+    dict
+        For every phase name, the non-dominated ``(label, phase)`` points —
+        the replays that are unbeaten on that phase's latency/throughput
+        trade-off.
+    """
+    phase_names: list[str] = []
+    for stats in replays.values():
+        for name in stats.phases:
+            if name not in phase_names:
+                phase_names.append(name)
+    fronts: dict[str, list[PhasePoint]] = {}
+    for name in phase_names:
+        contenders = [
+            PhasePoint(
+                label=label,
+                phase=name,
+                average_packet_latency=stats.phases[name].average_packet_latency,
+                throughput=stats.phases[name].throughput,
+            )
+            for label, stats in replays.items()
+            if name in stats.phases
+        ]
+        fronts[name] = phase_pareto_front(contenders)
+    return fronts
+
+
+__all__ = [
+    "PhasePoint",
+    "bottleneck_phase",
+    "phase_pareto_front",
+    "phase_pareto_fronts",
+    "phase_points",
+    "phase_records",
+    "phase_speedups",
+    "saturated_phases",
+]

@@ -111,6 +111,7 @@ class Campaign:
         traffics: Sequence[str] = ("uniform",),
         performance_modes: Sequence[str] = ("analytical",),
         scenarios: Sequence[str | None] = (None,),
+        workloads: Sequence[str | Mapping[str, Any] | None] = (None,),
         topology_kwargs: Mapping[str, Mapping[str, Any]] | None = None,
         arch: Mapping[str, Any] | None = None,
         sim: Mapping[str, Any] | None = None,
@@ -130,6 +131,13 @@ class Campaign:
         traffics, performance_modes, scenarios:
             Further grid axes; ``scenarios`` entries may be ``None`` for a
             scenario-less architecture built from ``arch`` overrides.
+        workloads:
+            Trace-driven workload axis.  Each entry is ``None`` (synthetic
+            traffic, expanded over ``traffics`` x ``performance_modes`` as
+            usual), a workload registry name, or a full ``{"name": ...,
+            "seed": ..., "params": {...}}`` mapping.  Workload entries
+            always run in cycle-accurate simulation mode (traces cannot be
+            evaluated analytically), one spec per topology/size/scenario.
         topology_kwargs:
             Per-topology generator kwargs, keyed by topology name.
         arch, sim:
@@ -140,6 +148,17 @@ class Campaign:
         """
         topologies = tuple(topologies) if topologies is not None else PAPER_COMPARISON_ORDER
         per_topology = dict(topology_kwargs or {})
+        normalised_workloads: list[Mapping[str, Any] | None] = []
+        for workload in workloads:
+            if workload is None or isinstance(workload, Mapping):
+                normalised_workloads.append(workload)
+            elif isinstance(workload, str):
+                normalised_workloads.append({"name": workload})
+            else:
+                raise ValidationError(
+                    f"workloads entries must be None, a name, or a mapping, "
+                    f"got {workload!r}"
+                )
         specs: list[ExperimentSpec] = []
         for scenario in scenarios:
             if scenario is not None and scenario not in KNC_SCENARIOS:
@@ -164,21 +183,37 @@ class Campaign:
                             f"topology {topology!r} is not applicable to a "
                             f"{rows}x{cols} grid"
                         )
-                    for traffic in traffics:
-                        for mode in performance_modes:
+                    base_kwargs = dict(
+                        topology=topology,
+                        rows=rows,
+                        cols=cols,
+                        topology_kwargs=per_topology.get(topology, {}),
+                        scenario=scenario,
+                        arch=arch or {},
+                        sim=sim or {},
+                    )
+                    for workload in normalised_workloads:
+                        if workload is not None:
+                            # Trace replays are cycle-accurate only and carry
+                            # their own traffic, so the traffic and mode axes
+                            # do not multiply them.
                             specs.append(
                                 ExperimentSpec(
-                                    topology=topology,
-                                    rows=rows,
-                                    cols=cols,
-                                    topology_kwargs=per_topology.get(topology, {}),
-                                    scenario=scenario,
-                                    arch=arch or {},
-                                    traffic=traffic,
-                                    performance_mode=mode,
-                                    sim=sim or {},
+                                    **base_kwargs,
+                                    performance_mode="simulation",
+                                    workload=workload,
                                 )
                             )
+                            continue
+                        for traffic in traffics:
+                            for mode in performance_modes:
+                                specs.append(
+                                    ExperimentSpec(
+                                        **base_kwargs,
+                                        traffic=traffic,
+                                        performance_mode=mode,
+                                    )
+                                )
         return cls(specs=specs, name=name)
 
     # --------------------------------------------------------- serialization

@@ -6,6 +6,8 @@ Subcommands
     Registered topology generators, optionally filtered by grid applicability.
 ``repro list-traffic``
     Registered traffic patterns.
+``repro list-workloads``
+    Registered trace-driven workload generators.
 ``repro predict``
     Run one experiment spec built from command-line flags.
 ``repro campaign``
@@ -13,6 +15,11 @@ Subcommands
     optional process parallelism, on-disk memoization, and CSV/JSON export.
 ``repro figure6``
     Reproduce one (or all) Figure 6 panels of the paper.
+``repro gen-trace``
+    Generate a workload trace and write it to a ``.jsonl``/``.npz`` file.
+``repro replay``
+    Replay a trace (from a file or generated on the fly) through the
+    cycle-accurate simulator and report overall + per-phase statistics.
 
 The console script is registered in ``setup.py``; without installing, use
 ``PYTHONPATH=src python -m repro.experiments.cli ...``.
@@ -25,17 +32,22 @@ import json
 import sys
 from typing import Any, Sequence
 
+from repro.analysis.phases import phase_records
 from repro.arch.knc import KNC_SCENARIOS
 from repro.experiments.campaign import Campaign, figure6_campaign
 from repro.experiments.runner import ExperimentRunner, ResultSet, prediction_to_dict
-from repro.experiments.spec import ExperimentSpec
+from repro.experiments.spec import ExperimentSpec, check_sim_overrides
+from repro.simulator.simulation import SimulationConfig
+from repro.simulator.sweep import replay_trace
 from repro.simulator.traffic import available_traffic_patterns
 from repro.topologies.registry import (
     DISPLAY_NAMES,
     available_topologies,
     is_applicable,
+    make_topology,
 )
 from repro.utils.validation import ValidationError
+from repro.workloads import WorkloadTrace, available_workloads, make_workload_trace
 
 
 def _print_table(rows: list[dict[str, Any]]) -> None:
@@ -58,7 +70,8 @@ def _result_rows(results: ResultSet) -> list[dict[str, Any]]:
                 "topology": record["topology"],
                 "grid": f"{record['rows']}x{record['cols']}",
                 "scenario": record["scenario"] or "-",
-                "traffic": record["traffic"],
+                # Workload replays carry their own traffic; show the trace name.
+                "traffic": record["workload"] or record["traffic"],
                 "mode": record["performance_mode"],
                 "area ovh [%]": f"{100 * record['area_overhead']:.2f}",
                 "power [W]": f"{record['noc_power_w']:.2f}",
@@ -110,7 +123,145 @@ def _cmd_list_traffic(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_list_workloads(args: argparse.Namespace) -> int:
+    names = available_workloads()
+    if args.as_json:
+        print(json.dumps(names, indent=2))
+    else:
+        for name in names:
+            print(name)
+    return 0
+
+
+def _json_object(text: str, flag: str) -> dict[str, Any]:
+    """Parse a JSON-object CLI argument, rejecting non-object values."""
+    value = json.loads(text)
+    if not isinstance(value, dict):
+        raise ValidationError(f"{flag} must be a JSON object, got {value!r}")
+    return value
+
+
+def _build_trace(args: argparse.Namespace) -> WorkloadTrace:
+    """Trace from ``--trace FILE`` or generated from ``--workload NAME``."""
+    if getattr(args, "trace", None):
+        if getattr(args, "workload", None):
+            raise ValidationError(
+                "--trace and --workload are mutually exclusive; pass one"
+            )
+        if getattr(args, "seed", 0) or getattr(args, "params", "{}") != "{}":
+            # Generator flags have no effect on a loaded file; failing loudly
+            # beats replaying a trace the user thinks they reconfigured.
+            raise ValidationError(
+                "--seed/--params only apply with --workload, not with --trace"
+            )
+        return WorkloadTrace.load(args.trace)
+    if not getattr(args, "workload", None):
+        raise ValidationError("provide --trace FILE or --workload NAME")
+    return make_workload_trace(
+        args.workload,
+        args.rows,
+        args.cols,
+        seed=args.seed,
+        **_json_object(args.params, "--params"),
+    )
+
+
+def _cmd_gen_trace(args: argparse.Namespace) -> int:
+    trace = _build_trace(args)  # gen-trace has no --trace flag: always generates
+    path = trace.save(args.output)
+    print(
+        f"wrote {trace.name}: {trace.num_packets} packets, "
+        f"{trace.total_flits} flits, {len(trace.phases)} phases, "
+        f"{trace.duration} cycles, {trace.num_tiles} tiles -> {path}"
+    )
+    print(f"trace id: {trace.trace_id}")
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    trace = _build_trace(args)
+    try:
+        topology = make_topology(
+            args.topology,
+            args.rows,
+            args.cols,
+            **_json_object(args.topology_kwargs, "--topology-kwargs"),
+        )
+    except TypeError as error:
+        # An unknown generator kwarg must exit 2 like every other bad input.
+        raise ValidationError(
+            f"invalid topology kwargs for {args.topology!r}: {error}"
+        ) from error
+    sim_overrides = _json_object(args.sim, "--sim")
+    if "traffic" in sim_overrides:
+        raise ValidationError("trace replay ignores synthetic traffic; drop 'traffic'")
+    check_sim_overrides(sim_overrides)
+    stats = replay_trace(topology, trace, config=SimulationConfig(**sim_overrides))
+    phases = phase_records(stats)
+    if args.as_json:
+        print(
+            json.dumps(
+                {
+                    "trace": {
+                        "name": trace.name,
+                        "trace_id": trace.trace_id,
+                        "num_packets": trace.num_packets,
+                        "duration": trace.duration,
+                    },
+                    "topology": topology.name,
+                    "average_packet_latency": stats.average_packet_latency,
+                    "p99_packet_latency": stats.p99_packet_latency,
+                    "accepted_load": stats.accepted_load,
+                    "offered_load": stats.offered_load,
+                    "packets_delivered": stats.packets_delivered,
+                    "drained": stats.drained,
+                    "phases": phases,
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 0
+    print(
+        f"replayed {trace.name} ({trace.num_packets} packets, "
+        f"{trace.duration} cycles) on {topology.name}"
+    )
+    print(
+        f"latency {stats.average_packet_latency:.2f} cyc "
+        f"(p99 {stats.p99_packet_latency:.2f}), "
+        f"accepted {stats.accepted_load:.4f} flits/tile/cyc, "
+        f"delivered {stats.packets_delivered}/{stats.packets_created}, "
+        f"drained {'yes' if stats.drained else 'NO'}"
+    )
+    if phases:
+        rows = [
+            {
+                "phase": row["phase"],
+                "window": f"{row['start_cycle']}..{row['end_cycle']}",
+                "packets": f"{row['packets_delivered']}/{row['packets_created']}",
+                "latency [cyc]": f"{row['average_packet_latency']:.2f}",
+                "p99 [cyc]": f"{row['p99_packet_latency']:.2f}",
+                "thr [f/t/c]": f"{row['throughput']:.4f}",
+                "saturated": "yes" if row["saturated"] else "no",
+            }
+            for row in phases
+        ]
+        _print_table(rows)
+    return 0
+
+
 def _cmd_predict(args: argparse.Namespace) -> int:
+    workload = None
+    if args.workload:
+        if args.workload.lstrip().startswith(("{", "[", '"')):
+            # Looks like JSON: parse strictly so a typo in a long
+            # {name, seed, params} spec surfaces as a JSON error, not as a
+            # bogus registry-name miss.
+            workload = json.loads(args.workload)
+        else:
+            workload = args.workload  # bare registry name
+        if isinstance(workload, str):
+            workload = {"name": workload}
     spec = ExperimentSpec(
         topology=args.topology,
         rows=args.rows,
@@ -119,8 +270,9 @@ def _cmd_predict(args: argparse.Namespace) -> int:
         scenario=args.scenario,
         arch=json.loads(args.arch),
         traffic=args.traffic,
-        performance_mode=args.mode,
+        performance_mode="simulation" if workload is not None else args.mode,
         sim=json.loads(args.sim),
+        workload=workload,
     )
     runner = ExperimentRunner(cache_dir=args.cache_dir)
     results = runner.run(spec)
@@ -218,6 +370,46 @@ def build_parser() -> argparse.ArgumentParser:
     p_traffic.add_argument("--json", dest="as_json", action="store_true", help="emit JSON")
     p_traffic.set_defaults(handler=_cmd_list_traffic)
 
+    p_workloads = sub.add_parser(
+        "list-workloads", help="list registered workload generators"
+    )
+    p_workloads.add_argument("--json", dest="as_json", action="store_true", help="emit JSON")
+    p_workloads.set_defaults(handler=_cmd_list_workloads)
+
+    p_gen = sub.add_parser("gen-trace", help="generate a workload trace file")
+    p_gen.add_argument("--workload", required=True, help="workload registry name")
+    p_gen.add_argument("--rows", type=int, required=True)
+    p_gen.add_argument("--cols", type=int, required=True)
+    p_gen.add_argument("--seed", type=int, default=0, help="generator RNG seed")
+    p_gen.add_argument(
+        "--params", default="{}", help="JSON generator kwargs (e.g. layers, collective)"
+    )
+    p_gen.add_argument(
+        "--output", required=True, help="trace path; suffix picks .jsonl or .npz"
+    )
+    p_gen.set_defaults(handler=_cmd_gen_trace)
+
+    p_replay = sub.add_parser(
+        "replay", help="replay a workload trace through the simulator"
+    )
+    p_replay.add_argument("--trace", default=None, help="trace file (.jsonl or .npz)")
+    p_replay.add_argument(
+        "--workload", default=None, help="generate this workload instead of loading a file"
+    )
+    p_replay.add_argument("--seed", type=int, default=0, help="generator RNG seed")
+    p_replay.add_argument(
+        "--params", default="{}", help="JSON generator kwargs (with --workload)"
+    )
+    p_replay.add_argument("--topology", required=True, help="topology registry name")
+    p_replay.add_argument("--rows", type=int, required=True)
+    p_replay.add_argument("--cols", type=int, required=True)
+    p_replay.add_argument(
+        "--topology-kwargs", default="{}", help="JSON generator kwargs (e.g. s_r/s_c)"
+    )
+    p_replay.add_argument("--sim", default="{}", help="JSON SimulationConfig overrides")
+    p_replay.add_argument("--json", dest="as_json", action="store_true", help="emit JSON")
+    p_replay.set_defaults(handler=_cmd_replay)
+
     p_predict = sub.add_parser("predict", help="run one experiment spec")
     p_predict.add_argument("--topology", required=True, help="topology registry name")
     p_predict.add_argument("--rows", type=int, required=True)
@@ -230,6 +422,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_predict.add_argument("--traffic", default="uniform")
     p_predict.add_argument("--mode", default="analytical", choices=("analytical", "simulation"))
     p_predict.add_argument("--sim", default="{}", help="JSON SimulationConfig overrides")
+    p_predict.add_argument(
+        "--workload",
+        default=None,
+        help="JSON workload spec or bare name (forces simulation mode)",
+    )
     p_predict.add_argument("--cache-dir", default=None, help="on-disk result cache directory")
     p_predict.add_argument("--json", dest="as_json", action="store_true", help="emit JSON")
     p_predict.set_defaults(handler=_cmd_predict)

@@ -19,6 +19,7 @@ returns the live :class:`PredictionResult` objects untouched.
 from __future__ import annotations
 
 import csv
+import dataclasses
 import json
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
@@ -33,6 +34,7 @@ from repro.analysis.pareto import (
 )
 from repro.experiments.campaign import Campaign
 from repro.experiments.spec import ExperimentSpec, toolchain_key, topology_key
+from repro.simulator.statistics import PhaseStats, SimulationStats
 from repro.toolchain.analytical import AnalyticalPerformance
 from repro.toolchain.results import PredictionResult
 from repro.utils.validation import ValidationError
@@ -60,8 +62,9 @@ def prediction_to_dict(prediction: PredictionResult) -> dict[str, Any]:
     -------
     dict
         The scalar Figure 6 metrics plus, when present, the analytical
-        performance details.  Heavyweight artifacts (the physical-model
-        result, cycle-accurate sweep statistics) are dropped.
+        performance details and a workload replay's per-phase statistics.
+        Heavyweight artifacts (the physical-model result, cycle-accurate
+        sweep/replay statistics) are dropped.
 
     Examples
     --------
@@ -77,6 +80,17 @@ def prediction_to_dict(prediction: PredictionResult) -> dict[str, Any]:
             "saturation_throughput": analytical.saturation_throughput,
             "average_hops": analytical.average_hops,
             "max_channel_load": analytical.max_channel_load,
+        }
+    # Per-phase workload statistics are small and survive serialization (the
+    # full replay SimulationStats does not), so cached/parallel workload
+    # results keep their phase breakdown.
+    replay = prediction.details.get("replay")
+    phases = (
+        replay.phases if isinstance(replay, SimulationStats) else prediction.details.get("phases")
+    )
+    if phases:
+        data["phases"] = {
+            name: dataclasses.asdict(phase) for name, phase in phases.items()
         }
     return data
 
@@ -105,6 +119,10 @@ def prediction_from_dict(data: Mapping[str, Any]) -> PredictionResult:
     details: dict[str, Any] = {}
     if "analytical" in data:
         details["analytical"] = AnalyticalPerformance(**data["analytical"])
+    if "phases" in data:
+        details["phases"] = {
+            name: PhaseStats(**entry) for name, entry in data["phases"].items()
+        }
     return PredictionResult(
         **{key: data[key] for key in _RESULT_SCALARS},
         physical=None,
@@ -227,6 +245,7 @@ class ResultSet:
                     "cols": spec.cols,
                     "scenario": spec.scenario or "",
                     "traffic": spec.traffic,
+                    "workload": spec.workload["name"] if spec.workload else "",
                     "performance_mode": spec.performance_mode,
                     "label": spec.label,
                     "cached": result.cached,

@@ -37,6 +37,16 @@ from repro.toolchain.results import PredictionResult
 from repro.topologies.base import Topology
 from repro.topologies.registry import TOPOLOGY_FACTORIES, available_topologies, make_topology
 from repro.utils.validation import ValidationError, check_type
+from repro.workloads import check_workload_name
+from repro.workloads.generators import (
+    SEED_INDEPENDENT_WORKLOADS,
+    check_workload_params,
+    workload_trace_from_mapping,
+)
+from repro.workloads.trace import WorkloadTrace
+
+#: Keys allowed in a spec's ``workload`` mapping.
+_WORKLOAD_KEYS = ("name", "seed", "params")
 
 #: Transport protocols addressable by name from a spec's ``arch`` overrides.
 PROTOCOL_PRESETS: dict[str, TransportProtocolModel] = {
@@ -62,6 +72,20 @@ _SIM_KEYS = tuple(f.name for f in fields(SimulationConfig))
 #: Default endpoint area when no scenario and no override is given — the
 #: KNC-like 35 MGE tile of the paper's main evaluation.
 DEFAULT_ENDPOINT_AREA_GE = 35e6
+
+
+def check_sim_overrides(overrides: Mapping[str, Any]) -> None:
+    """Raise :class:`ValidationError` on keys that are not SimulationConfig fields.
+
+    Shared by spec validation and the CLI's ``replay`` path so the accepted
+    key set and the error wording cannot drift apart.
+    """
+    unknown = set(overrides) - set(_SIM_KEYS)
+    if unknown:
+        raise ValidationError(
+            f"unknown simulation override(s) {sorted(unknown)}; "
+            f"known: {sorted(_SIM_KEYS)}"
+        )
 
 
 def _normalise(value: Any, context: str) -> Any:
@@ -140,11 +164,21 @@ class ExperimentSpec:
         Overrides of :class:`ArchitecturalParameters` fields.  ``technology``
         and ``protocol`` are preset names (``"22nm-hp"``, ``"AXI4"``, ...).
     traffic:
-        Traffic pattern name from the traffic registry.
+        Traffic pattern name from the traffic registry (ignored when a
+        ``workload`` is set — the trace supplies the traffic).
     performance_mode:
         ``"analytical"`` or ``"simulation"``.
     sim:
         Overrides of :class:`SimulationConfig` fields.
+    workload:
+        Optional trace-driven workload: ``{"name": <registry id>, "seed":
+        <int>, "params": {...}}`` (see
+        :data:`repro.workloads.WORKLOAD_FACTORIES`).  The performance stage
+        then replays the generated trace through the cycle-accurate
+        simulator instead of sweeping Bernoulli loads, and requires
+        ``performance_mode="simulation"``.  ``None`` (the default) keeps
+        synthetic traffic — and keeps the spec's identity hash exactly as it
+        was before workloads existed.
     label:
         Free-form tag for reports (not part of the identity hash).
     """
@@ -158,6 +192,7 @@ class ExperimentSpec:
     traffic: str = "uniform"
     performance_mode: str = "analytical"
     sim: Mapping[str, Any] = field(default_factory=dict)
+    workload: Mapping[str, Any] | None = None
     label: str = ""
 
     def __post_init__(self) -> None:
@@ -195,17 +230,38 @@ class ExperimentSpec:
             raise ValidationError(
                 f"unknown protocol preset {protocol!r}; known: {sorted(PROTOCOL_PRESETS)}"
             )
-        for key in self.sim:
-            if key == "traffic":
-                # Two spellings for the same knob would make contradictory
-                # specs constructible and split the memoization key space.
+        if "traffic" in self.sim:
+            # Two spellings for the same knob would make contradictory
+            # specs constructible and split the memoization key space.
+            raise ValidationError(
+                "set the traffic pattern through the spec-level 'traffic' "
+                "field, not a simulation override"
+            )
+        check_sim_overrides(self.sim)
+        if self.workload is not None:
+            if not isinstance(self.workload, Mapping):
                 raise ValidationError(
-                    "set the traffic pattern through the spec-level 'traffic' "
-                    "field, not a simulation override"
+                    "workload must be a mapping like "
+                    "{'name': 'dnn_inference', 'seed': 0, 'params': {...}}"
                 )
-            if key not in _SIM_KEYS:
+            unknown_keys = set(self.workload) - set(_WORKLOAD_KEYS)
+            if unknown_keys:
                 raise ValidationError(
-                    f"unknown simulation override {key!r}; known: {sorted(_SIM_KEYS)}"
+                    f"unknown workload keys {sorted(unknown_keys)}; "
+                    f"known: {sorted(_WORKLOAD_KEYS)}"
+                )
+            if "name" not in self.workload:
+                raise ValidationError("workload needs a 'name' key")
+            check_workload_name(self.workload["name"])
+            seed = self.workload.get("seed", 0)
+            check_type("workload seed", seed, int)
+            params = self.workload.get("params", {})
+            if not isinstance(params, Mapping):
+                raise ValidationError("workload 'params' must be a mapping")
+            check_workload_params(self.workload["name"], dict(params))
+            if self.performance_mode != "simulation":
+                raise ValidationError(
+                    "trace-driven workloads require performance_mode='simulation'"
                 )
         # Normalise the mapping fields so that equality, hashing and JSON
         # round-trips are all defined on the same canonical form.
@@ -214,6 +270,14 @@ class ExperimentSpec:
         )
         object.__setattr__(self, "arch", _normalise(dict(self.arch), "arch"))
         object.__setattr__(self, "sim", _normalise(dict(self.sim), "sim"))
+        if self.workload is not None:
+            workload = dict(self.workload)
+            if workload["name"] in SEED_INDEPENDENT_WORKLOADS:
+                # The generator ignores its seed; normalising it away keeps
+                # seed-distinct-but-identical specs on one spec_id (and one
+                # memoization cache entry).
+                workload.pop("seed", None)
+            object.__setattr__(self, "workload", _normalise(workload, "workload"))
 
     # ------------------------------------------------------------- identity
     def to_dict(self) -> dict[str, Any]:
@@ -228,6 +292,7 @@ class ExperimentSpec:
             "traffic": self.traffic,
             "performance_mode": self.performance_mode,
             "sim": dict(self.sim),
+            "workload": dict(self.workload) if self.workload is not None else None,
             "label": self.label,
         }
 
@@ -255,6 +320,15 @@ class ExperimentSpec:
     def _identity_dict(self) -> dict[str, Any]:
         identity = self.to_dict()
         identity.pop("label")  # labels are cosmetic, not part of the identity
+        if identity["workload"] is None:
+            # Workload-less specs hash exactly as they did before the
+            # workload field existed, so pre-existing spec_ids (and with
+            # them on-disk memoization caches) stay valid.
+            identity.pop("workload")
+        else:
+            # The trace supplies the traffic, so the (ignored) synthetic
+            # pattern must not split the identity of workload specs.
+            identity.pop("traffic")
         return identity
 
     @property
@@ -322,6 +396,17 @@ class ExperimentSpec:
         overrides.setdefault("traffic", self.traffic)
         return SimulationConfig(**overrides)
 
+    def build_workload_trace(self) -> WorkloadTrace | None:
+        """Generate the workload trace this spec replays (``None`` if synthetic).
+
+        The trace is a deterministic function of the workload mapping and
+        the spec's grid size, so two processes resolving the same spec
+        replay byte-identical traces.
+        """
+        if self.workload is None:
+            return None
+        return workload_trace_from_mapping(dict(self.workload), self.rows, self.cols)
+
     def build_toolchain(self) -> PredictionToolchain:
         """Build the prediction toolchain this spec runs on."""
         return PredictionToolchain(
@@ -329,6 +414,7 @@ class ExperimentSpec:
             performance_mode=self.performance_mode,
             simulation_config=self.build_simulation_config(),
             traffic=self.traffic,
+            workload=self.workload,
         )
 
     def run(self) -> PredictionResult:
@@ -342,7 +428,10 @@ class ExperimentSpec:
             parts.append(json.dumps(dict(self.topology_kwargs), sort_keys=True))
         if self.scenario:
             parts.append(f"scenario={self.scenario}")
-        parts.append(f"traffic={self.traffic}")
+        if self.workload is not None:
+            parts.append(f"workload={self.workload['name']}")
+        else:
+            parts.append(f"traffic={self.traffic}")
         parts.append(self.performance_mode)
         return " ".join(parts)
 
@@ -357,6 +446,7 @@ def toolchain_key(spec: ExperimentSpec) -> tuple:
         json.dumps(dict(spec.arch), sort_keys=True),
         spec.performance_mode,
         json.dumps(dict(spec.sim), sort_keys=True),
+        json.dumps(dict(spec.workload), sort_keys=True) if spec.workload else None,
         spec.rows,
         spec.cols,
         spec.label,
@@ -379,6 +469,7 @@ __all__ = [
     "ExperimentSpec",
     "PROTOCOL_PRESETS",
     "DEFAULT_ENDPOINT_AREA_GE",
+    "check_sim_overrides",
     "toolchain_key",
     "topology_key",
 ]

@@ -13,6 +13,9 @@ this package implements the required subset from scratch:
   (Duato-style: adaptive minimal VCs + an up*/down* escape VC),
 * synthetic traffic patterns (uniform random, transpose, bit-complement,
   tornado, neighbour, hotspot) with Bernoulli injection,
+* trace replay of recorded application workloads
+  (:class:`~repro.simulator.traffic.TraceInjector` +
+  :func:`~repro.simulator.sweep.replay_trace`) with per-phase statistics,
 * warmup / measurement / drain phases, latency and throughput statistics,
 * load sweeps that extract zero-load latency and saturation throughput.
 """
@@ -21,6 +24,7 @@ from repro.simulator.flit import Flit, Packet
 from repro.simulator.traffic import (
     TRAFFIC_FACTORIES,
     TrafficPattern,
+    TraceInjector,
     UniformRandomTraffic,
     TransposeTraffic,
     BitComplementTraffic,
@@ -34,11 +38,12 @@ from repro.simulator.traffic import (
 from repro.simulator.routing_tables import RoutingTables, build_routing_tables
 from repro.simulator.network import Network, NetworkConfig
 from repro.simulator.simulation import SimulationConfig, Simulator
-from repro.simulator.statistics import SimulationStats
+from repro.simulator.statistics import PhaseStats, SimulationStats
 from repro.simulator.sweep import (
     LoadSweepResult,
     measure_zero_load_latency,
     find_saturation_throughput,
+    replay_trace,
     run_load_sweep,
 )
 
@@ -56,6 +61,7 @@ __all__ = [
     "available_traffic_patterns",
     "make_traffic",
     "make_traffic_pattern",
+    "TraceInjector",
     "RoutingTables",
     "build_routing_tables",
     "Network",
@@ -63,8 +69,10 @@ __all__ = [
     "SimulationConfig",
     "Simulator",
     "SimulationStats",
+    "PhaseStats",
     "LoadSweepResult",
     "measure_zero_load_latency",
     "find_saturation_throughput",
+    "replay_trace",
     "run_load_sweep",
 ]

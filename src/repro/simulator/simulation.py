@@ -34,11 +34,27 @@ For repeated runs on the same topology (load sweeps), pass a prebuilt
 ``network`` (and ``routing``): the network is immutable, so sharing it across
 runs skips per-run construction and reuses the compiled routing arrays.  See
 ``docs/PERFORMANCE.md`` for the measured effect of this design.
+
+Trace replay
+------------
+Besides the Bernoulli injection process, the simulator can **replay a
+recorded workload trace** (``trace=`` parameter): packets are created exactly
+at the cycles a :class:`~repro.workloads.trace.WorkloadTrace` recorded them,
+with the recorded per-packet sizes, through the deterministic
+:class:`~repro.simulator.traffic.TraceInjector`.  In trace mode every packet
+is measured and every delivery counts (throughput is normalised by the trace
+duration, with drain-time arrivals included, so a fully drained replay
+accepts exactly what the trace offered); the run drains after the trace ends
+exactly like a synthetic run, and the same active-set / event-wheel hot path
+executes unchanged.  Per-phase statistics (one
+:class:`~repro.simulator.statistics.PhaseStats` per named trace phase) are
+reported in ``SimulationStats.phases``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.simulator.flit import Flit, Packet, packet_to_flits
 from repro.simulator.network import Network, NetworkConfig, build_network
@@ -47,11 +63,15 @@ from repro.simulator.routing_tables import RoutingTables
 from repro.simulator.statistics import SimulationStats, _Accumulator
 from repro.simulator.traffic import (
     InjectionProcess,
+    TraceInjector,
     check_traffic_name,
     make_traffic_pattern,
 )
 from repro.topologies.base import Link, Topology
 from repro.utils.validation import ValidationError, check_in_range, check_type
+
+if TYPE_CHECKING:  # imported for type hints only; no runtime dependency
+    from repro.workloads.trace import WorkloadTrace
 
 
 @dataclass(frozen=True)
@@ -137,6 +157,14 @@ class Simulator:
         ``topology`` with a :class:`NetworkConfig` equal to
         ``config.network_config()`` — load sweeps use this to skip per-run
         network construction.
+    trace:
+        A :class:`~repro.workloads.trace.WorkloadTrace` to replay instead of
+        Bernoulli injection.  The trace must address the same number of
+        tiles as the topology; ``config.injection_rate``, ``traffic``,
+        ``packet_size_flits`` (for injection), ``warmup_cycles`` and
+        ``measurement_cycles`` are ignored in trace mode (the measurement
+        window is the trace duration; ``drain_max_cycles`` still bounds the
+        drain).
     """
 
     def __init__(
@@ -146,6 +174,7 @@ class Simulator:
         link_latencies: dict[Link, int] | None = None,
         routing: RoutingTables | None = None,
         network: Network | None = None,
+        trace: "WorkloadTrace | None" = None,
     ) -> None:
         self.config = config or SimulationConfig()
         if network is not None:
@@ -167,13 +196,28 @@ class Simulator:
             )
         num_nodes = self.network.num_nodes
         self.routers = [Router(node, self.network) for node in range(num_nodes)]
-        pattern = make_traffic_pattern(self.config.traffic, topology)
-        self.injection = InjectionProcess(
-            pattern,
-            self.config.injection_rate,
-            self.config.packet_size_flits,
-            seed=self.config.seed,
-        )
+        self._trace = trace
+        self._trace_injector: TraceInjector | None = None
+        self._trace_duration = 0
+        if trace is not None:
+            if trace.num_tiles != num_nodes:
+                raise ValidationError(
+                    f"trace addresses {trace.num_tiles} tiles but the topology "
+                    f"has {num_nodes}"
+                )
+            self.injection = None
+            self._trace_injector = TraceInjector(
+                trace.cycles, trace.sources, trace.destinations, trace.sizes
+            )
+            self._trace_duration = max(1, trace.duration)
+        else:
+            pattern = make_traffic_pattern(self.config.traffic, topology)
+            self.injection = InjectionProcess(
+                pattern,
+                self.config.injection_rate,
+                self.config.packet_size_flits,
+                seed=self.config.seed,
+            )
 
         # Channel attributes flattened into arrays indexed by channel id, so
         # event scheduling does one list index instead of an object traversal.
@@ -200,6 +244,15 @@ class Simulator:
         self._pending_injection: set[int] = set()
 
         self._accumulator = _Accumulator()
+        if trace is not None and trace.phases:
+            counts = trace.phase_record_counts()
+            self._accumulator.configure_phases(
+                names=list(trace.phase_names),
+                spans=[(phase.start_cycle, phase.end_cycle) for phase in trace.phases],
+                created=[packets for packets, _ in counts],
+                offered_flits=[flits for _, flits in counts],
+                phase_of_cycle=trace.phase_of_cycle_table(),
+            )
         self._packet_counter = 0
         self._cycle = 0
         self._packets_measured = 0
@@ -258,6 +311,27 @@ class Simulator:
             self._injection_states[source].queue.append(packet)
             self._pending_injection.add(source)
 
+    def _create_trace_packets(self) -> None:
+        """Trace-mode packet creation: replay this cycle's recorded packets."""
+        assert self._trace_injector is not None
+        for source, destination, size in self._trace_injector.packets_for_cycle(
+            self._cycle
+        ):
+            packet = Packet(
+                packet_id=self._packet_counter,
+                source=source,
+                destination=destination,
+                size_flits=size,
+                creation_cycle=self._cycle,
+                is_measured=True,
+            )
+            self._packet_counter += 1
+            self._accumulator.packets_created += 1
+            self._packets_measured += 1
+            self._measured_in_flight += 1
+            self._injection_states[source].queue.append(packet)
+            self._pending_injection.add(source)
+
     def _inject_flits(self) -> None:
         if not self._pending_injection:
             return
@@ -308,10 +382,20 @@ class Simulator:
 
     # ------------------------------------------------------------------ run
     def run(self) -> SimulationStats:
-        """Run warmup, measurement and drain and return the statistics."""
+        """Run warmup, measurement and drain and return the statistics.
+
+        In trace mode the measurement window spans the whole trace (warmup
+        is empty — every replayed packet is measured) and the run drains
+        until every packet arrived or ``drain_max_cycles`` expires.
+        """
         config = self.config
-        warmup_end = config.warmup_cycles
-        measurement_end = warmup_end + config.measurement_cycles
+        trace_mode = self._trace_injector is not None
+        if trace_mode:
+            warmup_end = 0
+            measurement_end = self._trace_duration
+        else:
+            warmup_end = config.warmup_cycles
+            measurement_end = warmup_end + config.measurement_cycles
         hard_end = measurement_end + config.drain_max_cycles
 
         routers = self.routers
@@ -321,11 +405,20 @@ class Simulator:
 
         drained = True
         while True:
-            in_measurement = warmup_end <= self._cycle < measurement_end
+            # Trace mode measures the whole run: every replayed packet is
+            # measured, and flits arriving during the drain still count
+            # towards the accepted load (a fully drained replay accepts
+            # exactly what the trace offered).
+            in_measurement = (
+                True if trace_mode else warmup_end <= self._cycle < measurement_end
+            )
             eject = self._eject_measured if in_measurement else self._eject_unmeasured
 
             self._deliver_events()
-            self._create_packets(measured=in_measurement)
+            if trace_mode:
+                self._create_trace_packets()
+            else:
+                self._create_packets(measured=in_measurement)
             self._inject_flits()
 
             if active:
@@ -342,6 +435,18 @@ class Simulator:
                 drained = self._measured_in_flight == 0
                 break
 
+        if trace_mode:
+            assert self._trace_injector is not None
+            offered = self._trace_injector.total_flits / (
+                self._trace_duration * self.network.num_nodes
+            )
+            return self._accumulator.finalize(
+                offered_load=offered,
+                measurement_cycles=self._trace_duration,
+                num_tiles=self.network.num_nodes,
+                packets_measured=self._packets_measured,
+                drained=drained,
+            )
         return self._accumulator.finalize(
             offered_load=config.injection_rate,
             measurement_cycles=config.measurement_cycles,

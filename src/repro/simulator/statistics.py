@@ -1,4 +1,12 @@
-"""Simulation statistics: latency, throughput, and hop-count distributions."""
+"""Simulation statistics: latency, throughput, and hop-count distributions.
+
+Trace replays additionally report **phase-aware** statistics: every packet of
+a :class:`~repro.workloads.trace.WorkloadTrace` is attributed to the
+:class:`~repro.workloads.trace.TracePhase` containing its creation cycle, and
+:attr:`SimulationStats.phases` holds one :class:`PhaseStats` per phase
+(latency distribution, delivered throughput, offered load).  Synthetic
+Bernoulli runs have no phases and report ``phases == {}``.
+"""
 
 from __future__ import annotations
 
@@ -7,6 +15,71 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.simulator.flit import Packet
+
+
+@dataclass(frozen=True)
+class PhaseStats:
+    """Statistics of one named workload phase (trace replays only).
+
+    A packet belongs to the phase whose window ``[start_cycle, end_cycle)``
+    contains its creation cycle; latency and hop statistics cover the
+    phase's packets wherever they are delivered, while ``offered_load`` and
+    ``throughput`` are normalised by the phase window length.
+
+    Attributes
+    ----------
+    name:
+        Phase name from the trace.
+    start_cycle, end_cycle:
+        Phase window (end exclusive), in trace cycles.
+    packets_created:
+        Packets the trace creates inside the window.
+    packets_delivered:
+        How many of those packets were delivered before the run ended.
+    flits_delivered:
+        Flits of the delivered packets.
+    offered_load:
+        Offered traffic of the phase in flits per tile per phase cycle.
+    throughput:
+        Delivered traffic in flits per tile per phase cycle.
+    average_packet_latency, p99_packet_latency:
+        Latency (creation to tail arrival) of the phase's delivered packets.
+    average_hops:
+        Mean hop count of the phase's delivered packets.
+    """
+
+    name: str
+    start_cycle: int
+    end_cycle: int
+    packets_created: int
+    packets_delivered: int
+    flits_delivered: int
+    offered_load: float
+    throughput: float
+    average_packet_latency: float
+    p99_packet_latency: float
+    average_hops: float
+
+    @property
+    def duration(self) -> int:
+        """Phase window length in cycles."""
+        return self.end_cycle - self.start_cycle
+
+    @property
+    def completed(self) -> bool:
+        """``True`` when every packet created in the phase was delivered."""
+        return self.packets_delivered >= self.packets_created
+
+    @property
+    def saturated(self) -> bool:
+        """Congestion flag: packets created in the phase were never delivered.
+
+        Phase throughput attributes every delivery (drain arrivals included)
+        back to the packet's creation phase, so a completed phase delivers
+        exactly its offer — undelivered packets are the one way a phase can
+        fall short.
+        """
+        return not self.completed
 
 
 @dataclass
@@ -40,6 +113,9 @@ class SimulationStats:
         Fraction of measured packets that fell back to the escape layer.
     drained:
         ``True`` if every measured packet arrived before the drain limit.
+    phases:
+        Per-phase statistics of a trace replay, keyed by phase name in trace
+        order; empty for synthetic (Bernoulli) runs.
     """
 
     offered_load: float
@@ -56,6 +132,7 @@ class SimulationStats:
     num_tiles: int
     escape_fraction: float
     drained: bool
+    phases: dict[str, PhaseStats] = field(default_factory=dict)
 
     @property
     def saturated(self) -> bool:
@@ -77,6 +154,36 @@ class _Accumulator:
     measured_escapes: int = 0
     measured_delivered: int = 0
     flits_delivered_measurement: int = 0
+    # Phase tracking (configured only for trace replays; None keeps the
+    # synthetic hot path untouched).
+    phase_names: list[str] | None = None
+    phase_spans: list[tuple[int, int]] | None = None
+    phase_created: list[int] | None = None
+    phase_offered_flits: list[int] | None = None
+    phase_of_cycle: list[int] | None = None
+    phase_delivered: list[int] = field(default_factory=list)
+    phase_flits: list[int] = field(default_factory=list)
+    phase_latencies: list[list[int]] = field(default_factory=list)
+    phase_hops: list[list[int]] = field(default_factory=list)
+
+    def configure_phases(
+        self,
+        names: list[str],
+        spans: list[tuple[int, int]],
+        created: list[int],
+        offered_flits: list[int],
+        phase_of_cycle: list[int],
+    ) -> None:
+        """Enable per-phase accumulation (called once before a trace replay)."""
+        self.phase_names = names
+        self.phase_spans = spans
+        self.phase_created = created
+        self.phase_offered_flits = offered_flits
+        self.phase_of_cycle = phase_of_cycle
+        self.phase_delivered = [0] * len(names)
+        self.phase_flits = [0] * len(names)
+        self.phase_latencies = [[] for _ in names]
+        self.phase_hops = [[] for _ in names]
 
     def record_delivery(
         self, packet: Packet, hops: int, used_escape: bool, in_measurement_window: bool
@@ -91,7 +198,47 @@ class _Accumulator:
             self.measured_hops.append(hops)
             if used_escape:
                 self.measured_escapes += 1
+        if self.phase_of_cycle is not None:
+            cycle = packet.creation_cycle
+            index = (
+                self.phase_of_cycle[cycle] if 0 <= cycle < len(self.phase_of_cycle) else -1
+            )
+            if index >= 0:
+                self.phase_delivered[index] += 1
+                self.phase_flits[index] += packet.size_flits
+                if packet.total_latency is not None:
+                    self.phase_latencies[index].append(packet.total_latency)
+                self.phase_hops[index].append(hops)
         del in_measurement_window
+
+    def _finalize_phases(self, num_tiles: int) -> dict[str, PhaseStats]:
+        if self.phase_names is None:
+            return {}
+        assert self.phase_spans is not None
+        assert self.phase_created is not None
+        assert self.phase_offered_flits is not None
+        phases: dict[str, PhaseStats] = {}
+        for index, name in enumerate(self.phase_names):
+            start, end = self.phase_spans[index]
+            window = max(1, end - start)
+            latencies = np.array(self.phase_latencies[index], dtype=float)
+            hops = np.array(self.phase_hops[index], dtype=float)
+            phases[name] = PhaseStats(
+                name=name,
+                start_cycle=start,
+                end_cycle=end,
+                packets_created=self.phase_created[index],
+                packets_delivered=self.phase_delivered[index],
+                flits_delivered=self.phase_flits[index],
+                offered_load=self.phase_offered_flits[index] / (window * num_tiles),
+                throughput=self.phase_flits[index] / (window * num_tiles),
+                average_packet_latency=float(latencies.mean()) if latencies.size else 0.0,
+                p99_packet_latency=(
+                    float(np.percentile(latencies, 99)) if latencies.size else 0.0
+                ),
+                average_hops=float(hops.mean()) if hops.size else 0.0,
+            )
+        return phases
 
     def finalize(
         self,
@@ -132,4 +279,5 @@ class _Accumulator:
                 else 0.0
             ),
             drained=drained,
+            phases=self._finalize_phases(num_tiles),
         )

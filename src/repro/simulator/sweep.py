@@ -26,6 +26,7 @@ same topology repeatedly (e.g. the prediction toolchain) can pass prebuilt
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING
 
 from repro.simulator.network import Network, build_network
 from repro.simulator.routing_tables import RoutingTables, build_routing_tables
@@ -33,6 +34,9 @@ from repro.simulator.simulation import SimulationConfig, Simulator
 from repro.simulator.statistics import SimulationStats
 from repro.topologies.base import Link, Topology
 from repro.utils.validation import ValidationError, check_in_range
+
+if TYPE_CHECKING:  # imported for type hints only; no runtime dependency
+    from repro.workloads.trace import WorkloadTrace
 
 
 @dataclass
@@ -183,6 +187,44 @@ def find_saturation_throughput(
         saturation_throughput=lo,
         points=points,
     )
+
+
+def replay_trace(
+    topology: Topology,
+    trace: "WorkloadTrace",
+    config: SimulationConfig | None = None,
+    link_latencies: dict[Link, int] | None = None,
+    routing: RoutingTables | None = None,
+    network: Network | None = None,
+) -> SimulationStats:
+    """Replay a workload trace through the cycle-accurate simulator.
+
+    The trace-driven counterpart of :func:`run_load_sweep`: the network (and
+    with it the physical model's per-link latencies, when given) is shared
+    with any prebuilt structures the caller supplies, and the returned
+    :class:`~repro.simulator.statistics.SimulationStats` carries per-phase
+    latency/throughput in ``stats.phases``.  Replay is deterministic — the
+    same trace on the same network yields bit-identical statistics.
+
+    Parameters
+    ----------
+    topology:
+        The topology to replay on; its tile count must match
+        ``trace.num_tiles``.
+    trace:
+        The :class:`~repro.workloads.trace.WorkloadTrace` to replay.
+    config:
+        Router/flow-control configuration; the Bernoulli-specific fields
+        (``injection_rate``, ``traffic``, ``warmup_cycles``,
+        ``measurement_cycles``) are ignored in trace mode, while
+        ``drain_max_cycles`` still bounds the drain.
+    link_latencies, routing, network:
+        Prebuilt structures to share, exactly as in :func:`run_load_sweep`.
+    """
+    base = config or SimulationConfig()
+    network = _shared_network(topology, base, link_latencies, routing, network)
+    simulator = Simulator(topology, base, network=network, trace=trace)
+    return simulator.run()
 
 
 def run_load_sweep(

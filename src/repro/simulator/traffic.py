@@ -26,6 +26,10 @@ from repro.utils.validation import ValidationError, check_in_range, check_type
 class TrafficPattern(ABC):
     """Mapping from source tiles to destination tiles."""
 
+    #: Short pattern name, identical to the pattern's key in
+    #: :data:`TRAFFIC_FACTORIES` (asserted by the registry tests).
+    name: str = ""
+
     def __init__(self, num_tiles: int) -> None:
         check_type("num_tiles", num_tiles, int)
         if num_tiles < 2:
@@ -36,14 +40,11 @@ class TrafficPattern(ABC):
     def destination(self, source: int, rng: np.random.Generator) -> int:
         """Return the destination tile for a packet created at ``source``."""
 
-    @property
-    def name(self) -> str:
-        """Short pattern name (used in reports)."""
-        return type(self).__name__.replace("Traffic", "").lower()
-
 
 class UniformRandomTraffic(TrafficPattern):
     """Every tile sends to a uniformly random other tile (the paper's pattern)."""
+
+    name = "uniform"
 
     def destination(self, source: int, rng: np.random.Generator) -> int:
         destination = int(rng.integers(self.num_tiles - 1))
@@ -54,6 +55,8 @@ class UniformRandomTraffic(TrafficPattern):
 
 class TransposeTraffic(TrafficPattern):
     """Tile ``(r, c)`` sends to tile ``(c, r)``; requires a square grid."""
+
+    name = "transpose"
 
     def __init__(self, num_tiles: int, rows: int, cols: int) -> None:
         super().__init__(num_tiles)
@@ -74,6 +77,8 @@ class TransposeTraffic(TrafficPattern):
 class BitComplementTraffic(TrafficPattern):
     """Tile ``i`` sends to tile ``~i`` (bit complement within the index range)."""
 
+    name = "bit_complement"
+
     def destination(self, source: int, rng: np.random.Generator) -> int:
         bits = max(1, (self.num_tiles - 1).bit_length())
         destination = (~source) & ((1 << bits) - 1)
@@ -86,6 +91,8 @@ class BitComplementTraffic(TrafficPattern):
 class TornadoTraffic(TrafficPattern):
     """Tile ``i`` sends to tile ``(i + N/2 - 1) mod N`` (adversarial for rings/tori)."""
 
+    name = "tornado"
+
     def destination(self, source: int, rng: np.random.Generator) -> int:
         offset = max(1, self.num_tiles // 2 - 1)
         destination = (source + offset) % self.num_tiles
@@ -97,6 +104,8 @@ class TornadoTraffic(TrafficPattern):
 class NeighborTraffic(TrafficPattern):
     """Tile ``i`` sends to tile ``i + 1`` (best case: single-hop traffic on a mesh)."""
 
+    name = "neighbor"
+
     def destination(self, source: int, rng: np.random.Generator) -> int:
         return (source + 1) % self.num_tiles
 
@@ -107,6 +116,8 @@ class HotspotTraffic(TrafficPattern):
     With probability ``hotspot_fraction`` the destination is drawn uniformly
     from ``hotspots``; otherwise it is uniform over all tiles.
     """
+
+    name = "hotspot"
 
     def __init__(
         self, num_tiles: int, hotspots: tuple[int, ...], hotspot_fraction: float = 0.2
@@ -247,4 +258,81 @@ class InjectionProcess:
             source = int(source)
             destination = self.pattern.destination(source, self._rng)
             created.append((source, destination))
+        return created
+
+
+class TraceInjector:
+    """Deterministic packet injection replaying a recorded workload trace.
+
+    The trace-driven counterpart of :class:`InjectionProcess`: instead of
+    Bernoulli draws, packets are created exactly at the cycles a
+    :class:`~repro.workloads.trace.WorkloadTrace` recorded them, with the
+    recorded per-packet sizes.  The injector holds no RNG — replaying the
+    same trace twice yields identical simulations by construction.
+
+    The simulator queries cycles in ascending order, so the injector walks
+    the (cycle-sorted) record arrays with a single pointer.
+
+    Parameters
+    ----------
+    cycles, sources, destinations, sizes:
+        The trace's record columns; ``cycles`` must be sorted ascending
+        (guaranteed by :class:`~repro.workloads.trace.WorkloadTrace`).
+    """
+
+    def __init__(self, cycles, sources, destinations, sizes) -> None:
+        self._cycles = [int(cycle) for cycle in cycles]
+        self._sources = [int(source) for source in sources]
+        self._destinations = [int(destination) for destination in destinations]
+        self._sizes = [int(size) for size in sizes]
+        if not (
+            len(self._cycles)
+            == len(self._sources)
+            == len(self._destinations)
+            == len(self._sizes)
+        ):
+            raise ValidationError("trace record columns must be equally long")
+        self._position = 0
+
+    @property
+    def num_packets(self) -> int:
+        """Total number of packet records in the trace."""
+        return len(self._cycles)
+
+    @property
+    def total_flits(self) -> int:
+        """Total number of flits across all records."""
+        return sum(self._sizes)
+
+    @property
+    def last_cycle(self) -> int:
+        """Creation cycle of the final record (``-1`` when empty)."""
+        return self._cycles[-1] if self._cycles else -1
+
+    @property
+    def exhausted(self) -> bool:
+        """``True`` once every record has been handed out."""
+        return self._position >= len(self._cycles)
+
+    def packets_for_cycle(self, cycle: int) -> list[tuple[int, int, int]]:
+        """Return ``(source, destination, size_flits)`` of this cycle's records.
+
+        Cycles must be queried in non-decreasing order; records belonging to
+        cycles that were skipped are released as soon as a later cycle is
+        queried (the replay never silently drops packets).
+        """
+        created = []
+        position = self._position
+        cycles = self._cycles
+        end = len(cycles)
+        while position < end and cycles[position] <= cycle:
+            created.append(
+                (
+                    self._sources[position],
+                    self._destinations[position],
+                    self._sizes[position],
+                )
+            )
+            position += 1
+        self._position = position
         return created

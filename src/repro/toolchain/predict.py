@@ -11,13 +11,14 @@ from __future__ import annotations
 
 import weakref
 from dataclasses import dataclass, field, replace
+from typing import Any, Mapping
 
 from repro.physical.model import NoCPhysicalModel
 from repro.physical.parameters import ArchitecturalParameters
 from repro.simulator.network import build_network
 from repro.simulator.routing_tables import RoutingTables, build_routing_tables
 from repro.simulator.simulation import SimulationConfig
-from repro.simulator.sweep import find_saturation_throughput
+from repro.simulator.sweep import find_saturation_throughput, replay_trace
 from repro.toolchain.analytical import analytical_performance
 from repro.toolchain.results import PredictionResult
 from repro.topologies.base import Topology
@@ -43,12 +44,21 @@ class PredictionToolchain:
         modes share).
     traffic:
         Traffic pattern name; the paper's evaluation uses ``"uniform"``.
+    workload:
+        Optional trace-driven workload spec ``{"name": ..., "seed": ...,
+        "params": {...}}`` (see :data:`repro.workloads.WORKLOAD_FACTORIES`).
+        When set, the performance stage replays the generated trace instead
+        of running a Bernoulli load sweep: the reported "zero-load latency"
+        is the replay's average packet latency and the reported "saturation
+        throughput" is the replay's accepted load.  Requires
+        ``performance_mode="simulation"``.
     """
 
     params: ArchitecturalParameters
     performance_mode: str = "analytical"
     simulation_config: SimulationConfig = field(default_factory=SimulationConfig)
     traffic: str = "uniform"
+    workload: Mapping[str, Any] | None = None
 
     def __post_init__(self) -> None:
         if self.performance_mode not in ("analytical", "simulation"):
@@ -56,6 +66,18 @@ class PredictionToolchain:
                 f"performance_mode must be 'analytical' or 'simulation', "
                 f"got {self.performance_mode!r}"
             )
+        if self.workload is not None:
+            from repro.workloads.generators import check_workload_params
+
+            if not isinstance(self.workload, Mapping) or "name" not in self.workload:
+                raise ValidationError("workload must be a mapping with a 'name' key")
+            check_workload_params(
+                self.workload["name"], dict(self.workload.get("params", {}))
+            )
+            if self.performance_mode != "simulation":
+                raise ValidationError(
+                    "trace-driven workloads require performance_mode='simulation'"
+                )
         self._physical_model = NoCPhysicalModel(self.params)
         # Routing tables depend only on the topology, not on the traffic or
         # injection rate, so sweeps that vary only those knobs reuse the BFS
@@ -90,7 +112,26 @@ class PredictionToolchain:
         routing = self.routing_for(topology)
         traffic = self.traffic if traffic is None else traffic
 
-        if self.performance_mode == "simulation":
+        if self.workload is not None:
+            from repro.workloads.generators import workload_trace_from_mapping
+
+            trace = workload_trace_from_mapping(
+                dict(self.workload), topology.rows, topology.cols
+            )
+            stats = replay_trace(
+                topology,
+                trace,
+                config=self.simulation_config,
+                link_latencies=physical.link_latencies,
+                routing=routing,
+            )
+            # Trace replays have no load sweep: report the replay's average
+            # packet latency in the latency slot and its accepted load in
+            # the throughput slot (both documented on the workload field).
+            zero_load = stats.average_packet_latency
+            saturation = stats.accepted_load
+            details = {"replay": stats, "workload": dict(self.workload)}
+        elif self.performance_mode == "simulation":
             config = self.simulation_config
             if traffic != config.traffic:
                 config = replace(config, traffic=traffic)
@@ -148,6 +189,7 @@ def predict(
     performance_mode: str = "analytical",
     simulation_config: SimulationConfig | None = None,
     traffic: str = "uniform",
+    workload: Mapping[str, Any] | None = None,
 ) -> PredictionResult:
     """One-shot convenience wrapper around :class:`PredictionToolchain`."""
     toolchain = PredictionToolchain(
@@ -155,5 +197,6 @@ def predict(
         performance_mode=performance_mode,
         simulation_config=simulation_config or SimulationConfig(),
         traffic=traffic,
+        workload=workload,
     )
     return toolchain.predict(topology)

@@ -1,0 +1,498 @@
+"""Application-workload generators: traces synthesized from traffic models.
+
+Each generator turns a small application model into a replayable
+:class:`~repro.workloads.trace.WorkloadTrace` for an ``rows x cols`` tile
+grid.  Four families are provided, mirroring the workload classes that drive
+real NoC evaluations:
+
+``dnn_inference``
+    Layer-wise activation exchange of a pipelined DNN inference pass (the
+    MockSim-style decoder replay): tiles are striped across consecutive
+    layers; during each layer window every producing tile scatters
+    activation packets to a small fan-out of consumers of the next layer.
+    One phase per layer.
+
+``mpi_collective``
+    MPI-style collectives over all tiles: ``allreduce_ring`` (reduce-scatter
+    then allgather, one neighbour hop per step), ``allreduce_tree``
+    (binary-tree reduce then broadcast), or ``alltoall`` (personalized
+    exchange, one round per destination offset).  Phases follow the
+    algorithm structure (``reduce_scatter``/``allgather``,
+    ``reduce``/``broadcast``, or a single ``alltoall`` window).
+
+``stencil2d``
+    Iterative 2-D stencil halo exchange on the tile grid: in each iteration
+    every tile sends one halo packet to each of its (up to four)
+    non-periodic grid neighbours.  One phase per iteration.
+
+``onoff``
+    Bursty ON/OFF (Markov-modulated Bernoulli) background traffic with
+    uniformly random destinations — the classic self-similar background
+    load.  The trace is split into equal ``epoch<k>`` phases (set
+    ``phases=0`` for an unphased background trace to overlay with
+    :func:`~repro.workloads.trace.merge_traces`).
+
+All generators are deterministic functions of ``(rows, cols, seed,
+parameters)``: the RNG comes from :func:`repro.utils.rng.make_rng` with a
+per-generator stream label, and records are emitted in canonical sorted
+order, so repeated generation is byte-stable (pinned by the golden tests).
+
+The :data:`WORKLOAD_FACTORIES` registry mirrors ``TRAFFIC_FACTORIES`` in
+:mod:`repro.simulator.traffic`: one place to enumerate and instantiate every
+workload by name.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Callable
+
+import numpy as np
+
+from repro.utils.rng import make_rng
+from repro.utils.validation import ValidationError, check_in_range, check_type
+from repro.workloads.trace import TracePhase, WorkloadTrace
+
+
+def _check_positive(name: str, value: int) -> None:
+    check_type(name, value, int)
+    if value < 1:
+        raise ValidationError(f"{name} must be >= 1, got {value}")
+
+
+def _check_grid(rows: int, cols: int) -> None:
+    check_type("rows", rows, int)
+    check_type("cols", cols, int)
+    if rows < 1 or cols < 1 or rows * cols < 2:
+        raise ValidationError(
+            f"workload generation needs a grid of at least 2 tiles, got {rows}x{cols}"
+        )
+
+
+def _finalize(
+    num_tiles: int,
+    records: list[tuple[int, int, int, int]],
+    phases: list[TracePhase],
+    name: str,
+    meta: dict,
+) -> WorkloadTrace:
+    """Sort records canonically and build the trace."""
+    if not records:
+        raise ValidationError(
+            f"{name} produced no packet records for this grid and parameter set"
+        )
+    records.sort()
+    columns = list(zip(*records))
+    return WorkloadTrace(
+        num_tiles=num_tiles,
+        cycles=columns[0],
+        sources=columns[1],
+        destinations=columns[2],
+        sizes=columns[3],
+        phases=phases,
+        name=name,
+        meta=meta,
+    )
+
+
+# ------------------------------------------------------------ DNN inference
+def generate_dnn_inference(
+    rows: int,
+    cols: int,
+    seed: int = 0,
+    layers: int = 4,
+    layer_window: int = 64,
+    activations_per_tile: int = 2,
+    fan_out: int = 3,
+    packet_size_flits: int = 4,
+) -> WorkloadTrace:
+    """Layer-wise activation exchange of a pipelined DNN inference pass.
+
+    Tiles are striped round-robin over ``layers`` consecutive layers.  During
+    the window of layer ``l``, every tile assigned to layer ``l`` emits
+    ``activations_per_tile`` activation packets to ``fan_out`` consumers
+    drawn from the tiles of layer ``l + 1`` (the last layer feeds back to
+    layer 0 — the next pipelined inference), at cycles jittered uniformly
+    across the window.  One :class:`TracePhase` per layer (``layer0``,
+    ``layer1``, ...).
+    """
+    _check_grid(rows, cols)
+    num_tiles = rows * cols
+    _check_positive("layers", layers)
+    _check_positive("layer_window", layer_window)
+    _check_positive("activations_per_tile", activations_per_tile)
+    _check_positive("fan_out", fan_out)
+    _check_positive("packet_size_flits", packet_size_flits)
+    if layers > num_tiles:
+        raise ValidationError(
+            f"dnn_inference needs layers <= num_tiles, got {layers} > {num_tiles}"
+        )
+    rng = make_rng(seed, stream="workload:dnn_inference")
+
+    layer_tiles = [
+        [tile for tile in range(num_tiles) if tile % layers == layer]
+        for layer in range(layers)
+    ]
+    records: list[tuple[int, int, int, int]] = []
+    phases: list[TracePhase] = []
+    for layer in range(layers):
+        start = layer * layer_window
+        phases.append(TracePhase(f"layer{layer}", start, start + layer_window))
+        consumers = layer_tiles[(layer + 1) % layers]
+        for source in layer_tiles[layer]:
+            for _ in range(activations_per_tile):
+                cycle = start + int(rng.integers(layer_window))
+                for _ in range(fan_out):
+                    destination = int(consumers[int(rng.integers(len(consumers)))])
+                    if destination == source:
+                        # Step to the next consumer; with >= 2 tiles this
+                        # always yields a tile different from the source.
+                        destination = consumers[
+                            (consumers.index(destination) + 1) % len(consumers)
+                        ]
+                    records.append((cycle, source, destination, packet_size_flits))
+    return _finalize(
+        num_tiles,
+        records,
+        phases,
+        name="dnn_inference",
+        meta={
+            "generator": "dnn_inference",
+            "seed": seed,
+            "params": {
+                "layers": layers,
+                "layer_window": layer_window,
+                "activations_per_tile": activations_per_tile,
+                "fan_out": fan_out,
+                "packet_size_flits": packet_size_flits,
+            },
+        },
+    )
+
+
+# ------------------------------------------------------------- collectives
+_COLLECTIVES = ("allreduce_ring", "allreduce_tree", "alltoall")
+
+
+def generate_mpi_collective(
+    rows: int,
+    cols: int,
+    seed: int = 0,
+    collective: str = "allreduce_ring",
+    step_cycles: int = 8,
+    chunk_size_flits: int = 4,
+) -> WorkloadTrace:
+    """MPI-style collective over all tiles (deterministic, seed-independent).
+
+    ``allreduce_ring``
+        ``N - 1`` reduce-scatter steps followed by ``N - 1`` allgather
+        steps; in step ``s`` every tile sends one chunk to its ring
+        successor ``(i + 1) mod N``.  Phases: ``reduce_scatter`` and
+        ``allgather``.
+    ``allreduce_tree``
+        Binary-tree reduction (``ceil(log2 N)`` rounds of partner sends
+        towards tile 0) followed by the mirrored broadcast.  Phases:
+        ``reduce`` and ``broadcast``.
+    ``alltoall``
+        ``N - 1`` rounds of personalized exchange; in round ``r`` tile
+        ``i`` sends to ``(i + r) mod N``.  Single phase ``alltoall``.
+    """
+    _check_grid(rows, cols)
+    num_tiles = rows * cols
+    if collective not in _COLLECTIVES:
+        raise ValidationError(
+            f"unknown collective {collective!r}; known: {list(_COLLECTIVES)}"
+        )
+    _check_positive("step_cycles", step_cycles)
+    _check_positive("chunk_size_flits", chunk_size_flits)
+
+    records: list[tuple[int, int, int, int]] = []
+    phases: list[TracePhase] = []
+    if collective == "allreduce_ring":
+        steps = num_tiles - 1
+        for step in range(steps):
+            cycle = step * step_cycles
+            for tile in range(num_tiles):
+                records.append((cycle, tile, (tile + 1) % num_tiles, chunk_size_flits))
+        for step in range(steps):
+            cycle = (steps + step) * step_cycles
+            for tile in range(num_tiles):
+                records.append((cycle, tile, (tile + 1) % num_tiles, chunk_size_flits))
+        phases = [
+            TracePhase("reduce_scatter", 0, steps * step_cycles),
+            TracePhase("allgather", steps * step_cycles, 2 * steps * step_cycles),
+        ]
+    elif collective == "allreduce_tree":
+        rounds = max(1, (num_tiles - 1).bit_length())
+        for round_index in range(rounds):
+            cycle = round_index * step_cycles
+            stride = 1 << round_index
+            for tile in range(num_tiles):
+                if tile % (2 * stride) == stride:
+                    records.append((cycle, tile, tile - stride, chunk_size_flits))
+        reduce_end = rounds * step_cycles
+        for round_index in range(rounds):
+            cycle = reduce_end + round_index * step_cycles
+            stride = 1 << (rounds - 1 - round_index)
+            for tile in range(num_tiles):
+                if tile % (2 * stride) == 0 and tile + stride < num_tiles:
+                    records.append((cycle, tile, tile + stride, chunk_size_flits))
+        phases = [
+            TracePhase("reduce", 0, reduce_end),
+            TracePhase("broadcast", reduce_end, 2 * reduce_end),
+        ]
+    else:  # alltoall
+        rounds = num_tiles - 1
+        for round_index in range(rounds):
+            cycle = round_index * step_cycles
+            for tile in range(num_tiles):
+                records.append(
+                    (cycle, tile, (tile + round_index + 1) % num_tiles, chunk_size_flits)
+                )
+        phases = [TracePhase("alltoall", 0, rounds * step_cycles)]
+
+    return _finalize(
+        num_tiles,
+        records,
+        phases,
+        name=f"mpi_{collective}",
+        # No "seed" in the meta: the collective schedule is fully determined
+        # by the grid and parameters (see SEED_INDEPENDENT_WORKLOADS).
+        meta={
+            "generator": "mpi_collective",
+            "params": {
+                "collective": collective,
+                "step_cycles": step_cycles,
+                "chunk_size_flits": chunk_size_flits,
+            },
+        },
+    )
+
+
+# ------------------------------------------------------------------ stencil
+def generate_stencil2d(
+    rows: int,
+    cols: int,
+    seed: int = 0,
+    iterations: int = 4,
+    iteration_window: int = 32,
+    halo_size_flits: int = 2,
+) -> WorkloadTrace:
+    """Iterative 2-D stencil halo exchange on the tile grid.
+
+    In each iteration, every tile sends one halo packet of
+    ``halo_size_flits`` flits to each of its north/south/west/east grid
+    neighbours (non-periodic: boundary tiles have fewer neighbours), at a
+    cycle jittered uniformly inside the iteration window.  One phase per
+    iteration (``iter0``, ``iter1``, ...).
+    """
+    _check_grid(rows, cols)
+    num_tiles = rows * cols
+    _check_positive("iterations", iterations)
+    _check_positive("iteration_window", iteration_window)
+    _check_positive("halo_size_flits", halo_size_flits)
+    rng = make_rng(seed, stream="workload:stencil2d")
+
+    records: list[tuple[int, int, int, int]] = []
+    phases: list[TracePhase] = []
+    for iteration in range(iterations):
+        start = iteration * iteration_window
+        phases.append(TracePhase(f"iter{iteration}", start, start + iteration_window))
+        for row in range(rows):
+            for col in range(cols):
+                source = row * cols + col
+                cycle = start + int(rng.integers(iteration_window))
+                for d_row, d_col in ((-1, 0), (1, 0), (0, -1), (0, 1)):
+                    n_row, n_col = row + d_row, col + d_col
+                    if 0 <= n_row < rows and 0 <= n_col < cols:
+                        records.append(
+                            (cycle, source, n_row * cols + n_col, halo_size_flits)
+                        )
+    return _finalize(
+        num_tiles,
+        records,
+        phases,
+        name="stencil2d",
+        meta={
+            "generator": "stencil2d",
+            "seed": seed,
+            "params": {
+                "iterations": iterations,
+                "iteration_window": iteration_window,
+                "halo_size_flits": halo_size_flits,
+            },
+        },
+    )
+
+
+# ------------------------------------------------------------------ ON/OFF
+def generate_onoff(
+    rows: int,
+    cols: int,
+    seed: int = 0,
+    duration: int = 256,
+    burst_rate: float = 0.2,
+    p_on_off: float = 0.1,
+    p_off_on: float = 0.05,
+    packet_size_flits: int = 4,
+    phases: int = 4,
+) -> WorkloadTrace:
+    """Bursty ON/OFF background traffic (Markov-modulated Bernoulli).
+
+    Every tile independently alternates between an ON and an OFF state
+    (transition probabilities ``p_on_off`` / ``p_off_on`` per cycle,
+    starting OFF); while ON it creates a packet to a uniformly random other
+    tile with probability ``burst_rate / packet_size_flits`` per cycle, so
+    the offered load of an ON tile is ``burst_rate`` flits per cycle.  The
+    trace is split into ``phases`` equal ``epoch<k>`` windows; pass
+    ``phases=0`` for an unphased background trace.
+    """
+    _check_grid(rows, cols)
+    num_tiles = rows * cols
+    _check_positive("duration", duration)
+    _check_positive("packet_size_flits", packet_size_flits)
+    check_type("phases", phases, int)
+    if phases < 0:
+        raise ValidationError("phases must be >= 0")
+    if phases > duration:
+        raise ValidationError("phases must not exceed the trace duration")
+    check_in_range("burst_rate", burst_rate, 0.0, 1.0)
+    check_in_range("p_on_off", p_on_off, 0.0, 1.0)
+    check_in_range("p_off_on", p_off_on, 0.0, 1.0)
+    rng = make_rng(seed, stream="workload:onoff")
+
+    packet_probability = burst_rate / packet_size_flits
+    on = np.zeros(num_tiles, dtype=bool)
+    records: list[tuple[int, int, int, int]] = []
+    for cycle in range(duration):
+        transitions = rng.random(num_tiles)
+        on = np.where(on, transitions >= p_on_off, transitions < p_off_on)
+        draws = rng.random(num_tiles)
+        for source in np.nonzero(on & (draws < packet_probability))[0]:
+            source = int(source)
+            destination = int(rng.integers(num_tiles - 1))
+            if destination >= source:
+                destination += 1
+            records.append((cycle, source, destination, packet_size_flits))
+    if not records:
+        raise ValidationError(
+            "onoff produced no records; raise burst_rate/p_off_on or the duration"
+        )
+    phase_list: list[TracePhase] = []
+    if phases:
+        edges = [round(k * duration / phases) for k in range(phases + 1)]
+        phase_list = [
+            TracePhase(f"epoch{k}", edges[k], edges[k + 1])
+            for k in range(phases)
+            if edges[k + 1] > edges[k]
+        ]
+    return _finalize(
+        num_tiles,
+        records,
+        phase_list,
+        name="onoff",
+        meta={
+            "generator": "onoff",
+            "seed": seed,
+            "params": {
+                "duration": duration,
+                "burst_rate": burst_rate,
+                "p_on_off": p_on_off,
+                "p_off_on": p_off_on,
+                "packet_size_flits": packet_size_flits,
+                "phases": phases,
+            },
+        },
+    )
+
+
+# --------------------------------------------------------------- registry
+WorkloadFactory = Callable[..., WorkloadTrace]
+
+WORKLOAD_FACTORIES: dict[str, WorkloadFactory] = {
+    "dnn_inference": generate_dnn_inference,
+    "mpi_collective": generate_mpi_collective,
+    "stencil2d": generate_stencil2d,
+    "onoff": generate_onoff,
+}
+
+#: Generators whose output does not depend on the RNG seed (fully determined
+#: by the grid and parameters).  Experiment specs normalise the seed away for
+#: these, so seed-distinct specs do not duplicate identical simulations.
+SEED_INDEPENDENT_WORKLOADS = frozenset({"mpi_collective"})
+
+
+def available_workloads() -> list[str]:
+    """Return the identifiers of all registered workload generators."""
+    return sorted(WORKLOAD_FACTORIES)
+
+
+def check_workload_name(name: str) -> None:
+    """Raise :class:`ValidationError` unless ``name`` is a registered workload."""
+    if name not in WORKLOAD_FACTORIES:
+        raise ValidationError(
+            f"unknown workload {name!r}; known: {available_workloads()}"
+        )
+
+
+def check_workload_params(name: str, params: "dict | None") -> None:
+    """Raise :class:`ValidationError` on parameter keys the generator rejects.
+
+    Generators declare their parameters explicitly (no ``**kwargs``), so the
+    signature is the authoritative key list; checking here lets specs and the
+    CLI fail fast instead of raising ``TypeError`` mid-campaign.
+    """
+    check_workload_name(name)
+    if not params:
+        return
+    allowed = set(inspect.signature(WORKLOAD_FACTORIES[name]).parameters)
+    allowed -= {"rows", "cols", "seed"}
+    unknown = set(params) - allowed
+    if unknown:
+        raise ValidationError(
+            f"unknown parameters {sorted(unknown)} for workload {name!r}; "
+            f"known: {sorted(allowed)}"
+        )
+
+
+def make_workload_trace(
+    name: str, rows: int, cols: int, seed: int = 0, **kwargs
+) -> WorkloadTrace:
+    """Generate a registered workload trace by identifier.
+
+    Extra keyword arguments are forwarded to the generator (e.g. ``layers``
+    for ``dnn_inference`` or ``collective`` for ``mpi_collective``) and are
+    validated against the generator's signature.
+    """
+    check_workload_params(name, kwargs)
+    return WORKLOAD_FACTORIES[name](rows, cols, seed=seed, **kwargs)
+
+
+def workload_trace_from_mapping(
+    workload: "dict", rows: int, cols: int
+) -> WorkloadTrace:
+    """Build the trace a ``{"name", "seed", "params"}`` workload spec describes.
+
+    The single construction path shared by :class:`ExperimentSpec` and the
+    prediction toolchain, so the trace an experiment *reports* is always the
+    trace it *replays*.
+    """
+    return make_workload_trace(
+        workload["name"],
+        rows,
+        cols,
+        seed=int(workload.get("seed", 0)),
+        **dict(workload.get("params", {})),
+    )
+
+
+__all__ = [
+    "WORKLOAD_FACTORIES",
+    "available_workloads",
+    "check_workload_name",
+    "generate_dnn_inference",
+    "generate_mpi_collective",
+    "generate_onoff",
+    "generate_stencil2d",
+    "make_workload_trace",
+]

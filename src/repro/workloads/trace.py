@@ -1,0 +1,461 @@
+"""The replayable workload-trace format.
+
+A :class:`WorkloadTrace` is a compact, versioned record of application-level
+traffic: an ordered sequence of packet records ``(cycle, source, destination,
+size_flits)`` plus a list of named, non-overlapping :class:`TracePhase`
+windows (e.g. the layers of a DNN inference pass, or the reduce-scatter and
+allgather halves of a ring allreduce).  Traces are pure data — they carry no
+topology or simulator state — so one trace can be replayed on every topology
+with the same tile count, which is exactly how the examples compare a mesh
+against a customized sparse Hamming graph under identical traffic.
+
+Two serialization backends are provided and selected by file suffix:
+
+``.jsonl``
+    A text format: one canonical JSON header line (format tag, version,
+    name, tile count, phases, metadata) followed by one compact JSON array
+    ``[cycle, src, dst, size]`` per record.  The byte stream is canonical
+    (sorted header keys, fixed separators, ``\\n`` line endings), so a trace
+    generated from a fixed seed serializes to byte-identical files — the
+    golden tests pin SHA-256 digests of these bytes.
+
+``.npz``
+    ``numpy.savez_compressed`` with the four record columns as ``int64``
+    arrays plus the JSON header.  Compact for long traces; the *loaded*
+    trace round-trips exactly (the zip container itself embeds timestamps,
+    so only the JSONL backend is byte-stable).
+
+Both backends load back into a trace that compares equal to the original
+(:meth:`WorkloadTrace.__eq__` is content equality, and
+:attr:`WorkloadTrace.trace_id` — a content hash of the canonical JSONL
+bytes — is identical across processes and backends).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import zipfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.utils.validation import ValidationError, check_type
+
+#: Version stamp written into every serialized trace; bumped on any change to
+#: the record or header layout.
+TRACE_FORMAT_VERSION = 1
+
+#: Header tag identifying the file as a repro workload trace.
+TRACE_FORMAT_TAG = "repro-trace"
+
+
+@dataclass(frozen=True)
+class TracePhase:
+    """One named window of a trace, ``[start_cycle, end_cycle)``.
+
+    Phases partition the interesting part of a trace into application-level
+    stages (DNN layers, collective steps, stencil iterations); the simulator
+    attributes every packet to the phase containing its creation cycle and
+    reports per-phase latency and throughput.
+    """
+
+    name: str
+    start_cycle: int
+    end_cycle: int
+
+    def __post_init__(self) -> None:
+        check_type("name", self.name, str)
+        check_type("start_cycle", self.start_cycle, int)
+        check_type("end_cycle", self.end_cycle, int)
+        if not self.name:
+            raise ValidationError("phase names must be non-empty")
+        if self.start_cycle < 0 or self.end_cycle <= self.start_cycle:
+            raise ValidationError(
+                f"phase {self.name!r} needs 0 <= start < end, "
+                f"got [{self.start_cycle}, {self.end_cycle})"
+            )
+
+    @property
+    def duration(self) -> int:
+        """Length of the phase window in cycles."""
+        return self.end_cycle - self.start_cycle
+
+
+class WorkloadTrace:
+    """An ordered, validated sequence of packet records with named phases.
+
+    Parameters
+    ----------
+    num_tiles:
+        Tile count the trace addresses; replay requires a topology with the
+        same number of tiles.
+    cycles, sources, destinations, sizes:
+        The record columns (converted to ``int64`` arrays).  ``cycles`` must
+        be non-decreasing; sources and destinations must be distinct valid
+        tile indices; sizes are flit counts ``>= 1``.
+    phases:
+        Ordered, non-overlapping :class:`TracePhase` windows with unique
+        names.  May be empty (the replay then reports no per-phase stats).
+    name:
+        Free-form trace name (e.g. the generator identifier).
+    meta:
+        JSON-serializable provenance (generator parameters, seed, ...).
+
+    Examples
+    --------
+    >>> trace = WorkloadTrace(
+    ...     num_tiles=4,
+    ...     cycles=[0, 0, 5],
+    ...     sources=[0, 1, 2],
+    ...     destinations=[1, 2, 3],
+    ...     sizes=[4, 4, 2],
+    ...     phases=[TracePhase("warm", 0, 4), TracePhase("hot", 4, 8)],
+    ...     name="tiny",
+    ... )
+    >>> trace.num_packets, trace.total_flits, trace.duration
+    (3, 10, 8)
+    >>> trace == WorkloadTrace.from_jsonl_bytes(trace.to_jsonl_bytes())
+    True
+    """
+
+    def __init__(
+        self,
+        num_tiles: int,
+        cycles: Sequence[int] | np.ndarray,
+        sources: Sequence[int] | np.ndarray,
+        destinations: Sequence[int] | np.ndarray,
+        sizes: Sequence[int] | np.ndarray,
+        phases: Sequence[TracePhase] = (),
+        name: str = "trace",
+        meta: Mapping[str, Any] | None = None,
+    ) -> None:
+        check_type("num_tiles", num_tiles, int)
+        if num_tiles < 2:
+            raise ValidationError("a trace needs at least 2 tiles")
+        self.num_tiles = num_tiles
+        self.name = str(name)
+        self.meta: dict[str, Any] = dict(meta or {})
+
+        self.cycles = np.asarray(cycles, dtype=np.int64)
+        self.sources = np.asarray(sources, dtype=np.int64)
+        self.destinations = np.asarray(destinations, dtype=np.int64)
+        self.sizes = np.asarray(sizes, dtype=np.int64)
+        lengths = {
+            arr.shape
+            for arr in (self.cycles, self.sources, self.destinations, self.sizes)
+        }
+        if len(lengths) != 1 or self.cycles.ndim != 1:
+            raise ValidationError("trace record columns must be 1-D and equally long")
+        if self.cycles.size == 0:
+            raise ValidationError("a trace needs at least one packet record")
+        if self.cycles[0] < 0 or np.any(np.diff(self.cycles) < 0):
+            raise ValidationError("trace cycles must be non-negative and non-decreasing")
+        for label, column in (("source", self.sources), ("destination", self.destinations)):
+            if np.any(column < 0) or np.any(column >= num_tiles):
+                raise ValidationError(f"trace {label} tile index out of range [0, {num_tiles})")
+        if np.any(self.sources == self.destinations):
+            raise ValidationError("trace records must have distinct source and destination")
+        if np.any(self.sizes < 1):
+            raise ValidationError("trace packet sizes must be >= 1 flit")
+
+        self.phases: tuple[TracePhase, ...] = tuple(phases)
+        seen: set[str] = set()
+        previous_end = 0
+        for phase in self.phases:
+            if not isinstance(phase, TracePhase):
+                raise ValidationError(f"phases must be TracePhase, got {phase!r}")
+            if phase.name in seen:
+                raise ValidationError(f"duplicate phase name {phase.name!r}")
+            seen.add(phase.name)
+            if phase.start_cycle < previous_end:
+                raise ValidationError(
+                    f"phase {phase.name!r} overlaps or precedes the previous phase"
+                )
+            previous_end = phase.end_cycle
+
+    # ------------------------------------------------------------ properties
+    @property
+    def num_packets(self) -> int:
+        """Number of packet records."""
+        return int(self.cycles.size)
+
+    @property
+    def total_flits(self) -> int:
+        """Sum of all packet sizes in flits."""
+        return int(self.sizes.sum())
+
+    @property
+    def duration(self) -> int:
+        """Trace length in cycles: covers every record and every phase window."""
+        last_record = int(self.cycles[-1]) + 1
+        last_phase = max((phase.end_cycle for phase in self.phases), default=0)
+        return max(last_record, last_phase)
+
+    @property
+    def phase_names(self) -> tuple[str, ...]:
+        """Phase names in trace order."""
+        return tuple(phase.name for phase in self.phases)
+
+    @property
+    def trace_id(self) -> str:
+        """Stable content hash of the canonical JSONL bytes.
+
+        Computed once and cached — the trace is effectively immutable after
+        construction, and hashing re-serializes every record.
+        """
+        cached = getattr(self, "_trace_id", None)
+        if cached is None:
+            cached = "trace-" + hashlib.sha256(self.to_jsonl_bytes()).hexdigest()[:16]
+            self._trace_id = cached
+        return cached
+
+    def records(self) -> Iterator[tuple[int, int, int, int]]:
+        """Iterate ``(cycle, source, destination, size_flits)`` tuples."""
+        for cycle, src, dst, size in zip(
+            self.cycles, self.sources, self.destinations, self.sizes
+        ):
+            yield int(cycle), int(src), int(dst), int(size)
+
+    def phase_of_cycle_table(self) -> list[int]:
+        """Per-cycle phase index (``-1`` outside every phase), length :attr:`duration`."""
+        table = [-1] * self.duration
+        for index, phase in enumerate(self.phases):
+            for cycle in range(phase.start_cycle, min(phase.end_cycle, self.duration)):
+                table[cycle] = index
+        return table
+
+    def phase_record_counts(self) -> list[tuple[int, int]]:
+        """Per-phase ``(packets, flits)`` of the records created inside each window."""
+        counts = []
+        for phase in self.phases:
+            lo = int(np.searchsorted(self.cycles, phase.start_cycle, side="left"))
+            hi = int(np.searchsorted(self.cycles, phase.end_cycle, side="left"))
+            counts.append((hi - lo, int(self.sizes[lo:hi].sum())))
+        return counts
+
+    # -------------------------------------------------------------- equality
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, WorkloadTrace):
+            return NotImplemented
+        return (
+            self.num_tiles == other.num_tiles
+            and self.name == other.name
+            and self.meta == other.meta
+            and self.phases == other.phases
+            and np.array_equal(self.cycles, other.cycles)
+            and np.array_equal(self.sources, other.sources)
+            and np.array_equal(self.destinations, other.destinations)
+            and np.array_equal(self.sizes, other.sizes)
+        )
+
+    def __hash__(self) -> int:
+        return hash(self.trace_id)
+
+    def __repr__(self) -> str:
+        return (
+            f"WorkloadTrace({self.name!r}, tiles={self.num_tiles}, "
+            f"packets={self.num_packets}, phases={len(self.phases)}, "
+            f"duration={self.duration})"
+        )
+
+    # --------------------------------------------------------- serialization
+    def _header(self) -> dict[str, Any]:
+        return {
+            "format": TRACE_FORMAT_TAG,
+            "version": TRACE_FORMAT_VERSION,
+            "name": self.name,
+            "num_tiles": self.num_tiles,
+            "phases": [
+                {
+                    "name": phase.name,
+                    "start_cycle": phase.start_cycle,
+                    "end_cycle": phase.end_cycle,
+                }
+                for phase in self.phases
+            ],
+            "meta": self.meta,
+        }
+
+    @staticmethod
+    def _parse_header(header: Mapping[str, Any]) -> dict[str, Any]:
+        if not isinstance(header, Mapping):
+            raise ValidationError("malformed trace header: not a JSON object")
+        if header.get("format") != TRACE_FORMAT_TAG:
+            raise ValidationError(
+                f"not a workload trace (format tag {header.get('format')!r})"
+            )
+        version = header.get("version")
+        if version != TRACE_FORMAT_VERSION:
+            raise ValidationError(
+                f"unsupported trace format version {version!r} "
+                f"(this build reads version {TRACE_FORMAT_VERSION})"
+            )
+        try:
+            return {
+                "num_tiles": int(header["num_tiles"]),
+                "name": header.get("name", "trace"),
+                "meta": header.get("meta", {}),
+                "phases": [
+                    TracePhase(
+                        name=entry["name"],
+                        start_cycle=int(entry["start_cycle"]),
+                        end_cycle=int(entry["end_cycle"]),
+                    )
+                    for entry in header.get("phases", ())
+                ],
+            }
+        except (KeyError, TypeError, ValueError) as error:
+            raise ValidationError(f"malformed trace header: {error!r}") from error
+
+    def to_jsonl_bytes(self) -> bytes:
+        """Canonical JSONL bytes: header line + one record array per line."""
+        lines = [json.dumps(self._header(), sort_keys=True, separators=(",", ":"))]
+        lines.extend(
+            f"[{cycle},{src},{dst},{size}]" for cycle, src, dst, size in self.records()
+        )
+        return ("\n".join(lines) + "\n").encode("utf-8")
+
+    @classmethod
+    def from_jsonl_bytes(cls, data: bytes) -> "WorkloadTrace":
+        """Rebuild a trace from :meth:`to_jsonl_bytes` output."""
+        try:
+            lines = data.decode("utf-8").splitlines()
+        except UnicodeDecodeError as error:
+            raise ValidationError(
+                "malformed trace file: not UTF-8 text (an .npz trace renamed "
+                "to .jsonl?)"
+            ) from error
+        if not lines:
+            raise ValidationError("empty trace file")
+        fields = cls._parse_header(json.loads(lines[0]))
+        records = [json.loads(line) for line in lines[1:] if line.strip()]
+        if not records:
+            raise ValidationError("trace file has a header but no records")
+        for number, record in enumerate(records, start=2):
+            if (
+                not isinstance(record, list)
+                or len(record) != 4
+                # bool is an int subclass; reject it along with floats/strings
+                or not all(type(value) is int for value in record)
+            ):
+                raise ValidationError(
+                    f"malformed trace record on line {number}: expected "
+                    f"[cycle, src, dst, size] integers, got {record!r}"
+                )
+        columns = list(zip(*records))
+        return cls(
+            cycles=columns[0],
+            sources=columns[1],
+            destinations=columns[2],
+            sizes=columns[3],
+            **fields,
+        )
+
+    def to_jsonl(self, path: str | Path) -> Path:
+        """Write the canonical JSONL form to ``path``; returns the path."""
+        path = Path(path)
+        path.write_bytes(self.to_jsonl_bytes())
+        return path
+
+    @classmethod
+    def from_jsonl(cls, path: str | Path) -> "WorkloadTrace":
+        """Read a trace from a ``.jsonl`` file."""
+        return cls.from_jsonl_bytes(Path(path).read_bytes())
+
+    def to_npz(self, path: str | Path) -> Path:
+        """Write the compressed-npz form to ``path``; returns the path."""
+        path = Path(path)
+        header = json.dumps(self._header(), sort_keys=True, separators=(",", ":"))
+        with path.open("wb") as handle:
+            np.savez_compressed(
+                handle,
+                header=np.array(header),
+                cycles=self.cycles,
+                sources=self.sources,
+                destinations=self.destinations,
+                sizes=self.sizes,
+            )
+        return path
+
+    @classmethod
+    def from_npz(cls, path: str | Path) -> "WorkloadTrace":
+        """Read a trace from a ``.npz`` file."""
+        try:
+            with np.load(Path(path), allow_pickle=False) as data:
+                fields = cls._parse_header(json.loads(str(data["header"])))
+                return cls(
+                    cycles=data["cycles"],
+                    sources=data["sources"],
+                    destinations=data["destinations"],
+                    sizes=data["sizes"],
+                    **fields,
+                )
+        except (ValueError, KeyError, OSError, zipfile.BadZipFile) as error:
+            if isinstance(error, ValidationError):
+                raise
+            raise ValidationError(f"malformed npz trace {path}: {error!r}") from error
+
+    def save(self, path: str | Path) -> Path:
+        """Write the trace, choosing the backend by suffix (``.jsonl``/``.npz``)."""
+        path = Path(path)
+        if path.suffix == ".jsonl":
+            return self.to_jsonl(path)
+        if path.suffix == ".npz":
+            return self.to_npz(path)
+        raise ValidationError(
+            f"unknown trace suffix {path.suffix!r}; use '.jsonl' or '.npz'"
+        )
+
+    @classmethod
+    def load(cls, path: str | Path) -> "WorkloadTrace":
+        """Read a trace, choosing the backend by suffix (``.jsonl``/``.npz``)."""
+        path = Path(path)
+        if path.suffix == ".jsonl":
+            return cls.from_jsonl(path)
+        if path.suffix == ".npz":
+            return cls.from_npz(path)
+        raise ValidationError(
+            f"unknown trace suffix {path.suffix!r}; use '.jsonl' or '.npz'"
+        )
+
+
+def merge_traces(traces: Sequence[WorkloadTrace], name: str = "merged") -> WorkloadTrace:
+    """Overlay several traces for the same tile count into one.
+
+    Records are merged in cycle order (ties broken by the records' column
+    values, so the result is deterministic regardless of input order); the
+    phases of the *first* trace are kept — merging is meant for overlaying
+    unphased background traffic (e.g. the ``onoff`` generator with
+    ``phases=0``) onto a phased foreground workload.
+    """
+    if not traces:
+        raise ValidationError("merge_traces needs at least one trace")
+    tiles = {trace.num_tiles for trace in traces}
+    if len(tiles) != 1:
+        raise ValidationError(f"cannot merge traces with different tile counts: {sorted(tiles)}")
+    rows = sorted(
+        record for trace in traces for record in trace.records()
+    )
+    columns = list(zip(*rows))
+    return WorkloadTrace(
+        num_tiles=traces[0].num_tiles,
+        cycles=columns[0],
+        sources=columns[1],
+        destinations=columns[2],
+        sizes=columns[3],
+        phases=traces[0].phases,
+        name=name,
+        meta={"merged_from": [trace.name for trace in traces]},
+    )
+
+
+__all__ = [
+    "TRACE_FORMAT_TAG",
+    "TRACE_FORMAT_VERSION",
+    "TracePhase",
+    "WorkloadTrace",
+    "merge_traces",
+]

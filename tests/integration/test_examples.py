@@ -62,3 +62,7 @@ def test_topology_comparison_runs():
 @pytest.mark.slow
 def test_simulate_traffic_runs():
     _run_example("simulate_traffic.py")
+
+
+def test_workload_replay_runs():
+    _run_example("workload_replay.py")

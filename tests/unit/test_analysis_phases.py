@@ -1,0 +1,116 @@
+"""Unit tests of the per-phase analysis helpers (repro.analysis.phases)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.phases import (
+    PhasePoint,
+    bottleneck_phase,
+    phase_pareto_front,
+    phase_pareto_fronts,
+    phase_points,
+    phase_records,
+    phase_speedups,
+    saturated_phases,
+)
+from repro.simulator.statistics import PhaseStats, SimulationStats
+from repro.utils.validation import ValidationError
+
+
+def make_phase(name, latency, throughput, offered=None, created=10, delivered=10,
+               start=0, end=100):
+    return PhaseStats(
+        name=name,
+        start_cycle=start,
+        end_cycle=end,
+        packets_created=created,
+        packets_delivered=delivered,
+        flits_delivered=delivered * 4,
+        offered_load=throughput if offered is None else offered,
+        throughput=throughput,
+        average_packet_latency=latency,
+        p99_packet_latency=latency * 2,
+        average_hops=2.0,
+    )
+
+
+def make_stats(phases):
+    return SimulationStats(
+        offered_load=0.1,
+        accepted_load=0.1,
+        average_packet_latency=10.0,
+        average_network_latency=9.0,
+        p99_packet_latency=20.0,
+        average_hops=2.0,
+        packets_measured=10,
+        packets_delivered=10,
+        packets_created=10,
+        flits_delivered_measurement=40,
+        measurement_cycles=100,
+        num_tiles=16,
+        escape_fraction=0.0,
+        drained=True,
+        phases={phase.name: phase for phase in phases},
+    )
+
+
+def test_phase_records_rows():
+    stats = make_stats([make_phase("a", 10.0, 0.2), make_phase("b", 20.0, 0.1)])
+    rows = phase_records(stats)
+    assert [row["phase"] for row in rows] == ["a", "b"]
+    assert rows[0]["average_packet_latency"] == 10.0
+    assert rows[1]["saturated"] is False
+
+
+def test_bottleneck_phase_picks_highest_latency():
+    stats = make_stats([make_phase("a", 10.0, 0.2), make_phase("b", 30.0, 0.1)])
+    worst = bottleneck_phase(stats)
+    assert worst is not None and worst.name == "b"
+    assert bottleneck_phase(make_stats([])) is None
+
+
+def test_phase_saturation_flags():
+    # Saturation is exactly "packets never delivered": phase throughput
+    # attributes drain arrivals back to the creation phase, so a completed
+    # phase always delivers its full offer.
+    undelivered = make_phase("undrained", 50.0, 0.2, created=10, delivered=7)
+    clean = make_phase("clean", 10.0, 0.2)
+    assert undelivered.saturated and not clean.saturated
+    stats = make_stats([undelivered, clean])
+    assert saturated_phases(stats) == ["undrained"]
+
+
+def test_phase_speedups():
+    baseline = make_stats([make_phase("a", 20.0, 0.1), make_phase("b", 30.0, 0.1)])
+    candidate = make_stats([make_phase("a", 10.0, 0.1), make_phase("b", 30.0, 0.1)])
+    speedups = phase_speedups(baseline, candidate)
+    assert speedups == {"a": 2.0, "b": 1.0}
+    with pytest.raises(ValidationError, match="phase sets differ"):
+        phase_speedups(baseline, make_stats([make_phase("a", 10.0, 0.1)]))
+
+
+def test_phase_pareto_front_dominance():
+    fast_fat = PhasePoint("mesh", "a", 10.0, 0.3)
+    slow_thin = PhasePoint("ring", "a", 20.0, 0.1)
+    slow_fat = PhasePoint("torus", "a", 20.0, 0.3)
+    front = phase_pareto_front([fast_fat, slow_thin, slow_fat])
+    assert front == [fast_fat]
+    # Incomparable points both survive.
+    cheap = PhasePoint("x", "a", 5.0, 0.1)
+    strong = PhasePoint("y", "a", 15.0, 0.4)
+    assert phase_pareto_front([cheap, strong]) == [cheap, strong]
+
+
+def test_phase_pareto_fronts_across_replays():
+    mesh = make_stats([make_phase("a", 10.0, 0.2), make_phase("b", 40.0, 0.1)])
+    shg = make_stats([make_phase("a", 12.0, 0.2), make_phase("b", 20.0, 0.1)])
+    fronts = phase_pareto_fronts({"mesh": mesh, "shg": shg})
+    assert [point.label for point in fronts["a"]] == ["mesh"]
+    assert [point.label for point in fronts["b"]] == ["shg"]
+
+
+def test_phase_points_builder():
+    stats = make_stats([make_phase("a", 10.0, 0.2)])
+    points = phase_points("mesh", stats)
+    assert points == [PhasePoint("mesh", "a", 10.0, 0.2)]

@@ -261,3 +261,258 @@ class TestCli:
         )
         assert code == 2
         assert "unknown traffic" in capsys.readouterr().err
+
+
+WORKLOAD = {"name": "stencil2d", "seed": 3, "params": {"iterations": 2, "iteration_window": 16}}
+
+
+class TestWorkloadSpecs:
+    def test_workload_spec_round_trips_and_hashes(self):
+        spec = small_spec(
+            topology="mesh", performance_mode="simulation", workload=WORKLOAD
+        )
+        clone = ExperimentSpec.from_json(spec.to_json())
+        assert clone == spec
+        assert clone.spec_id == spec.spec_id
+        other = small_spec(
+            topology="mesh",
+            performance_mode="simulation",
+            workload={**WORKLOAD, "seed": 4},
+        )
+        assert other.spec_id != spec.spec_id
+
+    def test_workloadless_identity_matches_pre_workload_format(self):
+        # Old serialized specs carry no 'workload' key; they must load and
+        # share their identity with freshly built workload-less specs, so
+        # existing on-disk memoization caches stay valid.
+        spec = small_spec()
+        legacy = spec.to_dict()
+        legacy.pop("workload")
+        assert ExperimentSpec.from_dict(legacy).spec_id == spec.spec_id
+        assert "workload" not in spec._identity_dict()
+
+    def test_workload_validation(self):
+        with pytest.raises(ValidationError, match="unknown workload"):
+            small_spec(performance_mode="simulation", workload={"name": "bogus"})
+        with pytest.raises(ValidationError, match="require performance_mode='simulation'"):
+            small_spec(workload=WORKLOAD)
+        with pytest.raises(ValidationError, match="unknown workload keys"):
+            small_spec(
+                performance_mode="simulation",
+                workload={"name": "stencil2d", "sizes": 4},
+            )
+        with pytest.raises(ValidationError, match="needs a 'name'"):
+            small_spec(performance_mode="simulation", workload={"seed": 1})
+        with pytest.raises(ValidationError, match="'params' must be a mapping"):
+            small_spec(
+                performance_mode="simulation",
+                workload={"name": "stencil2d", "params": 3},
+            )
+        with pytest.raises(ValidationError, match="unknown parameters"):
+            small_spec(
+                performance_mode="simulation",
+                workload={"name": "stencil2d", "params": {"bogus": 1}},
+            )
+
+    def test_seed_normalised_away_for_seed_independent_workloads(self):
+        a = small_spec(
+            performance_mode="simulation",
+            workload={"name": "mpi_collective", "seed": 1},
+        )
+        b = small_spec(
+            performance_mode="simulation",
+            workload={"name": "mpi_collective", "seed": 2},
+        )
+        assert a.spec_id == b.spec_id
+        assert "seed" not in a.workload
+
+    def test_traffic_not_part_of_workload_spec_identity(self):
+        # The synthetic traffic pattern is ignored (and documented so) when a
+        # workload is set; it must not split spec_ids or cache entries.
+        a = small_spec(performance_mode="simulation", workload=WORKLOAD)
+        b = small_spec(
+            performance_mode="simulation", workload=WORKLOAD, traffic="tornado"
+        )
+        assert a == b
+        assert a.spec_id == b.spec_id
+
+    def test_cached_workload_results_keep_phase_stats(self, tmp_path):
+        from repro.experiments import ExperimentRunner
+
+        spec = small_spec(
+            topology="mesh",
+            topology_kwargs={},
+            performance_mode="simulation",
+            workload=WORKLOAD,
+            sim={"drain_max_cycles": 4000},
+        )
+        runner = ExperimentRunner(cache_dir=tmp_path)
+        fresh = runner.run(spec)[0]
+        assert not fresh.cached
+        assert set(fresh.prediction.details["replay"].phases) == {"iter0", "iter1"}
+        cached = runner.run(spec)[0]
+        assert cached.cached
+        phases = cached.prediction.details["phases"]
+        assert set(phases) == {"iter0", "iter1"}
+        assert phases["iter0"].packets_delivered == (
+            fresh.prediction.details["replay"].phases["iter0"].packets_delivered
+        )
+
+    def test_build_workload_trace_is_deterministic(self):
+        spec = small_spec(
+            topology="mesh", performance_mode="simulation", workload=WORKLOAD
+        )
+        first, second = spec.build_workload_trace(), spec.build_workload_trace()
+        assert first is not None
+        assert first.to_jsonl_bytes() == second.to_jsonl_bytes()
+        assert small_spec().build_workload_trace() is None
+
+    def test_workload_spec_runs_end_to_end(self):
+        spec = small_spec(
+            topology="mesh",
+            topology_kwargs={},
+            performance_mode="simulation",
+            workload=WORKLOAD,
+            sim={"drain_max_cycles": 4000},
+        )
+        result = spec.run()
+        assert result.performance_mode == "simulation"
+        replay = result.details["replay"]
+        assert replay.drained
+        assert set(replay.phases) == {"iter0", "iter1"}
+        assert result.zero_load_latency_cycles == replay.average_packet_latency
+        assert result.saturation_throughput == replay.accepted_load
+
+    def test_grid_workload_axis(self):
+        campaign = Campaign.grid(
+            topologies=("mesh", "torus"),
+            sizes=((4, 4),),
+            traffics=("uniform", "tornado"),
+            workloads=(None, "stencil2d", {"name": "onoff", "seed": 2}),
+        )
+        workload_specs = [spec for spec in campaign if spec.workload is not None]
+        synthetic_specs = [spec for spec in campaign if spec.workload is None]
+        # Synthetic entries expand over the traffic axis; workload entries
+        # do not (the trace carries its own traffic) and force simulation.
+        assert len(synthetic_specs) == 2 * 2
+        assert len(workload_specs) == 2 * 2
+        assert all(spec.performance_mode == "simulation" for spec in workload_specs)
+        names = {spec.workload["name"] for spec in workload_specs}
+        assert names == {"stencil2d", "onoff"}
+        with pytest.raises(ValidationError, match="workloads entries"):
+            Campaign.grid(topologies=("mesh",), sizes=((4, 4),), workloads=(7,))
+
+    def test_grid_workload_round_trips_through_json(self, tmp_path):
+        campaign = Campaign.grid(
+            topologies=("mesh",), sizes=((4, 4),), workloads=("stencil2d",)
+        )
+        path = campaign.save(tmp_path / "campaign.json")
+        assert [spec.spec_id for spec in Campaign.load(path)] == [
+            spec.spec_id for spec in campaign
+        ]
+
+
+class TestWorkloadCli:
+    def test_list_workloads(self, capsys):
+        assert cli_main(["list-workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "dnn_inference" in out and "onoff" in out
+
+    def test_gen_trace_and_replay(self, tmp_path, capsys):
+        trace_path = tmp_path / "trace.jsonl"
+        code = cli_main(
+            ["gen-trace", "--workload", "dnn_inference", "--rows", "4", "--cols", "4",
+             "--seed", "7", "--output", str(trace_path)]
+        )
+        assert code == 0
+        assert trace_path.exists()
+        assert "trace id: trace-" in capsys.readouterr().out
+        code = cli_main(
+            ["replay", "--trace", str(trace_path), "--topology", "mesh",
+             "--rows", "4", "--cols", "4", "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["drained"] is True
+        assert [row["phase"] for row in payload["phases"]] == [
+            "layer0", "layer1", "layer2", "layer3",
+        ]
+
+    def test_replay_generates_inline_workload(self, capsys):
+        code = cli_main(
+            ["replay", "--workload", "mpi_collective", "--params",
+             '{"collective": "allreduce_tree"}', "--topology", "torus",
+             "--rows", "4", "--cols", "4"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "reduce" in out and "broadcast" in out
+
+    def test_replay_requires_a_trace_source(self, capsys):
+        code = cli_main(["replay", "--topology", "mesh", "--rows", "4", "--cols", "4"])
+        assert code == 2
+        assert "provide --trace FILE or --workload NAME" in capsys.readouterr().err
+
+    def test_replay_rejects_trace_and_workload_together(self, tmp_path, capsys):
+        trace_path = tmp_path / "t.jsonl"
+        assert cli_main(
+            ["gen-trace", "--workload", "stencil2d", "--rows", "4", "--cols", "4",
+             "--output", str(trace_path)]
+        ) == 0
+        capsys.readouterr()
+        code = cli_main(
+            ["replay", "--trace", str(trace_path), "--workload", "onoff",
+             "--topology", "mesh", "--rows", "4", "--cols", "4"]
+        )
+        assert code == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_replay_rejects_bad_overrides_with_exit_2(self, capsys):
+        code = cli_main(
+            ["replay", "--workload", "stencil2d", "--topology", "mesh",
+             "--rows", "4", "--cols", "4", "--sim", '{"bogus": 1}']
+        )
+        assert code == 2
+        assert "unknown simulation override" in capsys.readouterr().err
+        code = cli_main(
+            ["replay", "--workload", "stencil2d", "--topology", "mesh",
+             "--rows", "4", "--cols", "4", "--topology-kwargs", '{"bogus": 1}']
+        )
+        assert code == 2
+        assert "invalid topology kwargs" in capsys.readouterr().err
+        code = cli_main(
+            ["gen-trace", "--workload", "stencil2d", "--rows", "4", "--cols", "4",
+             "--params", '{"bogus": 1}', "--output", "/tmp/never.jsonl"]
+        )
+        assert code == 2
+        assert "unknown parameters" in capsys.readouterr().err
+        code = cli_main(
+            ["replay", "--workload", "stencil2d", "--topology", "mesh",
+             "--rows", "4", "--cols", "4", "--params", "[1]"]
+        )
+        assert code == 2
+        assert "--params must be a JSON object" in capsys.readouterr().err
+
+    def test_replay_reports_malformed_trace_files_with_exit_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text(
+            '{"format":"repro-trace","version":1,"num_tiles":4,"phases":[],"meta":{}}\n'
+            "[0,1,2]\n"
+        )
+        code = cli_main(
+            ["replay", "--trace", str(bad), "--topology", "mesh",
+             "--rows", "2", "--cols", "2"]
+        )
+        assert code == 2
+        assert "malformed trace record" in capsys.readouterr().err
+
+    def test_predict_with_workload_flag(self, capsys):
+        code = cli_main(
+            ["predict", "--topology", "mesh", "--rows", "4", "--cols", "4",
+             "--arch", '{"endpoint_area_ge": 5e6}', "--workload", "stencil2d",
+             "--sim", '{"drain_max_cycles": 4000}', "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["spec"]["workload"]["name"] == "stencil2d"
+        assert payload["spec"]["performance_mode"] == "simulation"

@@ -199,6 +199,9 @@ def _run_scenario(name: str):
 @pytest.mark.parametrize("name", sorted(SCENARIOS))
 def test_kernel_matches_pre_refactor_golden_stats(name):
     stats = dataclasses.asdict(_run_scenario(name))
+    # The phase-aware statistics field postdates the golden capture; synthetic
+    # Bernoulli runs must always report no phases.
+    assert stats.pop("phases") == {}
     assert stats == GOLDEN[name], (
         f"simulation kernel drifted from the pre-refactor golden stats for {name}"
     )
@@ -210,3 +213,50 @@ def test_back_to_back_runs_are_identical():
     first = dataclasses.asdict(_run_scenario("torus_5x5_default"))
     second = dataclasses.asdict(_run_scenario("torus_5x5_default"))
     assert first == second
+
+
+# --------------------------------------------------------------------------
+# Trace-replay goldens: the same fixed-seed trace must produce bit-identical
+# SimulationStats on every replay, for each of the four generator families.
+# --------------------------------------------------------------------------
+
+TRACE_SCENARIOS = {
+    "dnn_inference": dict(layers=4, layer_window=48, fan_out=2, seed=21),
+    "mpi_collective": dict(collective="allreduce_tree", step_cycles=6, seed=21),
+    "stencil2d": dict(iterations=3, iteration_window=24, seed=21),
+    "onoff": dict(duration=160, burst_rate=0.3, seed=21),
+}
+
+
+def _replay_scenario(workload: str):
+    from repro.simulator.sweep import replay_trace
+    from repro.workloads import make_workload_trace
+
+    params = dict(TRACE_SCENARIOS[workload])
+    seed = params.pop("seed")
+    trace = make_workload_trace(workload, 4, 4, seed=seed, **params)
+    config = SimulationConfig(drain_max_cycles=5000, seed=1)
+    return trace, replay_trace(MeshTopology(4, 4), trace, config=config)
+
+
+@pytest.mark.parametrize("workload", sorted(TRACE_SCENARIOS))
+def test_trace_replay_is_bit_identical_across_runs(workload):
+    trace_a, first = _replay_scenario(workload)
+    trace_b, second = _replay_scenario(workload)
+    # Generation is deterministic (same bytes), and replaying the identical
+    # trace twice yields identical statistics, per-phase values included.
+    assert trace_a.to_jsonl_bytes() == trace_b.to_jsonl_bytes()
+    assert dataclasses.asdict(first) == dataclasses.asdict(second)
+
+
+@pytest.mark.parametrize("workload", sorted(TRACE_SCENARIOS))
+def test_trace_replay_delivers_every_recorded_packet(workload):
+    trace, stats = _replay_scenario(workload)
+    assert stats.drained
+    assert stats.packets_created == trace.num_packets
+    assert stats.packets_delivered == trace.num_packets
+    assert stats.packets_measured == trace.num_packets
+    assert set(stats.phases) == set(trace.phase_names)
+    assert sum(phase.packets_created for phase in stats.phases.values()) == (
+        trace.num_packets
+    )

@@ -26,6 +26,16 @@ def test_registry_enumerates_all_patterns():
     )
 
 
+def test_pattern_names_match_registry_keys():
+    # Every built-in pattern reports exactly its registry key as its name, so
+    # reports and registry lookups never disagree on the pattern identity.
+    for key in TRAFFIC_FACTORIES:
+        pattern = make_traffic(key, 16, 4, 4)
+        assert pattern.name == key, (
+            f"pattern registered as {key!r} reports name {pattern.name!r}"
+        )
+
+
 def test_make_traffic_builds_patterns():
     assert isinstance(make_traffic("uniform", 16, 4, 4), UniformRandomTraffic)
     transpose = make_traffic("transpose", 16, 4, 4)

@@ -1,0 +1,160 @@
+"""Unit tests of the workload generators and their registry."""
+
+from __future__ import annotations
+
+import hashlib
+
+import pytest
+
+from repro.utils.validation import ValidationError
+from repro.workloads import (
+    WORKLOAD_FACTORIES,
+    available_workloads,
+    check_workload_name,
+    generate_mpi_collective,
+    generate_onoff,
+    make_workload_trace,
+)
+
+#: Fixed-parameter generation cases on a 3x4 grid, seed 13.  The SHA-256
+#: digests pin the canonical JSONL bytes: trace generation must stay
+#: byte-stable across runs, processes, and refactors (regenerate these
+#: constants only for an *intentional* generator change, and call it out).
+GOLDEN_CASES = {
+    "dnn_inference": dict(
+        layers=3, layer_window=32, activations_per_tile=2, fan_out=2, packet_size_flits=4
+    ),
+    "mpi_collective": dict(collective="allreduce_ring", step_cycles=4, chunk_size_flits=2),
+    "stencil2d": dict(iterations=2, iteration_window=16, halo_size_flits=2),
+    "onoff": dict(
+        duration=96, burst_rate=0.25, p_on_off=0.2, p_off_on=0.1,
+        packet_size_flits=2, phases=3,
+    ),
+}
+
+GOLDEN_SHA256 = {
+    "dnn_inference": "597e7853d3b6c5b7084951cbcbc1b874573d87c072cf34cb3ce475d22e5eb7c0",
+    "mpi_collective": "eb6ef9dc509846faa6c4fb71f9906f1b4083c6f31268f207467b9309e803f8d1",
+    "stencil2d": "d134d2c48e91e96672ffb5ac02413f53b219cd737204ad6d38d412939b840902",
+    "onoff": "75af2f659d2213193e9a9b784b5be196186597e29c1f8dd270627ccbee97f481",
+}
+
+
+def test_registry_enumerates_all_generators():
+    assert available_workloads() == sorted(WORKLOAD_FACTORIES)
+    assert set(WORKLOAD_FACTORIES) == {
+        "dnn_inference",
+        "mpi_collective",
+        "stencil2d",
+        "onoff",
+    }
+
+
+def test_unknown_workload_rejected():
+    with pytest.raises(ValidationError, match="unknown workload 'bogus'"):
+        check_workload_name("bogus")
+    with pytest.raises(ValidationError, match="unknown workload"):
+        make_workload_trace("bogus", 4, 4)
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_CASES))
+def test_generation_is_byte_stable(name):
+    trace = make_workload_trace(name, 3, 4, seed=13, **GOLDEN_CASES[name])
+    again = make_workload_trace(name, 3, 4, seed=13, **GOLDEN_CASES[name])
+    data = trace.to_jsonl_bytes()
+    assert data == again.to_jsonl_bytes()
+    assert hashlib.sha256(data).hexdigest() == GOLDEN_SHA256[name], (
+        f"{name} trace bytes drifted from the golden digest; regenerate only "
+        f"for an intentional generator change"
+    )
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_CASES))
+def test_generated_traces_are_valid_and_phased(name):
+    trace = make_workload_trace(name, 3, 4, seed=13, **GOLDEN_CASES[name])
+    assert trace.num_tiles == 12
+    assert trace.num_packets > 0
+    assert trace.phases  # every family produces named phases by default
+    assert trace.meta["generator"] == name
+    if name != "mpi_collective":  # collectives are seed-independent
+        assert trace.meta["seed"] == 13
+    # Every record falls inside a phase window (phase-aware stats cover all).
+    table = trace.phase_of_cycle_table()
+    assert all(table[cycle] >= 0 for cycle in trace.cycles)
+
+
+def test_different_seeds_differ_for_randomized_generators():
+    a = make_workload_trace("dnn_inference", 4, 4, seed=1)
+    b = make_workload_trace("dnn_inference", 4, 4, seed=2)
+    assert a.to_jsonl_bytes() != b.to_jsonl_bytes()
+    a = make_workload_trace("onoff", 4, 4, seed=1)
+    b = make_workload_trace("onoff", 4, 4, seed=2)
+    assert a.to_jsonl_bytes() != b.to_jsonl_bytes()
+
+
+def test_dnn_inference_phases_follow_layers():
+    trace = make_workload_trace("dnn_inference", 4, 4, seed=0, layers=3, layer_window=20)
+    assert trace.phase_names == ("layer0", "layer1", "layer2")
+    assert trace.duration == 60
+
+
+def test_mpi_collective_variants():
+    ring = generate_mpi_collective(2, 2, collective="allreduce_ring", step_cycles=2)
+    assert ring.phase_names == ("reduce_scatter", "allgather")
+    # N-1 steps per half, every tile sends once per step.
+    assert ring.num_packets == 2 * 3 * 4
+    tree = generate_mpi_collective(2, 2, collective="allreduce_tree", step_cycles=2)
+    assert tree.phase_names == ("reduce", "broadcast")
+    # Binary tree over 4 tiles: 2 rounds of 2+1 sends each way.
+    assert tree.num_packets == 6
+    alltoall = generate_mpi_collective(2, 2, collective="alltoall", step_cycles=2)
+    assert alltoall.phase_names == ("alltoall",)
+    assert alltoall.num_packets == 4 * 3
+    with pytest.raises(ValidationError, match="unknown collective"):
+        generate_mpi_collective(2, 2, collective="gossip")
+
+
+def test_stencil_sends_one_halo_per_grid_neighbour():
+    trace = make_workload_trace("stencil2d", 3, 3, seed=0, iterations=1)
+    # 3x3 grid: 4 corner tiles x2 + 4 edge tiles x3 + 1 centre x4 = 24 halos.
+    assert trace.num_packets == 24
+    assert trace.phase_names == ("iter0",)
+
+
+def test_onoff_unphased_background():
+    trace = generate_onoff(4, 4, seed=7, duration=64, phases=0)
+    assert trace.phases == ()
+
+
+def test_mpi_collective_is_seed_independent():
+    a = generate_mpi_collective(2, 2, seed=1)
+    b = generate_mpi_collective(2, 2, seed=2)
+    assert a.to_jsonl_bytes() == b.to_jsonl_bytes()
+    assert "seed" not in a.meta
+
+
+def test_unknown_parameters_rejected_up_front():
+    # Unknown generator kwargs fail as ValidationError at the registry, not
+    # as a TypeError deep inside a campaign run.
+    with pytest.raises(ValidationError, match="unknown parameters \\['bogus'\\]"):
+        make_workload_trace("stencil2d", 4, 4, bogus=1)
+
+
+def test_degenerate_grids_rejected():
+    with pytest.raises(ValidationError, match="at least 2 tiles"):
+        make_workload_trace("stencil2d", 1, 1)
+    with pytest.raises(ValidationError, match="at least 2 tiles"):
+        make_workload_trace("dnn_inference", -4, -4)
+    with pytest.raises(ValidationError, match="at least 2 tiles"):
+        make_workload_trace("mpi_collective", 0, 4)
+
+
+def test_parameter_validation():
+    with pytest.raises(ValidationError, match="layers"):
+        make_workload_trace("dnn_inference", 2, 2, layers=0)
+    with pytest.raises(ValidationError, match="layers <= num_tiles"):
+        make_workload_trace("dnn_inference", 2, 2, layers=5)
+    with pytest.raises(ValidationError, match="burst_rate"):
+        make_workload_trace("onoff", 2, 2, burst_rate=1.5)
+    with pytest.raises(ValidationError, match="no records"):
+        make_workload_trace("onoff", 2, 2, burst_rate=0.0)

@@ -1,0 +1,193 @@
+"""Unit tests of the workload-trace format (repro.workloads.trace)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.utils.validation import ValidationError
+from repro.workloads.trace import (
+    TRACE_FORMAT_VERSION,
+    TracePhase,
+    WorkloadTrace,
+    merge_traces,
+)
+
+
+def tiny_trace(**overrides) -> WorkloadTrace:
+    fields = dict(
+        num_tiles=4,
+        cycles=[0, 0, 3, 7],
+        sources=[0, 1, 2, 3],
+        destinations=[1, 2, 3, 0],
+        sizes=[4, 2, 4, 1],
+        phases=[TracePhase("warm", 0, 4), TracePhase("hot", 4, 8)],
+        name="tiny",
+        meta={"generator": "test"},
+    )
+    fields.update(overrides)
+    return WorkloadTrace(**fields)
+
+
+class TestTracePhase:
+    def test_validates_window(self):
+        with pytest.raises(ValidationError, match="start < end"):
+            TracePhase("bad", 5, 5)
+        with pytest.raises(ValidationError, match="start < end"):
+            TracePhase("bad", -1, 3)
+        with pytest.raises(ValidationError, match="non-empty"):
+            TracePhase("", 0, 4)
+
+    def test_duration(self):
+        assert TracePhase("p", 2, 10).duration == 8
+
+
+class TestWorkloadTraceValidation:
+    def test_basic_properties(self):
+        trace = tiny_trace()
+        assert trace.num_packets == 4
+        assert trace.total_flits == 11
+        assert trace.duration == 8
+        assert trace.phase_names == ("warm", "hot")
+
+    def test_duration_covers_trailing_phase(self):
+        trace = tiny_trace(phases=[TracePhase("long", 0, 50)])
+        assert trace.duration == 50
+
+    def test_rejects_empty_and_misshaped_records(self):
+        with pytest.raises(ValidationError, match="at least one packet"):
+            tiny_trace(cycles=[], sources=[], destinations=[], sizes=[])
+        with pytest.raises(ValidationError, match="equally long"):
+            tiny_trace(sizes=[1, 1])
+
+    def test_rejects_unsorted_or_negative_cycles(self):
+        with pytest.raises(ValidationError, match="non-decreasing"):
+            tiny_trace(cycles=[3, 0, 1, 2])
+        with pytest.raises(ValidationError, match="non-decreasing"):
+            tiny_trace(cycles=[-1, 0, 3, 7])
+
+    def test_rejects_bad_tiles_and_sizes(self):
+        with pytest.raises(ValidationError, match="out of range"):
+            tiny_trace(destinations=[1, 2, 3, 4])
+        with pytest.raises(ValidationError, match="distinct source and destination"):
+            tiny_trace(destinations=[0, 2, 3, 0])
+        with pytest.raises(ValidationError, match=">= 1 flit"):
+            tiny_trace(sizes=[4, 0, 4, 1])
+
+    def test_rejects_bad_phases(self):
+        with pytest.raises(ValidationError, match="duplicate phase name"):
+            tiny_trace(phases=[TracePhase("p", 0, 2), TracePhase("p", 2, 4)])
+        with pytest.raises(ValidationError, match="overlaps"):
+            tiny_trace(phases=[TracePhase("a", 0, 4), TracePhase("b", 2, 6)])
+
+    def test_phase_tables(self):
+        trace = tiny_trace()
+        table = trace.phase_of_cycle_table()
+        assert len(table) == trace.duration
+        assert table[0] == 0 and table[3] == 0
+        assert table[4] == 1 and table[7] == 1
+        counts = trace.phase_record_counts()
+        assert counts == [(3, 10), (1, 1)]
+
+
+class TestSerialization:
+    def test_jsonl_round_trip_and_byte_stability(self):
+        trace = tiny_trace()
+        data = trace.to_jsonl_bytes()
+        assert data == tiny_trace().to_jsonl_bytes()  # byte-stable
+        rebuilt = WorkloadTrace.from_jsonl_bytes(data)
+        assert rebuilt == trace
+        assert rebuilt.trace_id == trace.trace_id
+
+    def test_jsonl_file_round_trip(self, tmp_path):
+        trace = tiny_trace()
+        path = trace.save(tmp_path / "t.jsonl")
+        assert WorkloadTrace.load(path) == trace
+
+    def test_npz_file_round_trip(self, tmp_path):
+        trace = tiny_trace()
+        path = trace.save(tmp_path / "t.npz")
+        loaded = WorkloadTrace.load(path)
+        assert loaded == trace
+        assert loaded.trace_id == trace.trace_id  # backend-independent id
+
+    def test_corrupt_npz_raises_validation_error(self, tmp_path):
+        path = tmp_path / "broken.npz"
+        path.write_bytes(b"this is not a zip archive")
+        with pytest.raises(ValidationError, match="malformed npz trace"):
+            WorkloadTrace.from_npz(path)
+
+    def test_binary_jsonl_raises_validation_error(self, tmp_path):
+        # e.g. an .npz renamed to .jsonl: not UTF-8, must not traceback.
+        path = tmp_path / "binary.jsonl"
+        tiny_trace().to_npz(tmp_path / "t.npz")
+        path.write_bytes((tmp_path / "t.npz").read_bytes())
+        with pytest.raises(ValidationError, match="malformed trace"):
+            WorkloadTrace.from_jsonl(path)
+
+    def test_unknown_suffix_rejected(self, tmp_path):
+        with pytest.raises(ValidationError, match="unknown trace suffix"):
+            tiny_trace().save(tmp_path / "t.csv")
+        with pytest.raises(ValidationError, match="unknown trace suffix"):
+            WorkloadTrace.load(tmp_path / "t.csv")
+
+    def test_version_and_format_tag_enforced(self, tmp_path):
+        trace = tiny_trace()
+        data = trace.to_jsonl_bytes().decode()
+        header, rest = data.split("\n", 1)
+        bad_version = header.replace(
+            f'"version":{TRACE_FORMAT_VERSION}', f'"version":{TRACE_FORMAT_VERSION + 1}'
+        )
+        with pytest.raises(ValidationError, match="unsupported trace format version"):
+            WorkloadTrace.from_jsonl_bytes((bad_version + "\n" + rest).encode())
+        bad_tag = header.replace('"repro-trace"', '"other"')
+        with pytest.raises(ValidationError, match="not a workload trace"):
+            WorkloadTrace.from_jsonl_bytes((bad_tag + "\n" + rest).encode())
+
+    def test_malformed_files_raise_validation_errors(self):
+        good = tiny_trace().to_jsonl_bytes().decode()
+        header, rest = good.split("\n", 1)
+        # A record line that is valid JSON but not a 4-integer array.
+        with pytest.raises(ValidationError, match="malformed trace record on line 2"):
+            WorkloadTrace.from_jsonl_bytes((header + "\n[0,1,2]\n").encode())
+        with pytest.raises(ValidationError, match="malformed trace record"):
+            WorkloadTrace.from_jsonl_bytes((header + '\n{"cycle":0}\n').encode())
+        # Floats must be rejected, not silently truncated to int64.
+        with pytest.raises(ValidationError, match="malformed trace record"):
+            WorkloadTrace.from_jsonl_bytes((header + "\n[0.9,0,1,4]\n").encode())
+        with pytest.raises(ValidationError, match="malformed trace record"):
+            WorkloadTrace.from_jsonl_bytes((header + '\n[0,"x",2,3]\n').encode())
+        # A header missing required keys, and a non-object header.
+        broken_header = header.replace('"num_tiles":4,', "")
+        with pytest.raises(ValidationError, match="malformed trace header"):
+            WorkloadTrace.from_jsonl_bytes((broken_header + "\n" + rest).encode())
+        with pytest.raises(ValidationError, match="malformed trace header"):
+            WorkloadTrace.from_jsonl_bytes(("[1,2]\n" + rest).encode())
+
+    def test_trace_id_tracks_content(self):
+        assert tiny_trace().trace_id != tiny_trace(sizes=[4, 2, 4, 2]).trace_id
+        assert tiny_trace().trace_id != tiny_trace(name="other").trace_id
+
+
+class TestMergeTraces:
+    def test_merges_sorted_and_keeps_first_phases(self):
+        foreground = tiny_trace()
+        background = WorkloadTrace(
+            num_tiles=4,
+            cycles=[1, 5],
+            sources=[3, 0],
+            destinations=[2, 3],
+            sizes=[1, 1],
+            name="bg",
+        )
+        merged = merge_traces([foreground, background], name="mix")
+        assert merged.num_packets == 6
+        assert list(merged.cycles) == [0, 0, 1, 3, 5, 7]
+        assert merged.phases == foreground.phases
+        assert merged.meta["merged_from"] == ["tiny", "bg"]
+
+    def test_rejects_mismatched_tiles(self):
+        other = WorkloadTrace(
+            num_tiles=6, cycles=[0], sources=[0], destinations=[5], sizes=[1]
+        )
+        with pytest.raises(ValidationError, match="different tile counts"):
+            merge_traces([tiny_trace(), other])
