@@ -1,0 +1,126 @@
+#!/usr/bin/env python
+"""Customize an 8x8 topology for a DNN-inference trace with ``repro.optimize``.
+
+The paper's customization story, end to end: given the *application* — here
+the layer-wise activation exchange of a pipelined DNN inference pass — search
+the topology design space for the configuration that replays the trace with
+the lowest average packet latency, under the paper's 40% area budget.  The
+search screens the full space (Figure 6 baseline families plus a sampled
+sparse-Hamming configuration space) with the trace-weighted analytical model,
+then runs successive-halving cycle-accurate replays of the survivors, and
+finally reports the winner's speedup over the 8x8 mesh baseline — phase by
+phase, under identical replayed traffic.
+
+Run it from the repository root::
+
+    PYTHONPATH=src python examples/optimize_for_workload.py
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis.search import (
+    best_screened_per_family,
+    compare_with_baseline,
+)
+from repro.optimize import SearchSpec, run_search
+
+#: The trace of examples/workload_replay.py: 8 layers, 128-cycle windows.
+DNN_WORKLOAD = {
+    "name": "dnn_inference",
+    "seed": 7,
+    "params": {
+        "layers": 8,
+        "layer_window": 128,
+        "activations_per_tile": 3,
+        "fan_out": 4,
+    },
+}
+
+
+def main(max_configurations: int = 60, survivors: int = 6) -> None:
+    spec = SearchSpec(
+        rows=8,
+        cols=8,
+        space={
+            "mesh": {},
+            "torus": {},
+            "folded_torus": {},
+            "flattened_butterfly": {},
+            "sparse_hamming": {"max_configurations": max_configurations},
+        },
+        objective={"metric": "workload_latency", "workload": DNN_WORKLOAD},
+        constraints={"max_area_overhead": 0.40},
+        scenario="a",
+        sim={"drain_max_cycles": 5000},
+        survivors=survivors,
+        seed=0,
+        baseline="mesh",
+        label="customize 8x8 for DNN inference",
+    )
+    print(f"search {spec.search_id}: {spec.describe()}")
+
+    result = run_search(spec)
+    print(
+        f"\nstage 1 screened {result.candidates_screened} candidates "
+        f"({result.candidates_feasible} within the 40% area budget) with the "
+        f"trace-weighted analytical model;"
+    )
+    print(
+        f"stage 2 replayed {result.candidates_simulated} survivors "
+        f"cycle-accurately ({result.simulations} simulations) — a "
+        f"{result.screening_ratio:.1f}x screening ratio."
+    )
+
+    print("\nbest screened configuration per family:")
+    for family, record in sorted(best_screened_per_family(result).items()):
+        assert record.estimate is not None
+        print(
+            f"  {family:>20s}: trace latency "
+            f"{record.estimate.trace_latency_cycles:6.2f} cyc  "
+            f"area {100 * record.estimate.area_overhead:5.2f}%"
+        )
+
+    print("\nsuccessive-halving trajectory:")
+    for rung in result.rungs:
+        budget = (
+            ", ".join(f"{k}={v}" for k, v in sorted(rung.sim_overrides.items()))
+            or "full budget"
+        )
+        for entry in rung.entries:
+            print(
+                f"  rung {rung.rung} ({budget}): "
+                f"{entry.candidate.describe():<60s} score {entry.score:7.2f}"
+            )
+
+    winner = result.winner_prediction
+    print(f"\nwinner: {result.winner.describe()}")
+    print(
+        f"  replayed latency {winner.zero_load_latency_cycles:.2f} cyc, "
+        f"area overhead {100 * winner.area_overhead:.2f}%, "
+        f"power {winner.noc_power_w:.2f} W"
+    )
+
+    comparison = compare_with_baseline(result)
+    assert result.baseline_prediction is not None
+    print(
+        f"baseline mesh: replayed latency "
+        f"{result.baseline_prediction.zero_load_latency_cycles:.2f} cyc"
+    )
+    print(f"\nspeedup over the mesh, per DNN layer:")
+    for phase, speedup in comparison.get("phase_speedups", {}).items():
+        print(f"  {phase:>7s}: {speedup:5.2f}x")
+    print(
+        f"\nThe customized topology replays the DNN-inference trace "
+        f"{comparison['objective_speedup']:.2f}x faster than the mesh — the "
+        f"trace-weighted screening pass pointed the cycle-accurate budget at "
+        f"the right corner of a {result.candidates_screened}-candidate space."
+    )
+
+
+if __name__ == "__main__":
+    if len(sys.argv) > 1:
+        main(max_configurations=int(sys.argv[1]), survivors=int(sys.argv[2]))
+    else:
+        main()

@@ -22,6 +22,10 @@ The library is organised as:
 * :mod:`repro.experiments` — the declarative experiment API: serializable
   :class:`ExperimentSpec`, :class:`Campaign` grids, the memoizing (optionally
   process-parallel) :class:`ExperimentRunner`, and the ``repro`` CLI;
+* :mod:`repro.optimize` — the workload-driven topology search:
+  :class:`SearchSpec` (objective + constraints + search space) and
+  :func:`run_search` (analytical screening, then successive-halving
+  cycle-accurate evaluation);
 * :mod:`repro.viz` — text rendering of topologies and floorplans.
 """
 
@@ -40,6 +44,7 @@ from repro.experiments import (
     figure6_campaign,
     run_campaign,
 )
+from repro.optimize import SearchResult, SearchSpec, run_search
 from repro.physical import ArchitecturalParameters, NoCPhysicalModel
 from repro.simulator import SimulationConfig, Simulator
 from repro.toolchain import PredictionResult, PredictionToolchain, predict
@@ -69,6 +74,9 @@ __all__ = [
     "ExperimentResult",
     "ResultSet",
     "run_campaign",
+    "SearchSpec",
+    "SearchResult",
+    "run_search",
     "WorkloadTrace",
     "make_workload_trace",
     "replay_trace",

@@ -1,5 +1,5 @@
-"""Analysis utilities: Table I compliance, Pareto fronts, design-space and
-per-phase workload statistics."""
+"""Analysis utilities: Table I compliance, Pareto fronts, design-space,
+per-phase workload statistics, and topology-search trajectories."""
 
 from repro.analysis.compliance import ComplianceRow, compliance_table, format_compliance_table
 from repro.analysis.pareto import (
@@ -26,8 +26,16 @@ from repro.analysis.design_space import (
     sweep_sparse_hamming_configurations,
     trade_off_curve,
 )
+from repro.analysis.search import (
+    best_screened_per_family,
+    compare_with_baseline,
+    trajectory_records,
+)
 
 __all__ = [
+    "best_screened_per_family",
+    "compare_with_baseline",
+    "trajectory_records",
     "ComplianceRow",
     "compliance_table",
     "format_compliance_table",

@@ -12,10 +12,49 @@ replays — the per-phase analogue of :mod:`repro.analysis.pareto`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Iterable, Mapping
+from typing import TYPE_CHECKING, Any, Iterable, Mapping
 
 from repro.simulator.statistics import PhaseStats, SimulationStats
 from repro.utils.validation import ValidationError
+
+if TYPE_CHECKING:  # imported for type hints only; no runtime dependency
+    from repro.toolchain.results import PredictionResult
+
+
+def prediction_phases(prediction: "PredictionResult") -> Mapping[str, PhaseStats]:
+    """Per-phase stats of a workload prediction, live or cache-rebuilt.
+
+    A live replay carries the full :class:`SimulationStats` under
+    ``details["replay"]``; a cached or parallel-computed prediction keeps
+    only the serializable ``details["phases"]`` mapping.  Both hold
+    :class:`PhaseStats`-shaped objects.  Empty for synthetic predictions and
+    for replays of unphased traces.
+    """
+    replay = prediction.details.get("replay")
+    if replay is not None:
+        return replay.phases
+    return prediction.details.get("phases") or {}
+
+
+def prediction_undelivered(prediction: "PredictionResult") -> int:
+    """Packets a workload replay created but never delivered.
+
+    Prefers the replay's overall counters (live ``details["replay"]``, or
+    the serialized ``details["replay_counts"]`` of a cached prediction),
+    which also cover unphased traces; falls back to summing the per-phase
+    counters.  Returns 0 when the prediction carries no replay information
+    (synthetic predictions).
+    """
+    replay = prediction.details.get("replay")
+    if replay is not None:
+        return replay.packets_created - replay.packets_delivered
+    counts = prediction.details.get("replay_counts")
+    if counts is not None:
+        return int(counts["packets_created"]) - int(counts["packets_delivered"])
+    return sum(
+        phase.packets_created - phase.packets_delivered
+        for phase in prediction_phases(prediction).values()
+    )
 
 
 def phase_records(stats: SimulationStats) -> list[dict[str, Any]]:
@@ -195,5 +234,7 @@ __all__ = [
     "phase_points",
     "phase_records",
     "phase_speedups",
+    "prediction_phases",
+    "prediction_undelivered",
     "saturated_phases",
 ]

@@ -1,0 +1,141 @@
+"""Analysis of topology-search results: trajectories and winner comparisons.
+
+Companions of :mod:`repro.optimize`: flat tabular views of the two-stage
+search trajectory (ready for CSV export or table printing, like
+:func:`repro.analysis.phases.phase_records` for replays), per-family
+screening summaries, and the winner-vs-baseline comparison — overall metrics
+plus, for workload objectives, the per-phase latency speedups built on
+:func:`repro.analysis.phases.phase_speedups`-style arithmetic.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Any
+
+from repro.analysis.phases import prediction_phases
+from repro.utils.validation import ValidationError
+
+if TYPE_CHECKING:  # imported for type hints only; no runtime dependency
+    from repro.optimize.search import ScreenRecord, SearchResult
+
+
+def trajectory_records(result: "SearchResult") -> list[dict[str, Any]]:
+    """Flat tabular rows of the whole search trajectory, stage by stage.
+
+    One row per screening evaluation (``stage == "screen"``) followed by one
+    row per cycle-accurate evaluation (``stage == "rung<k>"``, ranked best
+    first inside each rung).  Scores are canonical lower-is-better values.
+    """
+    rows: list[dict[str, Any]] = []
+    for record in result.screening:
+        rows.append(
+            {
+                "stage": "screen",
+                "topology": record.candidate.topology,
+                "configuration": json.dumps(
+                    dict(record.candidate.topology_kwargs), sort_keys=True
+                ),
+                "feasible": record.feasible,
+                "reasons": "; ".join(record.reasons),
+                "score": record.score,
+                "cached": False,
+            }
+        )
+    for rung in result.rungs:
+        for entry in rung.entries:
+            rows.append(
+                {
+                    "stage": f"rung{rung.rung}",
+                    "topology": entry.candidate.topology,
+                    "configuration": json.dumps(
+                        dict(entry.candidate.topology_kwargs), sort_keys=True
+                    ),
+                    "feasible": True,
+                    "reasons": "",
+                    "score": entry.score,
+                    "cached": entry.cached,
+                }
+            )
+    return rows
+
+
+def best_screened_per_family(result: "SearchResult") -> dict[str, "ScreenRecord"]:
+    """Best feasible screening record of every topology family.
+
+    Summarises where each family's sweet spot sits before any simulation ran
+    — useful to see how far the winning family pulled ahead already in the
+    cheap models.
+    """
+    best: dict[str, "ScreenRecord"] = {}
+    for record in result.screening:
+        if not record.feasible or record.score is None:
+            continue
+        current = best.get(record.candidate.topology)
+        if current is None or record.score < (current.score or float("inf")):
+            best[record.candidate.topology] = record
+    return best
+
+
+def compare_with_baseline(result: "SearchResult") -> dict[str, Any]:
+    """Winner-vs-baseline comparison of a search result.
+
+    Returns
+    -------
+    dict
+        Overall metric ratios (latency speedup, throughput ratio, area and
+        power deltas) plus ``phase_speedups`` — per-phase latency speedups of
+        the winner over the baseline — when both predictions carry the same
+        replay phases (workload objectives).
+
+    Raises
+    ------
+    ValidationError
+        When the search ran without a baseline.
+    """
+    if result.baseline_prediction is None:
+        raise ValidationError(
+            "the search ran without a baseline; set SearchSpec.baseline"
+        )
+    winner = result.winner_prediction
+    baseline = result.baseline_prediction
+    comparison: dict[str, Any] = {
+        "winner": result.winner.describe(),
+        "baseline": baseline.topology_name,
+        "objective_speedup": result.speedup_over_baseline,
+        "latency_speedup": (
+            baseline.zero_load_latency_cycles / winner.zero_load_latency_cycles
+            if winner.zero_load_latency_cycles > 0
+            else float("inf")
+        ),
+        "throughput_ratio": (
+            winner.saturation_throughput / baseline.saturation_throughput
+            if baseline.saturation_throughput > 0
+            else float("inf")
+        ),
+        "area_overhead_delta": winner.area_overhead - baseline.area_overhead,
+        "power_delta_w": winner.noc_power_w - baseline.noc_power_w,
+    }
+    winner_phases = prediction_phases(winner)
+    baseline_phases = prediction_phases(baseline)
+    if winner_phases and set(winner_phases) == set(baseline_phases):
+        speedups: dict[str, float] = {}
+        for name, base in baseline_phases.items():
+            other = winner_phases[name]
+            if other.average_packet_latency > 0:
+                speedups[name] = (
+                    base.average_packet_latency / other.average_packet_latency
+                )
+            else:
+                speedups[name] = (
+                    float("inf") if base.average_packet_latency > 0 else 1.0
+                )
+        comparison["phase_speedups"] = speedups
+    return comparison
+
+
+__all__ = [
+    "best_screened_per_family",
+    "compare_with_baseline",
+    "trajectory_records",
+]

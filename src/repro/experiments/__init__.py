@@ -12,6 +12,11 @@ The subsystem has four layers:
   process-parallel execution with on-disk memoization by ``spec_id``) and
   :class:`ResultSet` (tabular export and Pareto/compliance helpers);
 * :mod:`repro.experiments.cli` — the ``repro`` console script.
+
+The declarative search layer lives in :mod:`repro.optimize`; its
+:class:`SearchSpec` (the search-level sibling of :class:`ExperimentSpec`) and
+:func:`run_search` are re-exported here so experiment code has one import
+surface.
 """
 
 from repro.experiments.spec import ExperimentSpec, PROTOCOL_PRESETS
@@ -24,6 +29,7 @@ from repro.experiments.runner import (
     prediction_to_dict,
     run_campaign,
 )
+from repro.optimize import SearchResult, SearchSpec, run_search
 
 __all__ = [
     "ExperimentSpec",
@@ -36,4 +42,7 @@ __all__ = [
     "run_campaign",
     "prediction_to_dict",
     "prediction_from_dict",
+    "SearchResult",
+    "SearchSpec",
+    "run_search",
 ]

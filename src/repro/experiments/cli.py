@@ -20,6 +20,10 @@ Subcommands
 ``repro replay``
     Replay a trace (from a file or generated on the fly) through the
     cycle-accurate simulator and report overall + per-phase statistics.
+``repro optimize``
+    Search a topology design space for an objective under constraints:
+    analytical screening of the full space, then successive-halving
+    cycle-accurate evaluation of the survivors (see ``docs/OPTIMIZER.md``).
 
 The console script is registered in ``setup.py``; without installing, use
 ``PYTHONPATH=src python -m repro.experiments.cli ...``.
@@ -32,8 +36,12 @@ import json
 import sys
 from typing import Any, Sequence
 
+from pathlib import Path
+
 from repro.analysis.phases import phase_records
+from repro.analysis.search import compare_with_baseline, trajectory_records
 from repro.arch.knc import KNC_SCENARIOS
+from repro.optimize import SearchSpec, run_search
 from repro.experiments.campaign import Campaign, figure6_campaign
 from repro.experiments.runner import ExperimentRunner, ResultSet, prediction_to_dict
 from repro.experiments.spec import ExperimentSpec, check_sim_overrides
@@ -336,6 +344,156 @@ def _cmd_figure6(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Default families block of ``repro optimize``: the fixed Figure 6 baseline
+#: families plus a sampled sparse-Hamming configuration space.
+DEFAULT_SEARCH_SPACE = {
+    "mesh": {},
+    "torus": {},
+    "folded_torus": {},
+    "flattened_butterfly": {},
+    "sparse_hamming": {"max_configurations": 64},
+}
+
+
+#: ``repro optimize`` flags that define the search itself (as opposed to how
+#: it executes); a --spec file already fixes all of them, so combining the
+#: two would silently ignore whichever the user thinks won.
+_OPTIMIZE_SPEC_FLAG_DEFAULTS = {
+    "rows": 0,
+    "cols": 0,
+    "space": None,  # compared against the parser default below
+    "objective": "zero_load_latency",
+    "workload": None,
+    "phase": None,
+    "scenario": None,
+    "arch": "{}",
+    "sim": "{}",
+    "traffic": "uniform",
+    "max_area_overhead": None,
+    "max_power": None,
+    "max_link_length": None,
+    "survivors": 6,
+    "seed": 0,
+    "baseline": "mesh",
+}
+
+
+def _build_search_spec(args: argparse.Namespace) -> SearchSpec:
+    """Assemble the :class:`SearchSpec` from ``repro optimize`` flags."""
+    if args.spec:
+        defaults = dict(_OPTIMIZE_SPEC_FLAG_DEFAULTS)
+        defaults["space"] = json.dumps(DEFAULT_SEARCH_SPACE)
+        overridden = sorted(
+            f"--{name.replace('_', '-')}"
+            for name, default in defaults.items()
+            if getattr(args, name) != default
+        )
+        if overridden:
+            raise ValidationError(
+                f"--spec already defines the search; drop {', '.join(overridden)} "
+                "(edit the spec file instead)"
+            )
+        return SearchSpec.from_json(Path(args.spec).read_text())
+    if not args.rows or not args.cols:
+        raise ValidationError("provide --rows and --cols (or a --spec file)")
+    objective: dict[str, Any] = {"metric": args.objective}
+    if args.workload:
+        workload = (
+            json.loads(args.workload)
+            if args.workload.lstrip().startswith(("{", "[", '"'))
+            else args.workload
+        )
+        if isinstance(workload, str):
+            workload = {"name": workload}
+        objective = {"metric": "workload_latency", "workload": workload}
+    if args.phase:
+        objective["phase"] = args.phase
+    constraints: dict[str, Any] = {}
+    if args.max_area_overhead is not None:
+        constraints["max_area_overhead"] = args.max_area_overhead
+    if args.max_power is not None:
+        constraints["max_power_w"] = args.max_power
+    if args.max_link_length is not None:
+        constraints["max_link_length"] = args.max_link_length
+    return SearchSpec(
+        rows=args.rows,
+        cols=args.cols,
+        space=_json_object(args.space, "--space"),
+        objective=objective,
+        constraints=constraints,
+        scenario=args.scenario,
+        arch=_json_object(args.arch, "--arch"),
+        sim=_json_object(args.sim, "--sim"),
+        traffic=args.traffic,
+        survivors=args.survivors,
+        seed=args.seed,
+        baseline=None if args.baseline == "none" else args.baseline,
+    )
+
+
+def _cmd_optimize(args: argparse.Namespace) -> int:
+    spec = _build_search_spec(args)
+    result = run_search(spec, cache_dir=args.cache_dir, parallel=args.parallel)
+
+    if args.csv:
+        rows = trajectory_records(result)
+        import csv as _csv
+
+        with open(args.csv, "w", newline="") as handle:
+            writer = _csv.DictWriter(handle, fieldnames=list(rows[0].keys()))
+            writer.writeheader()
+            writer.writerows(rows)
+        print(f"wrote {len(rows)} trajectory rows to {args.csv}")
+    if args.json_out:
+        Path(args.json_out).write_text(
+            json.dumps(result.to_dict(), indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote search result to {args.json_out}")
+    if args.as_json:
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+        return 0
+
+    print(f"search {spec.search_id}: {spec.describe()}")
+    print(
+        f"screened {result.candidates_screened} candidates "
+        f"({result.candidates_feasible} feasible); "
+        f"{result.candidates_simulated} entered the cycle-accurate stage "
+        f"({result.simulations} simulations, "
+        f"{result.screening_ratio:.1f}x screening ratio, "
+        f"{result.num_cached} cached)"
+    )
+    for rung in result.rungs:
+        budget = (
+            ", ".join(f"{k}={v}" for k, v in sorted(rung.sim_overrides.items()))
+            or "full budget"
+        )
+        best = rung.entries[0]
+        print(
+            f"  rung {rung.rung} ({budget}): {len(rung.entries)} candidates, "
+            f"best {best.candidate.describe()} (score {best.score:.2f})"
+        )
+    winner = result.winner_prediction
+    print(f"winner: {result.winner.describe()}")
+    print(
+        f"  latency {winner.zero_load_latency_cycles:.2f} cyc, "
+        f"sat. thr {100 * winner.saturation_throughput:.2f}%, "
+        f"area ovh {100 * winner.area_overhead:.2f}%, "
+        f"power {winner.noc_power_w:.2f} W"
+    )
+    if result.baseline_prediction is not None:
+        comparison = compare_with_baseline(result)
+        baseline = result.baseline_prediction
+        print(
+            f"baseline {baseline.topology_name}: "
+            f"latency {baseline.zero_load_latency_cycles:.2f} cyc, "
+            f"sat. thr {100 * baseline.saturation_throughput:.2f}%"
+        )
+        print(f"objective speedup over baseline: {comparison['objective_speedup']:.2f}x")
+        for phase, speedup in comparison.get("phase_speedups", {}).items():
+            print(f"  {phase:>12s}: {speedup:5.2f}x")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The ``repro`` argument parser (exposed for docs and tests).
 
@@ -430,6 +588,54 @@ def build_parser() -> argparse.ArgumentParser:
     p_predict.add_argument("--cache-dir", default=None, help="on-disk result cache directory")
     p_predict.add_argument("--json", dest="as_json", action="store_true", help="emit JSON")
     p_predict.set_defaults(handler=_cmd_predict)
+
+    p_opt = sub.add_parser(
+        "optimize", help="search a topology design space for an objective"
+    )
+    p_opt.add_argument("--spec", default=None, help="SearchSpec JSON file (overrides flags)")
+    p_opt.add_argument("--rows", type=int, default=0)
+    p_opt.add_argument("--cols", type=int, default=0)
+    p_opt.add_argument(
+        "--space",
+        default=json.dumps(DEFAULT_SEARCH_SPACE),
+        help="JSON families block (default: Figure 6 families + 64 sampled "
+        "sparse-Hamming configurations)",
+    )
+    p_opt.add_argument(
+        "--objective",
+        default="zero_load_latency",
+        choices=("zero_load_latency", "saturation_throughput", "workload_latency"),
+    )
+    p_opt.add_argument(
+        "--workload",
+        default=None,
+        help="JSON workload spec or bare name (implies --objective workload_latency)",
+    )
+    p_opt.add_argument("--phase", default=None, help="optimize one named trace phase")
+    p_opt.add_argument("--scenario", default=None, choices=sorted(KNC_SCENARIOS))
+    p_opt.add_argument("--arch", default="{}", help="JSON ArchitecturalParameters overrides")
+    p_opt.add_argument("--sim", default="{}", help="JSON SimulationConfig overrides")
+    p_opt.add_argument("--traffic", default="uniform")
+    p_opt.add_argument(
+        "--max-area-overhead", type=float, default=None, help="area budget (fraction)"
+    )
+    p_opt.add_argument("--max-power", type=float, default=None, help="NoC power budget [W]")
+    p_opt.add_argument(
+        "--max-link-length", type=int, default=None, help="link-length budget [tile pitches]"
+    )
+    p_opt.add_argument(
+        "--survivors", type=int, default=6, help="candidates entering the simulation stage"
+    )
+    p_opt.add_argument("--seed", type=int, default=0, help="search-space sampling seed")
+    p_opt.add_argument(
+        "--baseline", default="mesh", help="comparison topology ('none' disables)"
+    )
+    p_opt.add_argument("--parallel", type=int, default=None, help="worker processes per rung")
+    p_opt.add_argument("--cache-dir", default=None, help="on-disk result cache directory")
+    p_opt.add_argument("--csv", default=None, help="write the search trajectory as CSV")
+    p_opt.add_argument("--json-out", default=None, help="write the search result as JSON")
+    p_opt.add_argument("--json", dest="as_json", action="store_true", help="emit JSON")
+    p_opt.set_defaults(handler=_cmd_optimize)
 
     p_campaign = sub.add_parser("campaign", help="run a JSON campaign file")
     p_campaign.add_argument("--spec", required=True, help="campaign JSON (specs list or grid)")

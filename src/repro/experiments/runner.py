@@ -83,7 +83,9 @@ def prediction_to_dict(prediction: PredictionResult) -> dict[str, Any]:
         }
     # Per-phase workload statistics are small and survive serialization (the
     # full replay SimulationStats does not), so cached/parallel workload
-    # results keep their phase breakdown.
+    # results keep their phase breakdown.  The overall packet counters are
+    # kept too — they are the only delivery evidence for unphased traces,
+    # and the optimizer's undelivered-packet penalty reads them.
     replay = prediction.details.get("replay")
     phases = (
         replay.phases if isinstance(replay, SimulationStats) else prediction.details.get("phases")
@@ -92,6 +94,13 @@ def prediction_to_dict(prediction: PredictionResult) -> dict[str, Any]:
         data["phases"] = {
             name: dataclasses.asdict(phase) for name, phase in phases.items()
         }
+    if isinstance(replay, SimulationStats):
+        data["replay_counts"] = {
+            "packets_created": replay.packets_created,
+            "packets_delivered": replay.packets_delivered,
+        }
+    elif prediction.details.get("replay_counts"):
+        data["replay_counts"] = dict(prediction.details["replay_counts"])
     return data
 
 
@@ -123,6 +132,8 @@ def prediction_from_dict(data: Mapping[str, Any]) -> PredictionResult:
         details["phases"] = {
             name: PhaseStats(**entry) for name, entry in data["phases"].items()
         }
+    if "replay_counts" in data:
+        details["replay_counts"] = dict(data["replay_counts"])
     return PredictionResult(
         **{key: data[key] for key in _RESULT_SCALARS},
         physical=None,

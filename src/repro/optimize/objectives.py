@@ -1,0 +1,267 @@
+"""Objectives and constraints of the topology search.
+
+An :class:`Objective` names the metric the search optimizes — zero-load
+latency, saturation throughput, or the replayed packet latency of a workload
+trace (optionally restricted to one named phase) — and knows how to score
+both a cheap :class:`~repro.toolchain.screening.ScreeningEstimate` (stage 1)
+and a cycle-accurate :class:`~repro.toolchain.results.PredictionResult`
+(stage 2).  Scores are canonicalised so that **lower is always better**
+(throughput is negated), which keeps the ranking, halving and tie-breaking
+logic metric-agnostic.
+
+:class:`Constraints` captures the design budgets of Section V of the paper:
+a maximum NoC area overhead (the paper uses 40%), a maximum NoC power, and a
+maximum physical link length in tile pitches (long links cost latency and
+routing resources; capping them keeps candidates implementable).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Mapping
+
+from repro.analysis.phases import prediction_phases, prediction_undelivered
+from repro.utils.validation import ValidationError, check_type
+from repro.workloads.generators import check_workload_name, check_workload_params
+
+if TYPE_CHECKING:  # imported for type hints only; no runtime dependency
+    from repro.toolchain.results import PredictionResult
+    from repro.toolchain.screening import ScreeningEstimate
+
+#: Metrics an objective can optimize.
+OBJECTIVE_METRICS = ("zero_load_latency", "saturation_throughput", "workload_latency")
+
+#: Score penalty per undelivered packet.  Large enough that any topology that
+#: drops packets ranks behind every topology that delivers them all, yet
+#: finite so that two saturated candidates still order by how badly they drop.
+UNDELIVERED_PENALTY = 1.0e6
+
+
+@dataclass(frozen=True)
+class Objective:
+    """What the topology search optimizes.
+
+    Attributes
+    ----------
+    metric:
+        ``"zero_load_latency"`` (minimize), ``"saturation_throughput"``
+        (maximize), or ``"workload_latency"`` (minimize the average replayed
+        packet latency of a trace-driven workload).
+    workload:
+        Workload mapping ``{"name": ..., "seed": ..., "params": {...}}``;
+        required for (and only allowed with) ``"workload_latency"``.
+    phase:
+        Optional phase name; restricts ``"workload_latency"`` scoring to one
+        named trace phase (e.g. the bottleneck DNN layer).
+    """
+
+    metric: str = "zero_load_latency"
+    workload: Mapping[str, Any] | None = None
+    phase: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.metric not in OBJECTIVE_METRICS:
+            raise ValidationError(
+                f"unknown objective metric {self.metric!r}; "
+                f"known: {list(OBJECTIVE_METRICS)}"
+            )
+        if self.metric == "workload_latency":
+            if self.workload is None:
+                raise ValidationError(
+                    "objective 'workload_latency' needs a workload mapping"
+                )
+            if not isinstance(self.workload, Mapping) or "name" not in self.workload:
+                raise ValidationError("workload must be a mapping with a 'name' key")
+            check_workload_name(self.workload["name"])
+            check_workload_params(
+                self.workload["name"], dict(self.workload.get("params", {}))
+            )
+        else:
+            if self.workload is not None:
+                raise ValidationError(
+                    f"objective {self.metric!r} does not take a workload"
+                )
+            if self.phase is not None:
+                raise ValidationError(
+                    f"objective {self.metric!r} does not take a phase"
+                )
+        if self.phase is not None:
+            check_type("phase", self.phase, str)
+
+    @property
+    def lower_is_better(self) -> bool:
+        """Direction of the raw metric (scores are always lower-is-better)."""
+        return self.metric != "saturation_throughput"
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        if self.metric == "workload_latency":
+            assert self.workload is not None
+            suffix = f", phase {self.phase!r}" if self.phase else ""
+            return f"minimize replay latency of {self.workload['name']!r}{suffix}"
+        if self.metric == "saturation_throughput":
+            return "maximize saturation throughput"
+        return "minimize zero-load latency"
+
+    # ----------------------------------------------------------------- scores
+    def screening_score(self, estimate: "ScreeningEstimate") -> float:
+        """Stage-1 score of a screening estimate (lower is better).
+
+        The workload metric uses the trace-weighted analytical latency —
+        averaged over the source/destination pairs the application actually
+        exercises — which the screening batch computes when given the trace.
+        """
+        if self.metric == "saturation_throughput":
+            return -estimate.saturation_throughput
+        if self.metric == "workload_latency":
+            if estimate.trace_latency_cycles is None:
+                raise ValidationError(
+                    "screening estimates carry no trace-weighted latency; "
+                    "screen with the objective's trace"
+                )
+            return estimate.trace_latency_cycles
+        return estimate.zero_load_latency_cycles
+
+    def prediction_score(self, prediction: "PredictionResult") -> float:
+        """Stage-2 score of a cycle-accurate prediction (lower is better).
+
+        Workload replays are penalised for undelivered packets
+        (:data:`UNDELIVERED_PENALTY` each): a topology that saturates under
+        the trace must rank behind any topology that delivers everything,
+        even if the latency of the packets it *did* deliver looks low.
+        """
+        if self.metric == "saturation_throughput":
+            return -prediction.saturation_throughput
+        if self.metric == "workload_latency":
+            if self.phase is not None:
+                phases = prediction_phases(prediction)
+                if self.phase not in phases:
+                    raise ValidationError(
+                        f"replay carries no phase {self.phase!r}; "
+                        f"known: {sorted(phases)}"
+                    )
+                stats = phases[self.phase]
+                undelivered = stats.packets_created - stats.packets_delivered
+                return stats.average_packet_latency + UNDELIVERED_PENALTY * undelivered
+            # Overall counters, not a per-phase sum: they also cover replays
+            # of unphased traces (e.g. onoff with phases=0).
+            undelivered = prediction_undelivered(prediction)
+            return (
+                prediction.zero_load_latency_cycles
+                + UNDELIVERED_PENALTY * undelivered
+            )
+        return prediction.zero_load_latency_cycles
+
+    # ------------------------------------------------------------- plain data
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable form."""
+        data: dict[str, Any] = {"metric": self.metric}
+        if self.workload is not None:
+            data["workload"] = dict(self.workload)
+        if self.phase is not None:
+            data["phase"] = self.phase
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Objective":
+        """Rebuild from :meth:`to_dict` output (extra keys rejected)."""
+        unknown = set(data) - {"metric", "workload", "phase"}
+        if unknown:
+            raise ValidationError(f"unknown objective keys {sorted(unknown)}")
+        return cls(
+            metric=data.get("metric", "zero_load_latency"),
+            workload=data.get("workload"),
+            phase=data.get("phase"),
+        )
+
+
+@dataclass(frozen=True)
+class Constraints:
+    """Design budgets a candidate must respect to survive screening.
+
+    Attributes
+    ----------
+    max_area_overhead:
+        Maximum NoC area overhead as a fraction of total chip area
+        (``None`` disables the check; the paper's design goal is 0.40).
+    max_power_w:
+        Maximum NoC power in watts (``None`` disables).
+    max_link_length:
+        Maximum physical link length in tile pitches, Manhattan
+        (``None`` disables).  Checked on the topology graph alone, so
+        violating candidates are rejected before any physical modelling.
+    """
+
+    max_area_overhead: float | None = None
+    max_power_w: float | None = None
+    max_link_length: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_area_overhead is not None and not 0.0 < self.max_area_overhead <= 1.0:
+            raise ValidationError(
+                f"max_area_overhead must be in (0, 1], got {self.max_area_overhead}"
+            )
+        if self.max_power_w is not None and self.max_power_w <= 0:
+            raise ValidationError(f"max_power_w must be > 0, got {self.max_power_w}")
+        if self.max_link_length is not None:
+            check_type("max_link_length", self.max_link_length, int)
+            if self.max_link_length < 1:
+                raise ValidationError(
+                    f"max_link_length must be >= 1, got {self.max_link_length}"
+                )
+
+    def link_length_violation(self, max_length: int) -> str | None:
+        """Violation message for a candidate's longest link, or ``None``."""
+        if self.max_link_length is not None and max_length > self.max_link_length:
+            return (
+                f"max link length {max_length} > budget {self.max_link_length}"
+            )
+        return None
+
+    def violations(self, estimate: "ScreeningEstimate") -> list[str]:
+        """All budget violations of a screening estimate (empty = feasible)."""
+        reasons: list[str] = []
+        link = self.link_length_violation(estimate.max_link_length)
+        if link is not None:
+            reasons.append(link)
+        if (
+            self.max_area_overhead is not None
+            and estimate.area_overhead > self.max_area_overhead
+        ):
+            reasons.append(
+                f"area overhead {estimate.area_overhead:.3f} > "
+                f"budget {self.max_area_overhead:.3f}"
+            )
+        if self.max_power_w is not None and estimate.noc_power_w > self.max_power_w:
+            reasons.append(
+                f"NoC power {estimate.noc_power_w:.2f} W > "
+                f"budget {self.max_power_w:.2f} W"
+            )
+        return reasons
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable form (``None`` entries omitted)."""
+        data: dict[str, Any] = {}
+        if self.max_area_overhead is not None:
+            data["max_area_overhead"] = self.max_area_overhead
+        if self.max_power_w is not None:
+            data["max_power_w"] = self.max_power_w
+        if self.max_link_length is not None:
+            data["max_link_length"] = self.max_link_length
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Constraints":
+        """Rebuild from :meth:`to_dict` output (extra keys rejected)."""
+        unknown = set(data) - {"max_area_overhead", "max_power_w", "max_link_length"}
+        if unknown:
+            raise ValidationError(f"unknown constraint keys {sorted(unknown)}")
+        return cls(**dict(data))
+
+
+__all__ = [
+    "OBJECTIVE_METRICS",
+    "UNDELIVERED_PENALTY",
+    "Constraints",
+    "Objective",
+]

@@ -9,7 +9,11 @@ buffered-wire delay function and multiplied by the clock frequency:
 
 Whenever a link is too long to be traversed in one cycle, pipeline registers
 are inserted (Section II-A), so the latency is rounded up to an integer number
-of cycles with a minimum of one cycle.
+of cycles with a minimum of one cycle.  The round-up tolerates floating-point
+noise: a delay-frequency product that is an integer up to relative error
+(e.g. ``3.0000000000004``) counts as that integer, not the next one — a bare
+``ceil`` would silently add a cycle to every link sitting exactly on a cycle
+boundary.
 """
 
 from __future__ import annotations
@@ -21,6 +25,20 @@ from repro.physical.parameters import ArchitecturalParameters
 from repro.physical.unit_cells import UnitCellGrid
 from repro.topologies.base import Link
 
+#: Relative tolerance of the cycle-boundary round-up.  Wire delays and clock
+#: frequencies carry a handful of multiplications, so accumulated relative
+#: error is within a few ULP (~1e-16); 1e-9 is far above that noise floor yet
+#: far below any physically meaningful fraction of a clock cycle.
+CYCLE_BOUNDARY_REL_TOL = 1e-9
+
+
+def _ceil_with_tolerance(value: float) -> int:
+    """``ceil(value)``, snapping values within relative tolerance of an integer."""
+    nearest = round(value)
+    if math.isclose(value, nearest, rel_tol=CYCLE_BOUNDARY_REL_TOL, abs_tol=CYCLE_BOUNDARY_REL_TOL):
+        return int(nearest)
+    return int(math.ceil(value))
+
 
 def link_latency_cycles(
     params: ArchitecturalParameters,
@@ -31,7 +49,7 @@ def link_latency_cycles(
     """Latency in cycles of a link crossing the given number of unit cells."""
     length_mm = horizontal_cells * grid.cell_width_mm + vertical_cells * grid.cell_height_mm
     latency_cycles = params.f_mm_to_s(length_mm) * params.frequency_hz
-    return max(1, int(math.ceil(latency_cycles)))
+    return max(1, _ceil_with_tolerance(latency_cycles))
 
 
 def estimate_link_latencies(

@@ -148,15 +148,28 @@ def find_saturation_throughput(
     network = _shared_network(topology, base, link_latencies, routing, network)
 
     points: list[tuple[float, SimulationStats]] = []
+    probe_rate = min(0.01, max_rate)
     zero_load_stats = measure_zero_load_latency(
-        topology, base, probe_rate=min(0.01, max_rate), network=network
+        topology, base, probe_rate=probe_rate, network=network
     )
     zero_load_latency = zero_load_stats.average_packet_latency
-    points.append((min(0.01, max_rate), zero_load_stats))
+    points.append((probe_rate, zero_load_stats))
+
+    if _is_saturated(zero_load_stats, zero_load_latency, latency_blowup):
+        # The probe load itself is saturated: the bracket degenerates to the
+        # probe rate immediately.  Returning here (instead of sweeping on with
+        # ``lo`` seeded to the probe rate) keeps noisy non-saturated midpoints
+        # from bisecting ``lo`` upwards past any load the network was actually
+        # shown to sustain.
+        return LoadSweepResult(
+            zero_load_latency=zero_load_latency,
+            saturation_throughput=probe_rate,
+            points=points,
+        )
 
     # Coarse sweep: geometric spacing between the probe load and max_rate.
     lo, hi = None, None
-    last_good = min(0.01, max_rate)
+    last_good = probe_rate
     for step in range(1, coarse_steps + 1):
         rate = min(max_rate, 0.02 * (max_rate / 0.02) ** (step / coarse_steps))
         stats = _simulate(topology, replace(base, injection_rate=rate), network)
@@ -220,7 +233,21 @@ def replay_trace(
         ``drain_max_cycles`` still bounds the drain.
     link_latencies, routing, network:
         Prebuilt structures to share, exactly as in :func:`run_load_sweep`.
+
+    Raises
+    ------
+    ValidationError
+        If the trace addresses a different number of tiles than the topology
+        has.  Checked up front, before any routing tables or network are
+        built, so a mismatched replay fails fast instead of after the
+        all-pairs BFS.
     """
+    if trace.num_tiles != topology.num_tiles:
+        raise ValidationError(
+            f"trace {trace.name!r} addresses {trace.num_tiles} tiles but "
+            f"topology {topology.name!r} has {topology.num_tiles}; generate "
+            f"the trace for this grid or replay it on a matching topology"
+        )
     base = config or SimulationConfig()
     network = _shared_network(topology, base, link_latencies, routing, network)
     simulator = Simulator(topology, base, network=network, trace=trace)

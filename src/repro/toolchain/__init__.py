@@ -13,13 +13,26 @@ Given a topology and a set of architectural parameters, the toolchain
 """
 
 from repro.toolchain.results import PredictionResult
-from repro.toolchain.analytical import AnalyticalPerformance, analytical_performance
+from repro.toolchain.analytical import (
+    AnalyticalPerformance,
+    analytical_performance,
+    pair_weights_from_trace,
+)
 from repro.toolchain.predict import PredictionToolchain, predict
+from repro.toolchain.screening import (
+    ScreeningEstimate,
+    screen_topologies,
+    screen_topology,
+)
 
 __all__ = [
     "PredictionResult",
     "AnalyticalPerformance",
     "analytical_performance",
+    "pair_weights_from_trace",
     "PredictionToolchain",
     "predict",
+    "ScreeningEstimate",
+    "screen_topologies",
+    "screen_topology",
 ]

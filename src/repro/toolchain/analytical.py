@@ -27,13 +27,17 @@ estimates:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Mapping
 
 import numpy as np
 
 from repro.simulator.routing_tables import RoutingTables, build_routing_tables
 from repro.simulator.traffic import TrafficPattern, UniformRandomTraffic, make_traffic_pattern
 from repro.topologies.base import Link, Topology
-from repro.utils.validation import check_in_range, check_positive
+from repro.utils.validation import ValidationError, check_in_range, check_positive
+
+if TYPE_CHECKING:  # imported for type hints only; no runtime dependency
+    from repro.workloads.trace import WorkloadTrace
 
 
 @dataclass(frozen=True)
@@ -84,6 +88,24 @@ def _pair_weights(
     return weights
 
 
+def pair_weights_from_trace(trace: "WorkloadTrace") -> dict[tuple[int, int], float]:
+    """Pair probabilities proportional to a trace's per-pair flit volume.
+
+    The trace's ``(source, destination)`` records, weighted by packet size,
+    define the spatial traffic matrix an application actually offers.  Feeding
+    these weights into :func:`analytical_performance` turns the generic
+    analytical model into a *workload-aware* screening model: the zero-load
+    latency is averaged over the pairs the application really exercises, and
+    the channel-load bound reflects the links its traffic concentrates on.
+    """
+    weights: dict[tuple[int, int], float] = {}
+    total = float(trace.total_flits)
+    for source, destination, size in zip(trace.sources, trace.destinations, trace.sizes):
+        key = (int(source), int(destination))
+        weights[key] = weights.get(key, 0.0) + float(size) / total
+    return weights
+
+
 def analytical_performance(
     topology: Topology,
     link_latencies: dict[Link, int] | None = None,
@@ -93,11 +115,15 @@ def analytical_performance(
     router_pipeline_cycles: int = 2,
     injection_ejection_cycles: int = 2,
     flow_control_efficiency: float = 0.75,
+    pair_weights: Mapping[tuple[int, int], float] | None = None,
 ) -> AnalyticalPerformance:
     """Estimate zero-load latency and saturation throughput analytically.
 
     Parameters mirror the simulator configuration so that both performance
-    paths of the toolchain are driven by the same knobs.
+    paths of the toolchain are driven by the same knobs.  When
+    ``pair_weights`` is given (e.g. from :func:`pair_weights_from_trace`) it
+    replaces the synthetic traffic pattern as the source/destination
+    distribution; ``traffic`` is then ignored.
     """
     check_positive("packet_size_flits", packet_size_flits)
     check_positive("router_pipeline_cycles", router_pipeline_cycles)
@@ -105,8 +131,23 @@ def analytical_performance(
 
     routing = routing or build_routing_tables(topology)
     latencies = link_latencies or {}
-    pattern = make_traffic_pattern(traffic, topology)
-    weights = _pair_weights(topology, pattern)
+    if pair_weights is None:
+        pattern = make_traffic_pattern(traffic, topology)
+        weights = _pair_weights(topology, pattern)
+    else:
+        weights = {}
+        for (source, destination), weight in pair_weights.items():
+            if not (0 <= source < topology.num_tiles) or not (
+                0 <= destination < topology.num_tiles
+            ):
+                raise ValidationError(
+                    f"pair ({source}, {destination}) outside the "
+                    f"{topology.num_tiles}-tile grid"
+                )
+            if source != destination and weight > 0:
+                weights[(source, destination)] = float(weight)
+        if not weights:
+            raise ValidationError("pair_weights contains no usable pairs")
 
     num = topology.num_tiles
     channel_load: dict[tuple[int, int], float] = {}

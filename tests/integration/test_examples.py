@@ -66,3 +66,8 @@ def test_simulate_traffic_runs():
 
 def test_workload_replay_runs():
     _run_example("workload_replay.py")
+
+
+def test_optimize_for_workload_runs():
+    # Reduced scope: 16 sampled sparse-Hamming configurations, 4 survivors.
+    _run_example("optimize_for_workload.py", ["16", "4"])

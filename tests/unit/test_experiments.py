@@ -358,6 +358,29 @@ class TestWorkloadSpecs:
             fresh.prediction.details["replay"].phases["iter0"].packets_delivered
         )
 
+    def test_cached_workload_results_keep_overall_replay_counts(self, tmp_path):
+        # The overall packet counters are the only delivery evidence for
+        # unphased traces (and feed the optimizer's undelivered penalty), so
+        # they must survive the cache round-trip alongside the phase stats.
+        from repro.experiments import ExperimentRunner
+
+        spec = small_spec(
+            topology="mesh",
+            topology_kwargs={},
+            performance_mode="simulation",
+            workload=WORKLOAD,
+            sim={"drain_max_cycles": 4000},
+        )
+        runner = ExperimentRunner(cache_dir=tmp_path)
+        fresh = runner.run(spec)[0]
+        replay = fresh.prediction.details["replay"]
+        cached = runner.run(spec)[0]
+        assert cached.cached
+        assert cached.prediction.details["replay_counts"] == {
+            "packets_created": replay.packets_created,
+            "packets_delivered": replay.packets_delivered,
+        }
+
     def test_build_workload_trace_is_deterministic(self):
         spec = small_spec(
             topology="mesh", performance_mode="simulation", workload=WORKLOAD
@@ -453,6 +476,25 @@ class TestWorkloadCli:
         assert code == 2
         assert "provide --trace FILE or --workload NAME" in capsys.readouterr().err
 
+    def test_replay_rejects_mismatched_tile_count_with_exit_2(self, tmp_path, capsys):
+        # A trace generated for one grid replayed on another must exit with a
+        # clean one-line error, not a traceback.
+        trace_path = tmp_path / "t44.jsonl"
+        assert cli_main(
+            ["gen-trace", "--workload", "stencil2d", "--rows", "4", "--cols", "4",
+             "--output", str(trace_path)]
+        ) == 0
+        capsys.readouterr()
+        code = cli_main(
+            ["replay", "--trace", str(trace_path), "--topology", "mesh",
+             "--rows", "8", "--cols", "8"]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert "16 tiles" in err and "64" in err
+        assert len(err.strip().splitlines()) == 1
+
     def test_replay_rejects_trace_and_workload_together(self, tmp_path, capsys):
         trace_path = tmp_path / "t.jsonl"
         assert cli_main(
@@ -516,3 +558,86 @@ class TestWorkloadCli:
         payload = json.loads(capsys.readouterr().out)
         assert payload["spec"]["workload"]["name"] == "stencil2d"
         assert payload["spec"]["performance_mode"] == "simulation"
+
+    OPTIMIZE_ARGS = [
+        "optimize", "--rows", "4", "--cols", "4",
+        "--space", '{"mesh": {}, "torus": {}, "sparse_hamming": {"max_configurations": 8}}',
+        "--workload", '{"name": "mpi_collective", "params": {"collective": "alltoall"}}',
+        "--survivors", "2", "--sim", '{"drain_max_cycles": 2000}',
+    ]
+
+    def test_optimize_reports_winner_and_baseline(self, capsys):
+        assert cli_main(self.OPTIMIZE_ARGS) == 0
+        out = capsys.readouterr().out
+        assert "screened 10 candidates" in out
+        assert "winner:" in out
+        assert "speedup over baseline" in out
+
+    def test_optimize_json_payload_is_complete(self, capsys):
+        assert cli_main(self.OPTIMIZE_ARGS + ["--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["counts"]["screened"] == 10
+        assert payload["counts"]["simulated_candidates"] == 2
+        assert payload["baseline"]["topology"] == "mesh"
+        assert payload["spec"]["objective"]["metric"] == "workload_latency"
+        assert len(payload["rungs"]) == 1
+        # The spec in the payload round-trips back into an equal SearchSpec.
+        from repro.optimize import SearchSpec
+
+        assert SearchSpec.from_dict(payload["spec"]).search_id == payload["search_id"]
+
+    def test_optimize_trajectory_csv_export(self, tmp_path, capsys):
+        csv_path = tmp_path / "trajectory.csv"
+        assert cli_main(self.OPTIMIZE_ARGS + ["--csv", str(csv_path)]) == 0
+        capsys.readouterr()
+        lines = csv_path.read_text().strip().splitlines()
+        # Header + 10 screening rows + 2 rung rows.
+        assert len(lines) == 1 + 10 + 2
+        assert lines[0].startswith("stage,")
+
+    def test_optimize_spec_file_round_trip(self, tmp_path, capsys):
+        from repro.optimize import SearchSpec
+
+        spec = SearchSpec(
+            rows=4, cols=4,
+            space={"mesh": {}, "torus": {}},
+            objective={"metric": "workload_latency",
+                       "workload": {"name": "stencil2d", "params": {"iterations": 2}}},
+            survivors=2,
+            sim={"drain_max_cycles": 1500},
+        )
+        path = tmp_path / "search.json"
+        path.write_text(spec.to_json())
+        assert cli_main(["optimize", "--spec", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert spec.search_id in out
+
+    def test_optimize_rejects_search_flags_alongside_spec_file(self, tmp_path, capsys):
+        path = tmp_path / "search.json"
+        path.write_text(
+            '{"rows": 4, "cols": 4, "space": {"mesh": {}}, '
+            '"objective": {"metric": "zero_load_latency"}}'
+        )
+        code = cli_main(["optimize", "--spec", str(path), "--rows", "8", "--cols", "8"])
+        assert code == 2
+        assert "drop --cols, --rows" in capsys.readouterr().err
+        # Every search-defining flag is rejected, not just the grid — a
+        # silently ignored --survivors or budget would mislead the user.
+        code = cli_main(["optimize", "--spec", str(path), "--survivors", "2"])
+        assert code == 2
+        assert "drop --survivors" in capsys.readouterr().err
+        code = cli_main(["optimize", "--spec", str(path), "--max-area-overhead", "0.2"])
+        assert code == 2
+        assert "drop --max-area-overhead" in capsys.readouterr().err
+
+    def test_optimize_requires_grid_without_spec(self, capsys):
+        assert cli_main(["optimize"]) == 2
+        assert "--rows and --cols" in capsys.readouterr().err
+
+    def test_optimize_workload_objective_needs_workload(self, capsys):
+        code = cli_main(
+            ["optimize", "--rows", "4", "--cols", "4",
+             "--objective", "workload_latency"]
+        )
+        assert code == 2
+        assert "needs a workload" in capsys.readouterr().err

@@ -1,0 +1,91 @@
+"""Unit tests for :mod:`repro.physical.link_latency`.
+
+Pins the cycle-boundary behaviour of the round-up: a wire whose delay is an
+exact number of cycles must get exactly that many cycles even when the float
+product carries rounding noise (``3.0000000000004`` is 3 cycles, not 4),
+while genuinely fractional delays still round up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.physical.link_latency import _ceil_with_tolerance, link_latency_cycles
+
+
+@dataclass
+class _LinearDelayParams:
+    """Stand-in for ArchitecturalParameters with a controllable delay function.
+
+    ``f_mm_to_s`` is linear (``seconds_per_mm * distance``), so the test can
+    place the delay-frequency product exactly on or near a cycle boundary.
+    """
+
+    seconds_per_mm: float
+    frequency_hz: float = 1.0e9
+
+    def f_mm_to_s(self, distance_mm: float) -> float:
+        return self.seconds_per_mm * distance_mm
+
+
+@dataclass
+class _Grid:
+    cell_width_mm: float = 1.0
+    cell_height_mm: float = 1.0
+
+
+class TestCeilWithTolerance:
+    def test_exact_integers_unchanged(self):
+        for value in (1.0, 2.0, 3.0, 17.0):
+            assert _ceil_with_tolerance(value) == int(value)
+
+    def test_noise_above_boundary_snaps_down(self):
+        # The motivating case: floating-point noise just above an integer.
+        assert _ceil_with_tolerance(3.0000000000004) == 3
+        assert _ceil_with_tolerance(1.0000000000001) == 1
+
+    def test_noise_below_boundary_snaps_to_integer(self):
+        assert _ceil_with_tolerance(2.9999999999998) == 3
+
+    def test_real_fractions_still_round_up(self):
+        assert _ceil_with_tolerance(3.001) == 4
+        assert _ceil_with_tolerance(1.5) == 2
+        assert _ceil_with_tolerance(0.25) == 1
+
+    def test_tolerance_is_relative(self):
+        # At magnitude 1e6, 1e-4 absolute is within the 1e-9 relative band.
+        assert _ceil_with_tolerance(1.0e6 + 1.0e-4) == 1_000_000
+        # But a same-magnitude excess far beyond the band still rounds up.
+        assert _ceil_with_tolerance(1.0e6 + 10.0) == 1_000_010
+
+
+class TestLinkLatencyCycles:
+    def test_exact_boundary_is_not_bumped(self):
+        # 1 ns/mm at 1 GHz: a 3 mm link is exactly 3 cycles.  The product
+        # (3 * 1e-9) * 1e9 is not exactly 3.0 in binary floating point — this
+        # is precisely the case the tolerant ceil exists for.
+        params = _LinearDelayParams(seconds_per_mm=1.0e-9)
+        assert link_latency_cycles(params, _Grid(), horizontal_cells=3, vertical_cells=0) == 3
+
+    def test_every_integer_length_maps_to_its_cycle_count(self):
+        params = _LinearDelayParams(seconds_per_mm=1.0e-9)
+        for cells in range(1, 33):
+            latency = link_latency_cycles(params, _Grid(), cells, 0)
+            assert latency == cells, f"{cells} cells -> {latency} cycles"
+
+    def test_fractional_delay_rounds_up(self):
+        params = _LinearDelayParams(seconds_per_mm=1.5e-9)
+        # 1 mm -> 1.5 cycles -> 2; 2 mm -> 3.0 cycles -> 3.
+        assert link_latency_cycles(params, _Grid(), 1, 0) == 2
+        assert link_latency_cycles(params, _Grid(), 2, 0) == 3
+
+    def test_minimum_latency_is_one_cycle(self):
+        params = _LinearDelayParams(seconds_per_mm=1.0e-12)
+        assert link_latency_cycles(params, _Grid(), 1, 0) == 1
+        assert link_latency_cycles(params, _Grid(), 0, 0) == 1
+
+    def test_mixed_horizontal_vertical_lengths_add(self):
+        params = _LinearDelayParams(seconds_per_mm=1.0e-9)
+        grid = _Grid(cell_width_mm=2.0, cell_height_mm=1.0)
+        # 2 * 2 mm + 3 * 1 mm = 7 mm -> exactly 7 cycles.
+        assert link_latency_cycles(params, grid, 2, 3) == 7

@@ -56,9 +56,31 @@ class TestSaturatedAtProbeLoad:
             refine_steps=2,
         )
         assert result.saturation_throughput == pytest.approx(0.01)
-        # Probe point + the one saturated coarse point + both refine points.
-        assert len(result.points) == 1 + 1 + 2
+        # The probe point itself is saturated, so the sweep returns the
+        # degenerate bracket immediately — no coarse or refine points.
+        assert len(result.points) == 1
         assert all(not stats.drained for _, stats in result.points)
+
+    def test_saturated_probe_never_reports_more_than_probe_rate(self):
+        # Regression: before the probe-point check, ``lo`` was seeded to the
+        # probe rate without ever testing it, so bisection against noisy
+        # midpoints could raise the reported saturation throughput above any
+        # load the network was shown to sustain.  With a saturated probe the
+        # result must be exactly the probe rate, for any refinement depth.
+        topology = MeshTopology(3, 3)
+        for refine_steps in (0, 1, 5):
+            result = find_saturation_throughput(
+                topology,
+                self.CONFIG,
+                link_latencies=self._slow_links(topology),
+                coarse_steps=4,
+                refine_steps=refine_steps,
+            )
+            assert result.saturation_throughput == pytest.approx(0.01)
+            assert [rate for rate, _ in result.points] == [0.01]
+            # Golden value for this fixed-seed scenario (seed 6, 3x3 mesh,
+            # 40-cycle links): packets that did arrive before the cutoff.
+            assert result.zero_load_latency == 45.0
 
     def test_zero_load_latency_still_reported(self):
         topology = MeshTopology(3, 3)

@@ -126,6 +126,15 @@ class TestSimulatorTraceMode:
         assert stats.phases == {}
         assert stats.offered_load == 0.05
 
+    def test_mismatched_tile_count_raises_validation_error(self):
+        # Validated up front in replay_trace — a mismatched replay must not
+        # reach the simulator (or pay the routing-table BFS) first.
+        from repro.utils.validation import ValidationError
+
+        trace = small_trace()  # 16 tiles
+        with pytest.raises(ValidationError, match="16 tiles.*has 9"):
+            replay_trace(MeshTopology(3, 3), trace)
+
     def test_shared_network_replay(self):
         # replay_trace with a prebuilt network matches the self-built path.
         from repro.simulator.network import build_network
