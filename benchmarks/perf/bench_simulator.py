@@ -1,9 +1,16 @@
 #!/usr/bin/env python
 """Simulator throughput benchmark: simulated cycles per wall-clock second.
 
-Measures the cycle-accurate kernel on three canonical workloads (small,
-medium, large) and writes the results to ``BENCH_simulator.json`` so the
-performance trajectory of the simulation kernel is tracked PR over PR.
+Measures every registered simulation engine (``reference`` and ``soa``) on
+four canonical workloads (small, medium, large, trace_replay) and writes the
+results to ``BENCH_simulator.json`` so the performance trajectory of the
+simulation kernel is tracked PR over PR — one record per (workload, engine)
+pair, so the reference-vs-soa gap on identical work is part of the record.
+
+Because the engines are required to be bit-identical, the benchmark doubles
+as a smoke-level equivalence check: for each workload it asserts that every
+engine delivered the same packets with the same mean latency and drained
+state, and fails loudly otherwise (CI runs it on every push).
 
 The *simulated-cycles/second* metric divides the number of kernel cycles the
 run advanced through (warmup + measurement + drain, as reported by the
@@ -15,6 +22,7 @@ Run it from the repository root::
 
     PYTHONPATH=src python benchmarks/perf/bench_simulator.py
     PYTHONPATH=src python benchmarks/perf/bench_simulator.py --size small
+    PYTHONPATH=src python benchmarks/perf/bench_simulator.py --engine soa
     PYTHONPATH=src python benchmarks/perf/bench_simulator.py --output BENCH_simulator.json
 
 See ``docs/PERFORMANCE.md`` for the recorded baseline-vs-optimized numbers.
@@ -27,8 +35,10 @@ import json
 import platform
 import sys
 import time
+from dataclasses import replace
 from pathlib import Path
 
+from repro.simulator.engine import available_engines
 from repro.simulator.network import build_network
 from repro.simulator.routing_tables import build_routing_tables
 from repro.simulator.simulation import SimulationConfig, Simulator
@@ -40,7 +50,7 @@ from repro.workloads import make_workload_trace
 #: The benchmark matrix.  Each workload pins a topology, an injection rate and
 #: the phase lengths (or, for the trace-replay case, a fixed-seed workload
 #: trace); everything is fully seeded so repeated runs measure the exact same
-#: simulation.
+#: simulation — and so every engine simulates the exact same work.
 WORKLOADS = {
     "small": {
         "description": "4x4 mesh, moderate load",
@@ -92,43 +102,76 @@ WORKLOADS = {
     },
 }
 
+#: Statistics fields every engine must agree on, workload for workload.
+_EQUALITY_FIELDS = (
+    "cycles_simulated",
+    "packets_delivered",
+    "average_packet_latency",
+    "drained",
+)
 
-def run_workload(name: str, repeats: int = 3) -> dict:
-    """Benchmark one workload; returns the best-of-``repeats`` record."""
+
+def run_workload(name: str, engines: list[str], repeats: int = 3) -> list[dict]:
+    """Benchmark one workload on each engine; best-of-``repeats`` records."""
     workload = WORKLOADS[name]
     topology = workload["topology"]()
-    config = workload["config"]
+    base_config = workload["config"]
     trace = workload["trace"]() if "trace" in workload else None
     routing = build_routing_tables(topology)
-    network = build_network(topology, config=config.network_config(), routing=routing)
+    network = build_network(
+        topology, config=base_config.network_config(), routing=routing
+    )
 
-    best: dict | None = None
-    for _ in range(repeats):
-        simulator = Simulator(
-            topology, config, routing=routing, network=network, trace=trace
-        )
-        start = time.perf_counter()
-        stats = simulator.run()
-        elapsed = time.perf_counter() - start
-        cycles = simulator.cycles_simulated
-        record = {
-            "workload": name,
-            "description": workload["description"],
-            "topology": topology.name,
-            "num_tiles": topology.num_tiles,
-            "injection_rate": None if trace is not None else config.injection_rate,
-            "trace_packets": trace.num_packets if trace is not None else None,
-            "cycles_simulated": cycles,
-            "wall_seconds": round(elapsed, 4),
-            "cycles_per_second": round(cycles / elapsed, 1),
-            "packets_delivered": stats.packets_delivered,
-            "average_packet_latency": round(stats.average_packet_latency, 4),
-            "drained": stats.drained,
-        }
-        if best is None or record["cycles_per_second"] > best["cycles_per_second"]:
-            best = record
-    assert best is not None
-    return best
+    records = []
+    for engine in engines:
+        config = replace(base_config, engine=engine)
+        best: dict | None = None
+        for _ in range(repeats):
+            simulator = Simulator(
+                topology, config, routing=routing, network=network, trace=trace
+            )
+            start = time.perf_counter()
+            stats = simulator.run()
+            elapsed = time.perf_counter() - start
+            cycles = simulator.cycles_simulated
+            record = {
+                "workload": name,
+                "engine": engine,
+                "description": workload["description"],
+                "topology": topology.name,
+                "num_tiles": topology.num_tiles,
+                "injection_rate": None if trace is not None else config.injection_rate,
+                "trace_packets": trace.num_packets if trace is not None else None,
+                "cycles_simulated": cycles,
+                "wall_seconds": round(elapsed, 4),
+                "cycles_per_second": round(cycles / elapsed, 1),
+                "packets_delivered": stats.packets_delivered,
+                "average_packet_latency": round(stats.average_packet_latency, 4),
+                "drained": stats.drained,
+            }
+            if best is None or record["cycles_per_second"] > best["cycles_per_second"]:
+                best = record
+        assert best is not None
+        records.append(best)
+
+    check_engine_equivalence(name, records)
+    return records
+
+
+def check_engine_equivalence(name: str, records: list[dict]) -> None:
+    """Fail loudly if any engine produced different statistics on ``name``."""
+    if len(records) < 2:
+        return
+    baseline = records[0]
+    for record in records[1:]:
+        for field in _EQUALITY_FIELDS:
+            if record[field] != baseline[field]:
+                raise SystemExit(
+                    f"engine mismatch on workload {name!r}: "
+                    f"{record['engine']} reports {field}={record[field]} but "
+                    f"{baseline['engine']} reports {baseline[field]} — the "
+                    "engines are required to be bit-identical"
+                )
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -138,6 +181,12 @@ def main(argv: list[str] | None = None) -> int:
         choices=sorted(WORKLOADS) + ["all"],
         default="all",
         help="workload to run (default: all)",
+    )
+    parser.add_argument(
+        "--engine",
+        choices=available_engines() + ["all"],
+        default="all",
+        help="engine to run (default: all registered engines)",
     )
     parser.add_argument(
         "--repeats", type=int, default=3, help="timed repetitions per workload (best wins)"
@@ -150,15 +199,24 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     names = sorted(WORKLOADS) if args.size == "all" else [args.size]
+    engines = available_engines() if args.engine == "all" else [args.engine]
     records = []
     for name in names:
-        record = run_workload(name, repeats=args.repeats)
-        records.append(record)
-        print(
-            f"{name:8s} {record['topology']:32s} "
-            f"{record['cycles_simulated']:7d} cycles in {record['wall_seconds']:8.3f}s "
-            f"-> {record['cycles_per_second']:>10.1f} cycles/s"
-        )
+        workload_records = run_workload(name, engines, repeats=args.repeats)
+        records.extend(workload_records)
+        by_engine = {record["engine"]: record for record in workload_records}
+        for record in workload_records:
+            print(
+                f"{name:12s} {record['engine']:9s} {record['topology']:28s} "
+                f"{record['cycles_simulated']:7d} cycles in {record['wall_seconds']:8.3f}s "
+                f"-> {record['cycles_per_second']:>10.1f} cycles/s"
+            )
+        if "reference" in by_engine and "soa" in by_engine:
+            speedup = (
+                by_engine["soa"]["cycles_per_second"]
+                / by_engine["reference"]["cycles_per_second"]
+            )
+            print(f"{name:12s} soa/reference speedup: {speedup:.2f}x")
 
     payload = {
         "benchmark": "simulator-cycles-per-second",

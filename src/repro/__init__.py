@@ -9,7 +9,9 @@ The library is organised as:
 * :mod:`repro.physical` — the area/power/link-latency model (approximate
   floorplanning and link routing);
 * :mod:`repro.simulator` — the cycle-accurate VC-router simulator (BookSim2
-  substitute) and the traffic-pattern registry;
+  substitute) with pluggable, bit-identical engines (object-graph
+  ``reference`` vs struct-of-arrays ``soa``) and the traffic-pattern
+  registry;
 * :mod:`repro.workloads` — trace-driven application workloads: the
   replayable trace format, the workload-generator registry (DNN inference,
   MPI collectives, stencil, ON/OFF), and trace replay with per-phase
@@ -46,12 +48,14 @@ from repro.experiments import (
 )
 from repro.optimize import SearchResult, SearchSpec, run_search
 from repro.physical import ArchitecturalParameters, NoCPhysicalModel
-from repro.simulator import SimulationConfig, Simulator
+from repro.simulator import SimulationConfig, Simulator, available_engines
 from repro.toolchain import PredictionResult, PredictionToolchain, predict
 from repro.topologies import Topology, make_topology
 from repro.workloads import WorkloadTrace, make_workload_trace, replay_trace
 
-__version__ = "1.1.0"
+#: Single source of the package version: ``setup.py`` parses this assignment
+#: and the CLI's ``repro --version`` prints it.
+__version__ = "1.2.0"
 
 __all__ = [
     "SparseHammingGraph",
@@ -62,6 +66,7 @@ __all__ = [
     "NoCPhysicalModel",
     "SimulationConfig",
     "Simulator",
+    "available_engines",
     "PredictionToolchain",
     "PredictionResult",
     "predict",

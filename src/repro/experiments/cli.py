@@ -8,6 +8,8 @@ Subcommands
     Registered traffic patterns.
 ``repro list-workloads``
     Registered trace-driven workload generators.
+``repro list-engines``
+    Registered simulation engines (see :mod:`repro.simulator.engine`).
 ``repro predict``
     Run one experiment spec built from command-line flags.
 ``repro campaign``
@@ -25,6 +27,13 @@ Subcommands
     analytical screening of the full space, then successive-halving
     cycle-accurate evaluation of the survivors (see ``docs/OPTIMIZER.md``).
 
+Every subcommand that launches cycle-accurate simulations (``predict``,
+``replay``, ``campaign``, ``optimize``) accepts ``--engine`` to pick the
+simulation kernel (``reference`` or ``soa``; both are bit-identical, so the
+choice only affects speed).  ``repro --version`` prints the installed
+package version.  ``campaign`` and ``optimize`` report per-experiment
+progress on stderr when it is a terminal.
+
 The console script is registered in ``setup.py``; without installing, use
 ``PYTHONPATH=src python -m repro.experiments.cli ...``.
 """
@@ -38,6 +47,7 @@ from typing import Any, Sequence
 
 from pathlib import Path
 
+from repro import __version__
 from repro.analysis.phases import phase_records
 from repro.analysis.search import compare_with_baseline, trajectory_records
 from repro.arch.knc import KNC_SCENARIOS
@@ -45,6 +55,7 @@ from repro.optimize import SearchSpec, run_search
 from repro.experiments.campaign import Campaign, figure6_campaign
 from repro.experiments.runner import ExperimentRunner, ResultSet, prediction_to_dict
 from repro.experiments.spec import ExperimentSpec, check_sim_overrides
+from repro.simulator.engine import available_engines
 from repro.simulator.simulation import SimulationConfig
 from repro.simulator.sweep import replay_trace
 from repro.simulator.traffic import available_traffic_patterns
@@ -141,6 +152,32 @@ def _cmd_list_workloads(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_list_engines(args: argparse.Namespace) -> int:
+    names = available_engines()
+    if args.as_json:
+        print(json.dumps(names, indent=2))
+    else:
+        for name in names:
+            print(name)
+    return 0
+
+
+def _merge_engine(sim_overrides: dict[str, Any], engine: str | None) -> dict[str, Any]:
+    """Apply a ``--engine`` flag on top of ``--sim`` JSON overrides.
+
+    The flag wins over a conflicting ``{"engine": ...}`` entry in the JSON —
+    the explicit flag is the more specific spelling.
+    """
+    if engine:
+        sim_overrides = {**sim_overrides, "engine": engine}
+    return sim_overrides
+
+
+def _progress_enabled() -> bool:
+    """Progress lines are only useful (and only emitted) on a live terminal."""
+    return sys.stderr.isatty()
+
+
 def _json_object(text: str, flag: str) -> dict[str, Any]:
     """Parse a JSON-object CLI argument, rejecting non-object values."""
     value = json.loads(text)
@@ -200,7 +237,7 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         raise ValidationError(
             f"invalid topology kwargs for {args.topology!r}: {error}"
         ) from error
-    sim_overrides = _json_object(args.sim, "--sim")
+    sim_overrides = _merge_engine(_json_object(args.sim, "--sim"), args.engine)
     if "traffic" in sim_overrides:
         raise ValidationError("trace replay ignores synthetic traffic; drop 'traffic'")
     check_sim_overrides(sim_overrides)
@@ -279,7 +316,7 @@ def _cmd_predict(args: argparse.Namespace) -> int:
         arch=json.loads(args.arch),
         traffic=args.traffic,
         performance_mode="simulation" if workload is not None else args.mode,
-        sim=json.loads(args.sim),
+        sim=_merge_engine(_json_object(args.sim, "--sim"), args.engine),
         workload=workload,
     )
     runner = ExperimentRunner(cache_dir=args.cache_dir)
@@ -306,7 +343,15 @@ def _cmd_predict(args: argparse.Namespace) -> int:
 def _cmd_campaign(args: argparse.Namespace) -> int:
     campaign = Campaign.load(args.spec)
     runner = ExperimentRunner(cache_dir=args.cache_dir)
-    results = runner.run(campaign, parallel=args.parallel)
+    specs = list(campaign.specs)
+    if args.engine:
+        # Thread the engine through every spec of the campaign; the engine
+        # is excluded from spec_id, so memoized results stay shared.
+        specs = [
+            spec.with_overrides(sim=_merge_engine(dict(spec.sim), args.engine))
+            for spec in specs
+        ]
+    results = runner.run(specs, parallel=args.parallel, progress=_progress_enabled())
     if not args.as_json:
         print(f"campaign {campaign.name!r}: {len(campaign)} experiments")
     _emit_results(results, args)
@@ -368,6 +413,7 @@ _OPTIMIZE_SPEC_FLAG_DEFAULTS = {
     "scenario": None,
     "arch": "{}",
     "sim": "{}",
+    "engine": None,
     "traffic": "uniform",
     "max_area_overhead": None,
     "max_power": None,
@@ -423,7 +469,7 @@ def _build_search_spec(args: argparse.Namespace) -> SearchSpec:
         constraints=constraints,
         scenario=args.scenario,
         arch=_json_object(args.arch, "--arch"),
-        sim=_json_object(args.sim, "--sim"),
+        sim=_merge_engine(_json_object(args.sim, "--sim"), args.engine),
         traffic=args.traffic,
         survivors=args.survivors,
         seed=args.seed,
@@ -433,7 +479,12 @@ def _build_search_spec(args: argparse.Namespace) -> SearchSpec:
 
 def _cmd_optimize(args: argparse.Namespace) -> int:
     spec = _build_search_spec(args)
-    result = run_search(spec, cache_dir=args.cache_dir, parallel=args.parallel)
+    result = run_search(
+        spec,
+        cache_dir=args.cache_dir,
+        parallel=args.parallel,
+        progress=_progress_enabled(),
+    )
 
     if args.csv:
         rows = trajectory_records(result)
@@ -516,6 +567,9 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Declarative experiment runner for the sparse-Hamming-graph NoC reproduction.",
     )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_topo = sub.add_parser("list-topologies", help="list registered topology generators")
@@ -533,6 +587,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_workloads.add_argument("--json", dest="as_json", action="store_true", help="emit JSON")
     p_workloads.set_defaults(handler=_cmd_list_workloads)
+
+    p_engines = sub.add_parser("list-engines", help="list registered simulation engines")
+    p_engines.add_argument("--json", dest="as_json", action="store_true", help="emit JSON")
+    p_engines.set_defaults(handler=_cmd_list_engines)
 
     p_gen = sub.add_parser("gen-trace", help="generate a workload trace file")
     p_gen.add_argument("--workload", required=True, help="workload registry name")
@@ -565,6 +623,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--topology-kwargs", default="{}", help="JSON generator kwargs (e.g. s_r/s_c)"
     )
     p_replay.add_argument("--sim", default="{}", help="JSON SimulationConfig overrides")
+    p_replay.add_argument(
+        "--engine",
+        default=None,
+        choices=available_engines(),
+        help="simulation engine (bit-identical; soa is the fast kernel)",
+    )
     p_replay.add_argument("--json", dest="as_json", action="store_true", help="emit JSON")
     p_replay.set_defaults(handler=_cmd_replay)
 
@@ -580,6 +644,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_predict.add_argument("--traffic", default="uniform")
     p_predict.add_argument("--mode", default="analytical", choices=("analytical", "simulation"))
     p_predict.add_argument("--sim", default="{}", help="JSON SimulationConfig overrides")
+    p_predict.add_argument(
+        "--engine",
+        default=None,
+        choices=available_engines(),
+        help="simulation engine (bit-identical; soa is the fast kernel)",
+    )
     p_predict.add_argument(
         "--workload",
         default=None,
@@ -615,6 +685,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_opt.add_argument("--scenario", default=None, choices=sorted(KNC_SCENARIOS))
     p_opt.add_argument("--arch", default="{}", help="JSON ArchitecturalParameters overrides")
     p_opt.add_argument("--sim", default="{}", help="JSON SimulationConfig overrides")
+    p_opt.add_argument(
+        "--engine",
+        default=None,
+        choices=available_engines(),
+        help="simulation engine for the cycle-accurate rungs",
+    )
     p_opt.add_argument("--traffic", default="uniform")
     p_opt.add_argument(
         "--max-area-overhead", type=float, default=None, help="area budget (fraction)"
@@ -639,6 +715,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_campaign = sub.add_parser("campaign", help="run a JSON campaign file")
     p_campaign.add_argument("--spec", required=True, help="campaign JSON (specs list or grid)")
+    p_campaign.add_argument(
+        "--engine",
+        default=None,
+        choices=available_engines(),
+        help="simulation engine applied to every spec of the campaign",
+    )
     p_campaign.add_argument("--parallel", type=int, default=None, help="worker processes")
     p_campaign.add_argument("--cache-dir", default=None, help="on-disk result cache directory")
     p_campaign.add_argument("--csv", default=None, help="write results as CSV")

@@ -21,10 +21,12 @@ from __future__ import annotations
 import csv
 import dataclasses
 import json
+import sys
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Callable, Iterable, Mapping, Sequence
+from typing import Any, Callable, Iterable, Mapping, Sequence, TextIO
 
 from repro.analysis.pareto import (
     ParetoPoint,
@@ -145,6 +147,42 @@ def _predict_payload(spec_dict: dict[str, Any]) -> dict[str, Any]:
     """Process-pool worker: run one spec, return the serialized prediction."""
     spec = ExperimentSpec.from_dict(spec_dict)
     return prediction_to_dict(spec.run())
+
+
+class _ProgressReporter:
+    """One stderr line per completed spec, with elapsed time and a crude ETA.
+
+    Long campaigns (and the optimizer's simulation rungs) are otherwise
+    silent for minutes; the runner calls :meth:`completed` after every
+    *computed* spec (cache hits are instant and reported once up front).
+    The ETA extrapolates the mean time per completed spec — coarse, but
+    honest about the remaining workload size.
+    """
+
+    def __init__(self, total: int, num_cached: int = 0, stream: TextIO | None = None) -> None:
+        self.total = total
+        self.done = 0
+        self.stream = stream if stream is not None else sys.stderr
+        self._start = time.monotonic()
+        if num_cached:
+            tail = f"{total} to compute" if total else "nothing to compute"
+            print(
+                f"[repro] {num_cached} result(s) served from cache, {tail}",
+                file=self.stream,
+                flush=True,
+            )
+
+    def completed(self, spec: ExperimentSpec) -> None:
+        """Report one computed spec."""
+        self.done += 1
+        elapsed = time.monotonic() - self._start
+        remaining = (elapsed / self.done) * (self.total - self.done)
+        print(
+            f"[repro] {self.done}/{self.total} "
+            f"({elapsed:.1f}s elapsed, ~{remaining:.1f}s left) {spec.describe()}",
+            file=self.stream,
+            flush=True,
+        )
 
 
 @dataclass(frozen=True)
@@ -377,6 +415,7 @@ class ExperimentRunner:
         self,
         experiments: Campaign | ExperimentSpec | Sequence[ExperimentSpec],
         parallel: int | None = None,
+        progress: bool = False,
     ) -> ResultSet:
         """Execute a campaign (or spec, or list of specs) and return results.
 
@@ -386,6 +425,11 @@ class ExperimentRunner:
         parallel-computed predictions carry only the scalar metrics and
         analytical details (``physical`` is ``None``); the serial uncached
         path returns full :class:`PredictionResult` objects.
+
+        With ``progress=True`` one line per completed (non-cached) spec is
+        written to stderr with elapsed time and a remaining-time estimate —
+        ``repro campaign``/``repro optimize`` enable this when stderr is a
+        terminal.
         """
         if isinstance(experiments, ExperimentSpec):
             specs = [experiments]
@@ -414,13 +458,23 @@ class ExperimentRunner:
         for _, spec in pending:
             unique.setdefault(spec.spec_id, spec)
 
+        reporter = (
+            _ProgressReporter(total=len(unique), num_cached=len(specs) - len(pending))
+            if progress and specs
+            else None
+        )
+
         if parallel is not None and parallel > 1 and len(unique) > 1:
             with ProcessPoolExecutor(max_workers=parallel) as pool:
                 payloads = pool.map(
                     _predict_payload, [spec.to_dict() for spec in unique.values()]
                 )
+                # pool.map yields in submission order, so progress lines
+                # appear as each next-in-order spec finishes.
                 for spec, payload in zip(unique.values(), payloads):
                     computed[spec.spec_id] = prediction_from_dict(payload)
+                    if reporter is not None:
+                        reporter.completed(spec)
         else:
             # Share toolchains and topology objects between specs that agree
             # on them (so the toolchain's routing-table cache kicks in), but
@@ -449,6 +503,8 @@ class ExperimentRunner:
                     topo = spec.build_topology()
                     topologies[topo_key] = topo
                 computed[spec.spec_id] = chain.predict(topo, traffic=spec.traffic)
+                if reporter is not None:
+                    reporter.completed(spec)
                 remaining_chain[chain_key] -= 1
                 if remaining_chain[chain_key] == 0:
                     del toolchains[chain_key]
@@ -469,6 +525,7 @@ def run_campaign(
     campaign: Campaign,
     cache_dir: str | Path | None = None,
     parallel: int | None = None,
+    progress: bool = False,
 ) -> ResultSet:
     """One-shot convenience wrapper around :class:`ExperimentRunner`.
 
@@ -480,6 +537,9 @@ def run_campaign(
         Directory for the JSON result cache; ``None`` disables memoization.
     parallel:
         Worker process count; ``None`` or 1 runs serially.
+    progress:
+        Report per-spec completion lines on stderr (see
+        :meth:`ExperimentRunner.run`).
 
     Returns
     -------
@@ -493,7 +553,9 @@ def run_campaign(
     >>> len(results) > 0                                # doctest: +SKIP
     True
     """
-    return ExperimentRunner(cache_dir=cache_dir).run(campaign, parallel=parallel)
+    return ExperimentRunner(cache_dir=cache_dir).run(
+        campaign, parallel=parallel, progress=progress
+    )
 
 
 __all__ = [

@@ -30,6 +30,7 @@ from repro.physical.parameters import (
     TransportProtocolModel,
 )
 from repro.physical.technology import TECHNOLOGY_PRESETS
+from repro.simulator.engine import check_engine_name
 from repro.simulator.simulation import SimulationConfig
 from repro.simulator.traffic import check_traffic_name
 from repro.toolchain.predict import PredictionToolchain
@@ -169,7 +170,11 @@ class ExperimentSpec:
     performance_mode:
         ``"analytical"`` or ``"simulation"``.
     sim:
-        Overrides of :class:`SimulationConfig` fields.
+        Overrides of :class:`SimulationConfig` fields.  The ``engine``
+        override selects the simulation kernel (see
+        :mod:`repro.simulator.engine`) but is excluded from :attr:`spec_id`:
+        engines are bit-identical, so engine-distinct specs share one
+        identity (and one memoization cache entry).
     workload:
         Optional trace-driven workload: ``{"name": <registry id>, "seed":
         <int>, "params": {...}}`` (see
@@ -238,6 +243,10 @@ class ExperimentSpec:
                 "field, not a simulation override"
             )
         check_sim_overrides(self.sim)
+        if "engine" in self.sim:
+            # Validate the engine name now, not at run time — a campaign
+            # with a typo'd engine must fail before any experiment runs.
+            check_engine_name(self.sim["engine"])
         if self.workload is not None:
             if not isinstance(self.workload, Mapping):
                 raise ValidationError(
@@ -320,6 +329,14 @@ class ExperimentSpec:
     def _identity_dict(self) -> dict[str, Any]:
         identity = self.to_dict()
         identity.pop("label")  # labels are cosmetic, not part of the identity
+        if "engine" in identity["sim"]:
+            # Engines are bit-identical (enforced by the cross-engine
+            # differential tests), so the engine choice must not split the
+            # identity: specs differing only in engine share one spec_id —
+            # and with it the runner's on-disk memoization cache entry.
+            identity["sim"] = {
+                key: value for key, value in identity["sim"].items() if key != "engine"
+            }
         if identity["workload"] is None:
             # Workload-less specs hash exactly as they did before the
             # workload field existed, so pre-existing spec_ids (and with

@@ -333,6 +333,7 @@ def run_search(
     runner: ExperimentRunner | None = None,
     cache_dir: str | None = None,
     parallel: int | None = None,
+    progress: bool = False,
 ) -> SearchResult:
     """Execute a :class:`SearchSpec` and return the :class:`SearchResult`.
 
@@ -348,6 +349,10 @@ def run_search(
         ``None`` disables caching.
     parallel:
         Worker processes per rung (each rung's evaluations are independent).
+    progress:
+        Report per-evaluation completion lines on stderr during the
+        cycle-accurate rungs (see
+        :meth:`~repro.experiments.runner.ExperimentRunner.run`).
 
     Raises
     ------
@@ -391,7 +396,7 @@ def run_search(
             spec.candidate_spec(candidate, sim_overrides=overrides)
             for candidate in current
         ]
-        results = runner.run(specs, parallel=parallel)
+        results = runner.run(specs, parallel=parallel, progress=progress)
         num_cached += results.num_cached
         entries = [
             RungEntry(

@@ -17,9 +17,21 @@ this package implements the required subset from scratch:
   (:class:`~repro.simulator.traffic.TraceInjector` +
   :func:`~repro.simulator.sweep.replay_trace`) with per-phase statistics,
 * warmup / measurement / drain phases, latency and throughput statistics,
-* load sweeps that extract zero-load latency and saturation throughput.
+* load sweeps that extract zero-load latency and saturation throughput,
+* pluggable, bit-identical kernel implementations behind the
+  :class:`~repro.simulator.engine.Engine` interface (``reference`` object
+  graph vs ``soa`` struct-of-arrays; see :mod:`repro.simulator.engine`),
+  selected via ``SimulationConfig(engine=...)``.
 """
 
+from repro.simulator.engine import (
+    DEFAULT_ENGINE,
+    ENGINE_FACTORIES,
+    Engine,
+    available_engines,
+    check_engine_name,
+    make_engine,
+)
 from repro.simulator.flit import Flit, Packet
 from repro.simulator.traffic import (
     TRAFFIC_FACTORIES,
@@ -48,6 +60,12 @@ from repro.simulator.sweep import (
 )
 
 __all__ = [
+    "DEFAULT_ENGINE",
+    "ENGINE_FACTORIES",
+    "Engine",
+    "available_engines",
+    "check_engine_name",
+    "make_engine",
     "Flit",
     "Packet",
     "TrafficPattern",

@@ -1,0 +1,256 @@
+"""The reference engine: the object-graph kernel.
+
+This is the original cycle-based kernel — :class:`~repro.simulator.router.Router`
+and :class:`~repro.simulator.flit.Flit` objects wired together per node — kept
+behaviour-for-behaviour (and therefore bit-for-bit) identical to the kernel
+that produced the goldens in ``tests/unit/test_simulation_golden.py``.  It is
+the semantic ground truth the ``soa`` engine is differentially tested against.
+
+Scheduling
+----------
+The kernel is *activity-driven* (the scheduling style BookSim2-class
+simulators use): instead of scanning every router every cycle, the engine
+maintains an **active set** of routers that hold buffered flits and a
+**pending set** of tiles with queued or partially injected packets.  Routers
+enter the active set when a flit is delivered to them (from a channel or the
+injection port) and leave it when their buffers drain; a router outside the
+active set provably has nothing to do (credits arriving at an empty router
+change no observable state until its next flit arrives).  Both sets are
+iterated in ascending node order, so results are **bit-identical** to the
+dense per-cycle scan.
+
+Flits and credits in flight on channels are kept in a *slotted event wheel*
+sized by the maximum link latency: a link with an ``L``-cycle latency simply
+schedules its deliveries ``L`` slots ahead on the wheel — this is how the
+physical model's per-link latency estimates enter the performance prediction
+(Figure 3 of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.simulator.engine.base import Engine
+from repro.simulator.flit import Flit, Packet, packet_to_flits
+from repro.simulator.router import INJECT_PORT, Router
+from repro.simulator.statistics import SimulationStats
+
+
+@dataclass
+class _InjectionState:
+    """Per-tile source queue and the packet currently being injected."""
+
+    queue: list[Packet] = field(default_factory=list)
+    current_flits: list[Flit] = field(default_factory=list)
+    current_vc: int | None = None
+
+    @property
+    def idle(self) -> bool:
+        return not self.queue and not self.current_flits
+
+
+class ReferenceEngine(Engine):
+    """Object-graph kernel: one :class:`Router` object per node.
+
+    Every piece of simulated state lives on the object that owns it — input
+    VCs hold :class:`~collections.deque` buffers of flit objects, routers
+    hold credit and allocation dictionaries.  Easy to read and to instrument,
+    but the per-object attribute traffic is what the ``soa`` engine's flat
+    arrays eliminate (see ``docs/PERFORMANCE.md`` for measurements).
+    """
+
+    name = "reference"
+
+    def __init__(self, topology, config, network, trace=None) -> None:
+        super().__init__(topology, config, network, trace=trace)
+        num_nodes = network.num_nodes
+        self.routers = [Router(node, network) for node in range(num_nodes)]
+
+        # Channel attributes flattened into arrays indexed by channel id, so
+        # event scheduling does one list index instead of an object traversal.
+        channels = network.channels
+        self._channel_latency = [channel.latency_cycles for channel in channels]
+        self._channel_dest = [channel.destination for channel in channels]
+        self._channel_src = [channel.source for channel in channels]
+
+        # The event wheel: slot (cycle % wheel size) holds the deliveries due
+        # in that cycle.  One extra slot keeps "now + max latency" distinct
+        # from "now".
+        self._wheel_size = network.max_latency_cycles + 1
+        self._flit_wheel: list[list[tuple[int, int, int, Flit]]] = [
+            [] for _ in range(self._wheel_size)
+        ]
+        self._credit_wheel: list[list[tuple[int, int, int]]] = [
+            [] for _ in range(self._wheel_size)
+        ]
+
+        self._injection_states = [_InjectionState() for _ in range(num_nodes)]
+        #: Routers currently holding buffered flits (the only ones stepped).
+        self._active: set[int] = set()
+        #: Tiles with queued packets or a partially injected packet.
+        self._pending_injection: set[int] = set()
+
+    # ----------------------------------------------------------- event plumbing
+    def _schedule_flit(self, channel_id: int, vc: int, flit: Flit) -> None:
+        latency = self._channel_latency[channel_id]
+        slot = (self._cycle + latency) % self._wheel_size
+        self._flit_wheel[slot].append((self._channel_dest[channel_id], channel_id, vc, flit))
+
+    def _schedule_credit(self, channel_id: int, vc: int) -> None:
+        latency = self._channel_latency[channel_id]
+        slot = (self._cycle + latency) % self._wheel_size
+        self._credit_wheel[slot].append((self._channel_src[channel_id], channel_id, vc))
+
+    def _deliver_events(self) -> None:
+        slot = self._cycle % self._wheel_size
+        flit_events = self._flit_wheel[slot]
+        if flit_events:
+            routers = self.routers
+            active = self._active
+            cycle = self._cycle
+            for node, channel_id, vc, flit in flit_events:
+                routers[node].receive_flit(channel_id, vc, flit, cycle)
+                active.add(node)
+            self._flit_wheel[slot] = []
+        credit_events = self._credit_wheel[slot]
+        if credit_events:
+            routers = self.routers
+            for node, channel_id, vc in credit_events:
+                routers[node].receive_credit(channel_id, vc)
+            self._credit_wheel[slot] = []
+
+    # ------------------------------------------------------------- injection
+    def _create_packets(self, measured: bool) -> None:
+        for source, destination in self.injection.packets_for_cycle(self._cycle):
+            packet = Packet(
+                packet_id=self._packet_counter,
+                source=source,
+                destination=destination,
+                size_flits=self.config.packet_size_flits,
+                creation_cycle=self._cycle,
+                is_measured=measured,
+            )
+            self._packet_counter += 1
+            self._accumulator.packets_created += 1
+            if measured:
+                self._packets_measured += 1
+                self._measured_in_flight += 1
+            self._injection_states[source].queue.append(packet)
+            self._pending_injection.add(source)
+
+    def _create_trace_packets(self) -> None:
+        """Trace-mode packet creation: replay this cycle's recorded packets."""
+        assert self._trace_injector is not None
+        for source, destination, size in self._trace_injector.packets_for_cycle(
+            self._cycle
+        ):
+            packet = Packet(
+                packet_id=self._packet_counter,
+                source=source,
+                destination=destination,
+                size_flits=size,
+                creation_cycle=self._cycle,
+                is_measured=True,
+            )
+            self._packet_counter += 1
+            self._accumulator.packets_created += 1
+            self._packets_measured += 1
+            self._measured_in_flight += 1
+            self._injection_states[source].queue.append(packet)
+            self._pending_injection.add(source)
+
+    def _inject_flits(self) -> None:
+        if not self._pending_injection:
+            return
+        states = self._injection_states
+        active = self._active
+        cycle = self._cycle
+        for node in sorted(self._pending_injection):
+            state = states[node]
+            router = self.routers[node]
+            if not state.current_flits and state.queue:
+                vc = router.free_injection_vc()
+                if vc is not None:
+                    packet = state.queue.pop(0)
+                    state.current_flits = packet_to_flits(packet)
+                    state.current_vc = vc
+            if state.current_flits and state.current_vc is not None:
+                if router.injection_space(state.current_vc):
+                    flit = state.current_flits.pop(0)
+                    if flit.is_head:
+                        flit.packet.injection_cycle = cycle
+                    router.receive_flit(INJECT_PORT, state.current_vc, flit, cycle)
+                    active.add(node)
+                    if flit.is_tail:
+                        state.current_vc = None
+            if state.idle:
+                self._pending_injection.discard(node)
+
+    # -------------------------------------------------------------- ejection
+    def _eject_measured(self, flit: Flit, cycle: int) -> None:
+        """Ejection callback for cycles inside the measurement window."""
+        self._eject(flit, cycle, True)
+
+    def _eject_unmeasured(self, flit: Flit, cycle: int) -> None:
+        """Ejection callback for warmup and drain cycles."""
+        self._eject(flit, cycle, False)
+
+    def _eject(self, flit: Flit, cycle: int, in_measurement_window: bool) -> None:
+        if flit.is_tail:
+            packet = flit.packet
+            packet.arrival_cycle = cycle
+            self._accumulator.record_delivery(
+                packet, flit.hops, packet.used_escape, in_measurement_window
+            )
+            if packet.is_measured:
+                self._measured_in_flight -= 1
+        if in_measurement_window:
+            self._accumulator.flits_delivered_measurement += 1
+
+    # ------------------------------------------------------------------ run
+    def run(self) -> SimulationStats:
+        """Run warmup, measurement and drain and return the statistics."""
+        trace_mode = self.trace_mode
+        warmup_end, measurement_end, hard_end = self._phase_bounds()
+
+        routers = self.routers
+        active = self._active
+        schedule_flit = self._schedule_flit
+        schedule_credit = self._schedule_credit
+
+        drained = True
+        while True:
+            # Trace mode measures the whole run: every replayed packet is
+            # measured, and flits arriving during the drain still count
+            # towards the accepted load (a fully drained replay accepts
+            # exactly what the trace offered).
+            in_measurement = (
+                True if trace_mode else warmup_end <= self._cycle < measurement_end
+            )
+            eject = self._eject_measured if in_measurement else self._eject_unmeasured
+
+            self._deliver_events()
+            if trace_mode:
+                self._create_trace_packets()
+            else:
+                self._create_packets(measured=in_measurement)
+            self._inject_flits()
+
+            if active:
+                for node in sorted(active):
+                    router = routers[node]
+                    router.step(self._cycle, schedule_flit, schedule_credit, eject)
+                    if not router.buffered_count:
+                        active.discard(node)
+
+            self._cycle += 1
+            if self._cycle >= measurement_end and self._measured_in_flight == 0:
+                break
+            if self._cycle >= hard_end:
+                drained = self._measured_in_flight == 0
+                break
+
+        return self._finalize(drained)
+
+
+__all__ = ["ReferenceEngine"]

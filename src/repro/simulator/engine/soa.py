@@ -1,0 +1,582 @@
+"""The ``soa`` engine: the struct-of-arrays kernel.
+
+Same cycle-level semantics as the ``reference`` engine — same allocation
+order (ascending node, ascending input port, round-robin switch arbitration),
+same event-wheel timing, same statistics accumulation — but all hot state
+lives in **flat, preallocated, integer-indexed columns** instead of a graph
+of ``Router``/``InputVC``/``Flit`` objects:
+
+* every ``(channel, VC)`` input buffer is a fixed ``buffer_depth`` ring in
+  one flat column pair (``buf_fid``/``buf_ready``), addressed by a compiled
+  *input-VC id* (``channel_id * V + vc``; injection ports follow at
+  ``C * V + node * V + vc``),
+* credits and output-VC holds are flat ``C * V`` columns addressed by
+  ``channel_id * V + vc``,
+* per-flit and per-packet metadata are parallel append-only columns
+  addressed by flit/packet id (no objects are ever allocated on the hot
+  path),
+* the event wheel carries ``(node, input_vc_id, flit_id)`` triples and bare
+  credit indices instead of object tuples.
+
+The compiled input-VC numbering makes each router's reference scan order
+(ascending incoming channel id, then the injection port, VCs 0..V-1) equal
+to *ascending input-VC id*, so the per-router set of occupied input VCs can
+be kept as a small sorted list and iterated directly — the reference
+engine's full scan over every VC of every active router (the bulk of its
+cycle cost; see ``docs/PERFORMANCE.md``) disappears entirely.
+
+Memory bound: the per-flit/per-packet metadata columns are append-only, so
+one engine instance holds **O(total packets injected)** entries over a run
+(a few list words per flit), where the reference engine frees its
+``Flit``/``Packet`` objects after delivery and stays O(in-flight).  At the
+scales this toolchain simulates (10^3..10^5 packets per run; a trace's own
+record columns grow the same way) this is a few MB; recycling ejected flit
+ids via a free list is the known remedy if far longer runs ever matter.
+
+NumPy enters through the shared machinery where vectorization pays — the
+Bernoulli injection draws and statistics finalization.  The columns
+themselves are machine-word Python lists rather than ``ndarray`` objects:
+the kernel's per-event work is inherently scalar (a handful of dependent
+loads/stores per flit), and scalar ``ndarray`` indexing measures ~4x slower
+than list indexing (see ``docs/PERFORMANCE.md``), which would forfeit the
+layout's entire speedup.  The *layout* — parallel flat columns indexed by
+compiled ids — is what matters, not the container type.
+
+Bit-identity with the reference engine is enforced by the goldens in
+``tests/unit/test_simulation_golden.py`` (run under both engines) and the
+randomized differential tests in ``tests/unit/test_engine_equivalence.py``.
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+
+from repro.simulator.engine.base import Engine
+from repro.simulator.statistics import SimulationStats
+
+#: ``ivc_out_ch`` sentinel: the input VC holds no output allocation.
+_UNROUTED = -2
+#: ``ivc_out_ch`` sentinel: the input VC is allocated to the local ejection port.
+_EJECT = -1
+
+
+class SoAEngine(Engine):
+    """Struct-of-arrays kernel (see the module docstring for the layout)."""
+
+    name = "soa"
+
+    def __init__(self, topology, config, network, trace=None) -> None:
+        super().__init__(topology, config, network, trace=trace)
+        net_config = network.config
+        num_vcs = net_config.num_vcs
+        depth = net_config.buffer_depth_flits
+        num_nodes = network.num_nodes
+        num_channels = len(network.channels)
+        self._num_vcs = num_vcs
+        self._depth = depth
+        self._pipeline = net_config.router_pipeline_cycles
+
+        # ------------------------------------------------ compiled structure
+        # Static per-channel columns, compiled once at build time.
+        self._chan_latency = [channel.latency_cycles for channel in network.channels]
+        self._chan_dest = [channel.destination for channel in network.channels]
+        # Credit-index -> upstream node, for the wake-on-credit path (one
+        # list read instead of a divide + channel lookup per credit event).
+        self._credit_src = [
+            channel.source for channel in network.channels for _ in range(num_vcs)
+        ]
+        # Destination -> outgoing-channel-id route tables (shared with the
+        # network's compiled cache; identical tables keep routing decisions
+        # identical between engines by construction).
+        self._minimal, self._escape = network.compiled_routes()
+
+        #: First injection-port input-VC id; channel input VCs occupy
+        #: ``[0, C * V)``, injection VCs ``[C * V, (C + N) * V)``.
+        self._inject_base = num_channels * num_vcs
+        num_ivcs = (num_channels + num_nodes) * num_vcs
+        #: Input key per input VC: the incoming channel id, or -1 (injection).
+        self._ivc_key = [
+            channel for channel in range(num_channels) for _ in range(num_vcs)
+        ] + [-1] * (num_nodes * num_vcs)
+
+        #: Per node: outgoing channel ids in switch-port order (ascending).
+        self._node_out_channels = [
+            sorted(network.outputs[node].values()) for node in range(num_nodes)
+        ]
+        #: Bucket key of the ejection pseudo-port — larger than any channel
+        #: id, so ``sorted(buckets)`` visits it last, like the reference scan.
+        self._eject_key = num_channels
+
+        # ------------------------------------------------- mutable hot state
+        # Input-VC buffer rings: flat (num_ivcs x depth) columns.
+        self._buf_fid = [0] * (num_ivcs * depth)
+        self._buf_ready = [0] * (num_ivcs * depth)
+        self._buf_head = [0] * num_ivcs
+        self._buf_len = [0] * num_ivcs
+        # Output allocation per input VC (head flit's routing decision).
+        self._ivc_out_ch = [_UNROUTED] * num_ivcs
+        self._ivc_out_vc = [0] * num_ivcs
+        # Output-VC holds and credits: flat (C x V) columns.
+        self._out_alloc = [-1] * (num_channels * num_vcs)
+        self._credits = [depth] * (num_channels * num_vcs)
+        # Round-robin switch pointers: one per channel, then one ejection
+        # pointer per node.
+        self._rr = [0] * (num_channels + num_nodes)
+        #: Per node: sorted list of occupied input-VC ids.  Ascending id ==
+        #: the reference scan order, see the module docstring.
+        self._occ: list[list[int]] = [[] for _ in range(num_nodes)]
+        self._buffered = [0] * num_nodes
+
+        # Event wheel (slot = cycle % wheel size, one extra slot keeps
+        # "now + max latency" distinct from "now").
+        self._wheel_size = network.max_latency_cycles + 1
+        self._flit_wheel: list[list[tuple[int, int, int]]] = [
+            [] for _ in range(self._wheel_size)
+        ]
+        self._credit_wheel: list[list[int]] = [[] for _ in range(self._wheel_size)]
+        # Pipeline-wake wheel: a router whose step produced no switch
+        # candidate is quiescent — stepping it again can observably change
+        # nothing until a flit arrives, a credit for one of its output
+        # channels arrives, or a buffered front flit leaves the router
+        # pipeline.  The first two wake it through the event plumbing; this
+        # wheel handles the third (ready times are at most
+        # ``router_pipeline_cycles`` ahead).
+        self._wake_size = net_config.router_pipeline_cycles + 1
+        self._wake_wheel: list[list[int]] = [[] for _ in range(self._wake_size)]
+
+        #: Routers currently holding buffered flits *and* possibly able to
+        #: act (quiescent routers are parked until an event wakes them —
+        #: skipping their steps is observationally identical, see run()).
+        self._active: set[int] = set()
+        #: Tiles with queued packets or a partially injected packet.
+        self._pending_injection: set[int] = set()
+
+        # Per-tile source queues (packet ids) and the packet being injected,
+        # represented as a [first flit id, one-past-last flit id) window.
+        self._inj_queue: list[list[int]] = [[] for _ in range(num_nodes)]
+        self._inj_cur = [-1] * num_nodes
+        self._inj_end = [0] * num_nodes
+        self._inj_vc = [-1] * num_nodes
+
+        # Per-packet metadata columns, appended at creation (packet id =
+        # column index, identical to the reference packet_id counter).
+        self._pkt_dst: list[int] = []
+        self._pkt_size: list[int] = []
+        self._pkt_created: list[int] = []
+        self._pkt_injected: list[int] = []
+        self._pkt_measured: list[bool] = []
+        self._pkt_escape: list[bool] = []
+
+        # Per-flit metadata columns, appended at segmentation time (when a
+        # packet leaves its source queue); a packet's flits are contiguous.
+        self._flit_pkt: list[int] = []
+        self._flit_dest: list[int] = []
+        self._flit_head: list[bool] = []
+        self._flit_tail: list[bool] = []
+        self._flit_escape: list[bool] = []
+        self._flit_hops: list[int] = []
+
+    # ------------------------------------------------------------- injection
+    def _create_packet(self, source: int, destination: int, size: int, measured: bool) -> None:
+        self._pkt_dst.append(destination)
+        self._pkt_size.append(size)
+        self._pkt_created.append(self._cycle)
+        self._pkt_injected.append(-1)
+        self._pkt_measured.append(measured)
+        self._pkt_escape.append(False)
+        self._packet_counter += 1
+        self._accumulator.packets_created += 1
+        if measured:
+            self._packets_measured += 1
+            self._measured_in_flight += 1
+        self._inj_queue[source].append(self._packet_counter - 1)
+        self._pending_injection.add(source)
+
+    def _create_packets(self, measured: bool) -> None:
+        for source, destination in self.injection.packets_for_cycle(self._cycle):
+            self._create_packet(
+                source, destination, self.config.packet_size_flits, measured
+            )
+
+    def _create_trace_packets(self) -> None:
+        """Trace-mode packet creation: replay this cycle's recorded packets."""
+        for source, destination, size in self._trace_injector.packets_for_cycle(
+            self._cycle
+        ):
+            self._create_packet(source, destination, size, True)
+
+    def _segment_packet(self, packet_id: int) -> int:
+        """Append the packet's flit columns; returns the first flit id."""
+        first = len(self._flit_pkt)
+        size = self._pkt_size[packet_id]
+        destination = self._pkt_dst[packet_id]
+        last = size - 1
+        for sequence in range(size):
+            self._flit_pkt.append(packet_id)
+            self._flit_dest.append(destination)
+            self._flit_head.append(sequence == 0)
+            self._flit_tail.append(sequence == last)
+            self._flit_escape.append(False)
+            self._flit_hops.append(0)
+        return first
+
+    def _inject_flits(self) -> None:
+        pending = self._pending_injection
+        if not pending:
+            return
+        cycle = self._cycle
+        num_vcs = self._num_vcs
+        depth = self._depth
+        inject_base = self._inject_base
+        buf_len = self._buf_len
+        buf_head = self._buf_head
+        buf_fid = self._buf_fid
+        buf_ready = self._buf_ready
+        ivc_out_ch = self._ivc_out_ch
+        inj_queue = self._inj_queue
+        inj_cur = self._inj_cur
+        inj_end = self._inj_end
+        inj_vc = self._inj_vc
+        occ = self._occ
+        buffered = self._buffered
+        active = self._active
+        ready = cycle + self._pipeline
+        for node in sorted(pending):
+            current = inj_cur[node]
+            queue = inj_queue[node]
+            if current < 0 and queue:
+                # Find an idle injection VC: no buffered flits, no allocation.
+                base_ivc = inject_base + node * num_vcs
+                for vc in range(num_vcs):
+                    ivc = base_ivc + vc
+                    if buf_len[ivc] == 0 and ivc_out_ch[ivc] == _UNROUTED:
+                        packet_id = queue.pop(0)
+                        current = self._segment_packet(packet_id)
+                        inj_cur[node] = current
+                        inj_end[node] = current + self._pkt_size[packet_id]
+                        inj_vc[node] = vc
+                        break
+            if current >= 0:
+                ivc = inject_base + node * num_vcs + inj_vc[node]
+                length = buf_len[ivc]
+                if length < depth:
+                    if self._flit_head[current]:
+                        self._pkt_injected[self._flit_pkt[current]] = cycle
+                    slot = ivc * depth + (buf_head[ivc] + length) % depth
+                    buf_fid[slot] = current
+                    buf_ready[slot] = ready
+                    if length == 0:
+                        insort(occ[node], ivc)
+                    buf_len[ivc] = length + 1
+                    buffered[node] += 1
+                    active.add(node)
+                    current += 1
+                    if current >= inj_end[node]:
+                        inj_cur[node] = -1
+                        inj_vc[node] = -1
+                    else:
+                        inj_cur[node] = current
+            if inj_cur[node] < 0 and not inj_queue[node]:
+                pending.discard(node)
+
+    # ----------------------------------------------------------- event plumbing
+    def _deliver_events(self) -> None:
+        cycle = self._cycle
+        slot = cycle % self._wheel_size
+        flit_events = self._flit_wheel[slot]
+        if flit_events:
+            depth = self._depth
+            buf_len = self._buf_len
+            buf_head = self._buf_head
+            buf_fid = self._buf_fid
+            buf_ready = self._buf_ready
+            occ = self._occ
+            buffered = self._buffered
+            active = self._active
+            ready = cycle + self._pipeline
+            for node, ivc, fid in flit_events:
+                length = buf_len[ivc]
+                index = ivc * depth + (buf_head[ivc] + length) % depth
+                buf_fid[index] = fid
+                buf_ready[index] = ready
+                if length == 0:
+                    insort(occ[node], ivc)
+                buf_len[ivc] = length + 1
+                buffered[node] += 1
+                active.add(node)
+            self._flit_wheel[slot] = []
+        credit_events = self._credit_wheel[slot]
+        if credit_events:
+            credits = self._credits
+            credit_src = self._credit_src
+            buffered = self._buffered
+            active = self._active
+            for index in credit_events:
+                credits[index] += 1
+                # A credit can unblock the upstream router; wake it if it
+                # holds flits (a no-op when it is already active).
+                source = credit_src[index]
+                if buffered[source]:
+                    active.add(source)
+            self._credit_wheel[slot] = []
+        wake_events = self._wake_wheel[cycle % self._wake_size]
+        if wake_events:
+            buffered = self._buffered
+            active = self._active
+            for node in wake_events:
+                if buffered[node]:
+                    active.add(node)
+            self._wake_wheel[cycle % self._wake_size] = []
+
+    # -------------------------------------------------------------- ejection
+    def _eject(self, fid: int, cycle: int, in_measurement_window: bool) -> None:
+        if self._flit_tail[fid]:
+            packet_id = self._flit_pkt[fid]
+            created = self._pkt_created[packet_id]
+            measured = self._pkt_measured[packet_id]
+            self._accumulator.record_delivery_values(
+                creation_cycle=created,
+                size_flits=self._pkt_size[packet_id],
+                total_latency=cycle - created,
+                network_latency=cycle - self._pkt_injected[packet_id],
+                hops=self._flit_hops[fid],
+                is_measured=measured,
+                used_escape=self._pkt_escape[packet_id],
+            )
+            if measured:
+                self._measured_in_flight -= 1
+        if in_measurement_window:
+            self._accumulator.flits_delivered_measurement += 1
+
+    # ------------------------------------------------------------------ run
+    def run(self) -> SimulationStats:
+        """Run warmup, measurement and drain and return the statistics."""
+        trace_mode = self.trace_mode
+        warmup_end, measurement_end, hard_end = self._phase_bounds()
+
+        # Hot-loop locals: every column the stepping loop touches.
+        num_vcs = self._num_vcs
+        depth = self._depth
+        wheel_size = self._wheel_size
+        wake_wheel = self._wake_wheel
+        wake_size = self._wake_size
+        eject_key = self._eject_key
+        inject_start = self._inject_base  # first injection ivc == C * V
+        rr_eject_base = inject_start // num_vcs  # == num_channels
+        has_adaptive = num_vcs > 1
+        buf_fid = self._buf_fid
+        buf_ready = self._buf_ready
+        buf_head = self._buf_head
+        buf_len = self._buf_len
+        ivc_out_ch = self._ivc_out_ch
+        ivc_out_vc = self._ivc_out_vc
+        ivc_key = self._ivc_key
+        out_alloc = self._out_alloc
+        credits = self._credits
+        rr = self._rr
+        occ = self._occ
+        buffered = self._buffered
+        active = self._active
+        minimal = self._minimal
+        escape = self._escape
+        chan_latency = self._chan_latency
+        chan_dest = self._chan_dest
+        flit_wheel = self._flit_wheel
+        credit_wheel = self._credit_wheel
+        flit_pkt = self._flit_pkt
+        flit_dest = self._flit_dest
+        flit_head = self._flit_head
+        flit_tail = self._flit_tail
+        flit_escape = self._flit_escape
+        flit_hops = self._flit_hops
+        pkt_escape = self._pkt_escape
+        eject = self._eject
+
+        drained = True
+        while True:
+            cycle = self._cycle
+            in_measurement = (
+                True if trace_mode else warmup_end <= cycle < measurement_end
+            )
+
+            self._deliver_events()
+            if trace_mode:
+                self._create_trace_packets()
+            else:
+                self._create_packets(measured=in_measurement)
+            self._inject_flits()
+
+            if active:
+                for node in sorted(active):
+                    # Phase 1 — VC allocation + switch candidacy: one pass
+                    # over the node's occupied input VCs (ascending id ==
+                    # reference scan order), bucketing ready candidates
+                    # under their output port.  The overwhelmingly common
+                    # case at sub-saturation loads is a *single* candidate,
+                    # so the bucket dict is only materialised once a second
+                    # candidate shows up.
+                    buckets: dict[int, list[int]] | None = None
+                    single_key = _UNROUTED  # no candidate yet
+                    single_ivc = -1
+                    min_next_ready = 0  # earliest pipeline-unready front
+                    for ivc in occ[node]:
+                        head = buf_head[ivc]
+                        index = ivc * depth + head
+                        ready_at = buf_ready[index]
+                        if ready_at > cycle:
+                            if min_next_ready == 0 or ready_at < min_next_ready:
+                                min_next_ready = ready_at
+                            continue
+                        fid = buf_fid[index]
+                        out_ch = ivc_out_ch[ivc]
+                        if out_ch == _UNROUTED:
+                            if not flit_head[fid]:
+                                # Body flits inherit the head's allocation;
+                                # an unallocated front body flit never routes.
+                                continue
+                            destination = flit_dest[fid]
+                            if destination == node:
+                                ivc_out_ch[ivc] = out_ch = _EJECT
+                                ivc_out_vc[ivc] = 0
+                            else:
+                                if has_adaptive and not flit_escape[fid]:
+                                    channel = minimal[node][destination]
+                                    alloc_base = channel * num_vcs
+                                    for vc in range(1, num_vcs):
+                                        if out_alloc[alloc_base + vc] < 0:
+                                            out_alloc[alloc_base + vc] = ivc
+                                            ivc_out_ch[ivc] = out_ch = channel
+                                            ivc_out_vc[ivc] = vc
+                                            break
+                                if out_ch == _UNROUTED:
+                                    channel = escape[node][destination]
+                                    alloc_base = channel * num_vcs
+                                    if out_alloc[alloc_base] < 0:
+                                        out_alloc[alloc_base] = ivc
+                                        ivc_out_ch[ivc] = out_ch = channel
+                                        ivc_out_vc[ivc] = 0
+                                        flit_escape[fid] = True
+                                        pkt_escape[flit_pkt[fid]] = True
+                                    else:
+                                        continue  # no output VC free this cycle
+                        if out_ch >= 0:
+                            if credits[out_ch * num_vcs + ivc_out_vc[ivc]] <= 0:
+                                continue  # no downstream buffer space
+                            bucket_key = out_ch
+                        else:
+                            bucket_key = eject_key
+                        if buckets is None:
+                            if single_ivc < 0:
+                                single_key = bucket_key
+                                single_ivc = ivc
+                            else:
+                                buckets = {single_key: [single_ivc]}
+                                bucket = buckets.get(bucket_key)
+                                if bucket is None:
+                                    buckets[bucket_key] = [ivc]
+                                else:
+                                    bucket.append(ivc)
+                        else:
+                            bucket = buckets.get(bucket_key)
+                            if bucket is None:
+                                buckets[bucket_key] = [ivc]
+                            else:
+                                bucket.append(ivc)
+
+                    # Phase 2 — switch allocation + traversal: per output
+                    # port (ascending channel id, ejection last), pick the
+                    # round-robin winner among candidates whose input port
+                    # has not yet forwarded a flit this cycle.
+                    if buckets is None:
+                        if single_ivc < 0:
+                            # No switch candidate: the router is quiescent.
+                            # Every front flit is pipeline-unready,
+                            # credit-blocked, or output-VC-blocked, and none
+                            # of those can clear without an external event
+                            # (flit arrival, credit arrival) or, for the
+                            # pipeline case, the wake scheduled here — so
+                            # parking the router skips only provably no-op
+                            # steps and the statistics stay bit-identical.
+                            active.discard(node)
+                            if min_next_ready:
+                                wake_wheel[min_next_ready % wake_size].append(node)
+                            continue
+                        # Single candidate: it wins its port outright
+                        # (pointer % 1 == 0); the pointer still advances,
+                        # exactly like the reference arbitration.
+                        winners = ((single_key, single_ivc),)
+                        rr_index = (
+                            rr_eject_base + node
+                            if single_key == eject_key
+                            else single_key
+                        )
+                        rr[rr_index] += 1
+                    else:
+                        winners = []
+                        used_inputs: set[int] | None = None
+                        for port in sorted(buckets):
+                            bucket = buckets[port]
+                            if used_inputs:
+                                candidates = [
+                                    i for i in bucket if ivc_key[i] not in used_inputs
+                                ]
+                                if not candidates:
+                                    continue
+                            else:
+                                candidates = bucket
+                            if port == eject_key:
+                                rr_index = rr_eject_base + node
+                            else:
+                                rr_index = port
+                            pointer = rr[rr_index]
+                            rr[rr_index] = pointer + 1
+                            winner = candidates[pointer % len(candidates)]
+                            if used_inputs is None:
+                                used_inputs = {ivc_key[winner]}
+                            else:
+                                used_inputs.add(ivc_key[winner])
+                            winners.append((port, winner))
+
+                    for port, winner in winners:
+                        key = ivc_key[winner]
+                        head = buf_head[winner]
+                        fid = buf_fid[winner * depth + head]
+                        buf_head[winner] = (head + 1) % depth
+                        length = buf_len[winner] - 1
+                        buf_len[winner] = length
+                        buffered[node] -= 1
+                        if length == 0:
+                            occ[node].remove(winner)
+                        if key >= 0:
+                            # Return a credit upstream for the freed slot.
+                            credit_wheel[
+                                (cycle + chan_latency[key]) % wheel_size
+                            ].append(key * num_vcs + winner % num_vcs)
+                        if port == eject_key:
+                            eject(fid, cycle, in_measurement)
+                            if flit_tail[fid]:
+                                ivc_out_ch[winner] = _UNROUTED
+                            continue
+                        out_vc = ivc_out_vc[winner]
+                        credits[port * num_vcs + out_vc] -= 1
+                        flit_hops[fid] += 1
+                        flit_wheel[
+                            (cycle + chan_latency[port]) % wheel_size
+                        ].append((chan_dest[port], port * num_vcs + out_vc, fid))
+                        if flit_tail[fid]:
+                            out_alloc[port * num_vcs + out_vc] = -1
+                            ivc_out_ch[winner] = _UNROUTED
+                    if not buffered[node]:
+                        active.discard(node)
+
+            self._cycle = cycle + 1
+            if self._cycle >= measurement_end and self._measured_in_flight == 0:
+                break
+            if self._cycle >= hard_end:
+                drained = self._measured_in_flight == 0
+                break
+
+        return self._finalize(drained)
+
+
+__all__ = ["SoAEngine"]

@@ -1,8 +1,7 @@
-"""The cycle-based simulation kernel.
+"""The cycle-based simulation front end.
 
-:class:`Simulator` drives a :class:`~repro.simulator.network.Network` of
-:class:`~repro.simulator.router.Router` instances cycle by cycle through three
-phases:
+:class:`Simulator` drives one run of a :class:`~repro.simulator.network.Network`
+through three phases:
 
 * **warmup** — traffic is injected but packets are not measured,
 * **measurement** — packets created in this window are tagged and measured,
@@ -11,24 +10,16 @@ phases:
   limit is reached (a saturated network never drains; the statistics flag
   this).
 
-Flits and credits in flight on channels are kept in a *slotted event wheel*
-sized by the maximum link latency: a link with an ``L``-cycle latency simply
-schedules its deliveries ``L`` slots ahead on the wheel — this is how the
-physical model's per-link latency estimates enter the performance prediction
-(Figure 3 of the paper).
-
-Scheduling
-----------
-The kernel is *activity-driven* (the scheduling style BookSim2-class
-simulators use): instead of scanning every router every cycle, the simulator
-maintains an **active set** of routers that hold buffered flits and a
-**pending set** of tiles with queued or partially injected packets.  Routers
-enter the active set when a flit is delivered to them (from a channel or the
-injection port) and leave it when their buffers drain; a router outside the
-active set provably has nothing to do (credits arriving at an empty router
-change no observable state until its next flit arrives).  Both sets are
-iterated in ascending node order, so results are **bit-identical** to the
-dense per-cycle scan — enforced by ``tests/unit/test_simulation_golden.py``.
+The actual kernel is a pluggable **engine** (see
+:mod:`repro.simulator.engine`): ``Simulator`` validates the inputs, resolves
+the network (building it, or reusing a prebuilt one), and delegates the run
+to the engine named by ``config.engine`` — the object-graph ``reference``
+kernel or the struct-of-arrays ``soa`` kernel.  All engines are
+**bit-identical**: for a fixed configuration and seed they produce the exact
+same :class:`~repro.simulator.statistics.SimulationStats` (enforced by
+``tests/unit/test_simulation_golden.py`` and
+``tests/unit/test_engine_equivalence.py``), so the engine choice is purely a
+speed/readability trade-off and is excluded from experiment identity hashes.
 
 For repeated runs on the same topology (load sweeps), pass a prebuilt
 ``network`` (and ``routing``): the network is immutable, so sharing it across
@@ -45,28 +36,21 @@ with the recorded per-packet sizes, through the deterministic
 is measured and every delivery counts (throughput is normalised by the trace
 duration, with drain-time arrivals included, so a fully drained replay
 accepts exactly what the trace offered); the run drains after the trace ends
-exactly like a synthetic run, and the same active-set / event-wheel hot path
-executes unchanged.  Per-phase statistics (one
+exactly like a synthetic run.  Per-phase statistics (one
 :class:`~repro.simulator.statistics.PhaseStats` per named trace phase) are
 reported in ``SimulationStats.phases``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
-from repro.simulator.flit import Flit, Packet, packet_to_flits
+from repro.simulator.engine import DEFAULT_ENGINE, check_engine_name, make_engine
 from repro.simulator.network import Network, NetworkConfig, build_network
-from repro.simulator.router import INJECT_PORT, Router
 from repro.simulator.routing_tables import RoutingTables
-from repro.simulator.statistics import SimulationStats, _Accumulator
-from repro.simulator.traffic import (
-    InjectionProcess,
-    TraceInjector,
-    check_traffic_name,
-    make_traffic_pattern,
-)
+from repro.simulator.statistics import SimulationStats
+from repro.simulator.traffic import check_traffic_name
 from repro.topologies.base import Link, Topology
 from repro.utils.validation import ValidationError, check_in_range, check_type
 
@@ -90,6 +74,12 @@ class SimulationConfig:
         Phase lengths.
     seed:
         RNG seed (traffic generation).
+    engine:
+        Simulation-engine name (see :mod:`repro.simulator.engine`):
+        ``"reference"`` (object-graph kernel, the default) or ``"soa"``
+        (struct-of-arrays kernel, bit-identical and several times faster).
+        Because all engines produce identical statistics, the engine is
+        *not* part of an experiment's identity hash.
     """
 
     injection_rate: float = 0.05
@@ -102,9 +92,11 @@ class SimulationConfig:
     measurement_cycles: int = 1000
     drain_max_cycles: int = 3000
     seed: int = 1
+    engine: str = DEFAULT_ENGINE
 
     def __post_init__(self) -> None:
         check_traffic_name(self.traffic)
+        check_engine_name(self.engine)
         check_in_range("injection_rate", self.injection_rate, 0.0, 1.0)
         check_type("warmup_cycles", self.warmup_cycles, int)
         check_type("measurement_cycles", self.measurement_cycles, int)
@@ -124,19 +116,6 @@ class SimulationConfig:
         )
 
 
-@dataclass
-class _InjectionState:
-    """Per-tile source queue and the packet currently being injected."""
-
-    queue: list[Packet] = field(default_factory=list)
-    current_flits: list[Flit] = field(default_factory=list)
-    current_vc: int | None = None
-
-    @property
-    def idle(self) -> bool:
-        return not self.queue and not self.current_flits
-
-
 class Simulator:
     """Cycle-accurate simulation of one topology under one traffic load.
 
@@ -145,7 +124,8 @@ class Simulator:
     topology:
         The NoC topology to simulate.
     config:
-        Run configuration; defaults to the paper's evaluation setup.
+        Run configuration; defaults to the paper's evaluation setup.  Its
+        ``engine`` field names the kernel implementation to run.
     link_latencies:
         Per-link latency estimates from the physical model (ignored when a
         prebuilt ``network`` is given, which already carries them).
@@ -194,193 +174,20 @@ class Simulator:
                 link_latencies=link_latencies,
                 routing=routing,
             )
-        num_nodes = self.network.num_nodes
-        self.routers = [Router(node, self.network) for node in range(num_nodes)]
-        self._trace = trace
-        self._trace_injector: TraceInjector | None = None
-        self._trace_duration = 0
-        if trace is not None:
-            if trace.num_tiles != num_nodes:
-                raise ValidationError(
-                    f"trace addresses {trace.num_tiles} tiles but the topology "
-                    f"has {num_nodes}"
-                )
-            self.injection = None
-            self._trace_injector = TraceInjector(
-                trace.cycles, trace.sources, trace.destinations, trace.sizes
+        if trace is not None and trace.num_tiles != self.network.num_nodes:
+            raise ValidationError(
+                f"trace addresses {trace.num_tiles} tiles but the topology "
+                f"has {self.network.num_nodes}"
             )
-            self._trace_duration = max(1, trace.duration)
-        else:
-            pattern = make_traffic_pattern(self.config.traffic, topology)
-            self.injection = InjectionProcess(
-                pattern,
-                self.config.injection_rate,
-                self.config.packet_size_flits,
-                seed=self.config.seed,
-            )
-
-        # Channel attributes flattened into arrays indexed by channel id, so
-        # event scheduling does one list index instead of an object traversal.
-        channels = self.network.channels
-        self._channel_latency = [channel.latency_cycles for channel in channels]
-        self._channel_dest = [channel.destination for channel in channels]
-        self._channel_src = [channel.source for channel in channels]
-
-        # The event wheel: slot (cycle % wheel size) holds the deliveries due
-        # in that cycle.  One extra slot keeps "now + max latency" distinct
-        # from "now".
-        self._wheel_size = self.network.max_latency_cycles + 1
-        self._flit_wheel: list[list[tuple[int, int, int, Flit]]] = [
-            [] for _ in range(self._wheel_size)
-        ]
-        self._credit_wheel: list[list[tuple[int, int, int]]] = [
-            [] for _ in range(self._wheel_size)
-        ]
-
-        self._injection_states = [_InjectionState() for _ in range(num_nodes)]
-        #: Routers currently holding buffered flits (the only ones stepped).
-        self._active: set[int] = set()
-        #: Tiles with queued packets or a partially injected packet.
-        self._pending_injection: set[int] = set()
-
-        self._accumulator = _Accumulator()
-        if trace is not None and trace.phases:
-            counts = trace.phase_record_counts()
-            self._accumulator.configure_phases(
-                names=list(trace.phase_names),
-                spans=[(phase.start_cycle, phase.end_cycle) for phase in trace.phases],
-                created=[packets for packets, _ in counts],
-                offered_flits=[flits for _, flits in counts],
-                phase_of_cycle=trace.phase_of_cycle_table(),
-            )
-        self._packet_counter = 0
-        self._cycle = 0
-        self._packets_measured = 0
-        self._measured_in_flight = 0
+        self.engine = make_engine(
+            self.config.engine, topology, self.config, self.network, trace=trace
+        )
 
     @property
     def cycles_simulated(self) -> int:
         """Number of cycles the kernel has advanced through so far."""
-        return self._cycle
+        return self.engine.cycles_simulated
 
-    # ----------------------------------------------------------- event plumbing
-    def _schedule_flit(self, channel_id: int, vc: int, flit: Flit) -> None:
-        latency = self._channel_latency[channel_id]
-        slot = (self._cycle + latency) % self._wheel_size
-        self._flit_wheel[slot].append((self._channel_dest[channel_id], channel_id, vc, flit))
-
-    def _schedule_credit(self, channel_id: int, vc: int) -> None:
-        latency = self._channel_latency[channel_id]
-        slot = (self._cycle + latency) % self._wheel_size
-        self._credit_wheel[slot].append((self._channel_src[channel_id], channel_id, vc))
-
-    def _deliver_events(self) -> None:
-        slot = self._cycle % self._wheel_size
-        flit_events = self._flit_wheel[slot]
-        if flit_events:
-            routers = self.routers
-            active = self._active
-            cycle = self._cycle
-            for node, channel_id, vc, flit in flit_events:
-                routers[node].receive_flit(channel_id, vc, flit, cycle)
-                active.add(node)
-            self._flit_wheel[slot] = []
-        credit_events = self._credit_wheel[slot]
-        if credit_events:
-            routers = self.routers
-            for node, channel_id, vc in credit_events:
-                routers[node].receive_credit(channel_id, vc)
-            self._credit_wheel[slot] = []
-
-    # ------------------------------------------------------------- injection
-    def _create_packets(self, measured: bool) -> None:
-        for source, destination in self.injection.packets_for_cycle(self._cycle):
-            packet = Packet(
-                packet_id=self._packet_counter,
-                source=source,
-                destination=destination,
-                size_flits=self.config.packet_size_flits,
-                creation_cycle=self._cycle,
-                is_measured=measured,
-            )
-            self._packet_counter += 1
-            self._accumulator.packets_created += 1
-            if measured:
-                self._packets_measured += 1
-                self._measured_in_flight += 1
-            self._injection_states[source].queue.append(packet)
-            self._pending_injection.add(source)
-
-    def _create_trace_packets(self) -> None:
-        """Trace-mode packet creation: replay this cycle's recorded packets."""
-        assert self._trace_injector is not None
-        for source, destination, size in self._trace_injector.packets_for_cycle(
-            self._cycle
-        ):
-            packet = Packet(
-                packet_id=self._packet_counter,
-                source=source,
-                destination=destination,
-                size_flits=size,
-                creation_cycle=self._cycle,
-                is_measured=True,
-            )
-            self._packet_counter += 1
-            self._accumulator.packets_created += 1
-            self._packets_measured += 1
-            self._measured_in_flight += 1
-            self._injection_states[source].queue.append(packet)
-            self._pending_injection.add(source)
-
-    def _inject_flits(self) -> None:
-        if not self._pending_injection:
-            return
-        states = self._injection_states
-        active = self._active
-        cycle = self._cycle
-        for node in sorted(self._pending_injection):
-            state = states[node]
-            router = self.routers[node]
-            if not state.current_flits and state.queue:
-                vc = router.free_injection_vc()
-                if vc is not None:
-                    packet = state.queue.pop(0)
-                    state.current_flits = packet_to_flits(packet)
-                    state.current_vc = vc
-            if state.current_flits and state.current_vc is not None:
-                if router.injection_space(state.current_vc):
-                    flit = state.current_flits.pop(0)
-                    if flit.is_head:
-                        flit.packet.injection_cycle = cycle
-                    router.receive_flit(INJECT_PORT, state.current_vc, flit, cycle)
-                    active.add(node)
-                    if flit.is_tail:
-                        state.current_vc = None
-            if state.idle:
-                self._pending_injection.discard(node)
-
-    # -------------------------------------------------------------- ejection
-    def _eject_measured(self, flit: Flit, cycle: int) -> None:
-        """Ejection callback for cycles inside the measurement window."""
-        self._eject(flit, cycle, True)
-
-    def _eject_unmeasured(self, flit: Flit, cycle: int) -> None:
-        """Ejection callback for warmup and drain cycles."""
-        self._eject(flit, cycle, False)
-
-    def _eject(self, flit: Flit, cycle: int, in_measurement_window: bool) -> None:
-        if flit.is_tail:
-            packet = flit.packet
-            packet.arrival_cycle = cycle
-            self._accumulator.record_delivery(
-                packet, flit.hops, packet.used_escape, in_measurement_window
-            )
-            if packet.is_measured:
-                self._measured_in_flight -= 1
-        if in_measurement_window:
-            self._accumulator.flits_delivered_measurement += 1
-
-    # ------------------------------------------------------------------ run
     def run(self) -> SimulationStats:
         """Run warmup, measurement and drain and return the statistics.
 
@@ -388,69 +195,4 @@ class Simulator:
         is empty — every replayed packet is measured) and the run drains
         until every packet arrived or ``drain_max_cycles`` expires.
         """
-        config = self.config
-        trace_mode = self._trace_injector is not None
-        if trace_mode:
-            warmup_end = 0
-            measurement_end = self._trace_duration
-        else:
-            warmup_end = config.warmup_cycles
-            measurement_end = warmup_end + config.measurement_cycles
-        hard_end = measurement_end + config.drain_max_cycles
-
-        routers = self.routers
-        active = self._active
-        schedule_flit = self._schedule_flit
-        schedule_credit = self._schedule_credit
-
-        drained = True
-        while True:
-            # Trace mode measures the whole run: every replayed packet is
-            # measured, and flits arriving during the drain still count
-            # towards the accepted load (a fully drained replay accepts
-            # exactly what the trace offered).
-            in_measurement = (
-                True if trace_mode else warmup_end <= self._cycle < measurement_end
-            )
-            eject = self._eject_measured if in_measurement else self._eject_unmeasured
-
-            self._deliver_events()
-            if trace_mode:
-                self._create_trace_packets()
-            else:
-                self._create_packets(measured=in_measurement)
-            self._inject_flits()
-
-            if active:
-                for node in sorted(active):
-                    router = routers[node]
-                    router.step(self._cycle, schedule_flit, schedule_credit, eject)
-                    if not router.buffered_count:
-                        active.discard(node)
-
-            self._cycle += 1
-            if self._cycle >= measurement_end and self._measured_in_flight == 0:
-                break
-            if self._cycle >= hard_end:
-                drained = self._measured_in_flight == 0
-                break
-
-        if trace_mode:
-            assert self._trace_injector is not None
-            offered = self._trace_injector.total_flits / (
-                self._trace_duration * self.network.num_nodes
-            )
-            return self._accumulator.finalize(
-                offered_load=offered,
-                measurement_cycles=self._trace_duration,
-                num_tiles=self.network.num_nodes,
-                packets_measured=self._packets_measured,
-                drained=drained,
-            )
-        return self._accumulator.finalize(
-            offered_load=config.injection_rate,
-            measurement_cycles=config.measurement_cycles,
-            num_tiles=self.network.num_nodes,
-            packets_measured=self._packets_measured,
-            drained=drained,
-        )
+        return self.engine.run()

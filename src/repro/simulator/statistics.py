@@ -188,28 +188,55 @@ class _Accumulator:
     def record_delivery(
         self, packet: Packet, hops: int, used_escape: bool, in_measurement_window: bool
     ) -> None:
+        assert packet.total_latency is not None
+        assert packet.network_latency is not None
+        self.record_delivery_values(
+            creation_cycle=packet.creation_cycle,
+            size_flits=packet.size_flits,
+            total_latency=packet.total_latency,
+            network_latency=packet.network_latency,
+            hops=hops,
+            is_measured=packet.is_measured,
+            used_escape=used_escape,
+        )
+        del in_measurement_window
+
+    def record_delivery_values(
+        self,
+        creation_cycle: int,
+        size_flits: int,
+        total_latency: int,
+        network_latency: int,
+        hops: int,
+        is_measured: bool,
+        used_escape: bool,
+    ) -> None:
+        """Scalar form of :meth:`record_delivery`.
+
+        The struct-of-arrays engine has no :class:`Packet` objects — packet
+        metadata lives in flat columns — so it reports deliveries as plain
+        scalars.  Both entry points append to the same lists in the same
+        order, which is what keeps the two engines' statistics bit-identical.
+        """
         self.packets_delivered += 1
-        if packet.is_measured:
+        if is_measured:
             self.measured_delivered += 1
-            assert packet.total_latency is not None
-            assert packet.network_latency is not None
-            self.measured_latencies.append(packet.total_latency)
-            self.measured_network_latencies.append(packet.network_latency)
+            self.measured_latencies.append(total_latency)
+            self.measured_network_latencies.append(network_latency)
             self.measured_hops.append(hops)
             if used_escape:
                 self.measured_escapes += 1
         if self.phase_of_cycle is not None:
-            cycle = packet.creation_cycle
             index = (
-                self.phase_of_cycle[cycle] if 0 <= cycle < len(self.phase_of_cycle) else -1
+                self.phase_of_cycle[creation_cycle]
+                if 0 <= creation_cycle < len(self.phase_of_cycle)
+                else -1
             )
             if index >= 0:
                 self.phase_delivered[index] += 1
-                self.phase_flits[index] += packet.size_flits
-                if packet.total_latency is not None:
-                    self.phase_latencies[index].append(packet.total_latency)
+                self.phase_flits[index] += size_flits
+                self.phase_latencies[index].append(total_latency)
                 self.phase_hops[index].append(hops)
-        del in_measurement_window
 
     def _finalize_phases(self, num_tiles: int) -> dict[str, PhaseStats]:
         if self.phase_names is None:

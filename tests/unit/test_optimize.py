@@ -391,3 +391,44 @@ class TestSearchSpec:
         text = self._spec().describe()
         assert "mesh" in text and "sparse_hamming" in text
         assert "zero-load" in text
+
+
+class TestEngineInSearch:
+    def test_engine_flows_into_every_candidate_spec(self):
+        spec = SearchSpec(
+            rows=4,
+            cols=4,
+            space={"mesh": {}, "torus": {}},
+            objective={"metric": "zero_load_latency"},
+            sim={"engine": "soa", "drain_max_cycles": 500},
+            survivors=2,
+        )
+        candidate_spec = spec.candidate_spec(Candidate(topology="torus"))
+        assert candidate_spec.build_simulation_config().engine == "soa"
+        # Rung budget overrides merge on top without dropping the engine.
+        scaled = spec.candidate_spec(
+            Candidate(topology="torus"), sim_overrides={"drain_max_cycles": 250}
+        )
+        assert scaled.sim["engine"] == "soa"
+        assert scaled.sim["drain_max_cycles"] == 250
+
+    def test_engine_does_not_change_candidate_identity(self):
+        base = SearchSpec(
+            rows=4, cols=4, space={"mesh": {}},
+            objective={"metric": "zero_load_latency"},
+        )
+        soa = base.with_overrides(sim={"engine": "soa"})
+        # The search ids differ (different declarative spec) but the derived
+        # experiment specs share their memoization identity.
+        assert (
+            base.candidate_spec(Candidate(topology="mesh")).spec_id
+            == soa.candidate_spec(Candidate(topology="mesh")).spec_id
+        )
+
+    def test_unknown_engine_rejected_at_spec_construction(self):
+        with pytest.raises(ValidationError, match="unknown simulation engine"):
+            SearchSpec(
+                rows=4, cols=4, space={"mesh": {}},
+                objective={"metric": "zero_load_latency"},
+                sim={"engine": "numpy"},
+            )

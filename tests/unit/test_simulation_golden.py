@@ -10,6 +10,11 @@ with exact equality (no tolerance), so any behavioural drift in the router,
 the event plumbing, the injection process, or the statistics accumulation
 fails these tests.
 
+Every scenario runs under **every registered engine** (``reference`` and
+``soa``) against the same constants — the pre-refactor goldens are the single
+source of truth all kernel implementations must reproduce exactly.  The
+randomized cross-engine sweep lives in ``test_engine_equivalence.py``.
+
 If a future PR *intentionally* changes simulation behaviour, these constants
 must be regenerated (run the simulator at the configs below and paste the new
 ``dataclasses.asdict`` output) and the change must be called out in the PR.
@@ -22,10 +27,13 @@ import dataclasses
 import pytest
 
 from repro.core.sparse_hamming import SparseHammingGraph
+from repro.simulator.engine import available_engines
 from repro.simulator.simulation import SimulationConfig, Simulator
 from repro.topologies.mesh import MeshTopology
 from repro.topologies.ring import RingTopology
 from repro.topologies.torus import TorusTopology
+
+ENGINES = available_engines()
 
 # --------------------------------------------------------------------------
 # Scenario definitions: (topology factory, link-latency factory, config).
@@ -187,31 +195,34 @@ GOLDEN = {
 }
 
 
-def _run_scenario(name: str):
+def _run_scenario(name: str, engine: str = "reference"):
     scenario = SCENARIOS[name]
     topology = scenario["topology"]()
     latency = scenario["link_latencies"]
     link_latencies = {link: latency for link in topology.links} if latency else None
-    simulator = Simulator(topology, scenario["config"], link_latencies=link_latencies)
+    config = dataclasses.replace(scenario["config"], engine=engine)
+    simulator = Simulator(topology, config, link_latencies=link_latencies)
     return simulator.run()
 
 
+@pytest.mark.parametrize("engine", ENGINES)
 @pytest.mark.parametrize("name", sorted(SCENARIOS))
-def test_kernel_matches_pre_refactor_golden_stats(name):
-    stats = dataclasses.asdict(_run_scenario(name))
+def test_kernel_matches_pre_refactor_golden_stats(name, engine):
+    stats = dataclasses.asdict(_run_scenario(name, engine))
     # The phase-aware statistics field postdates the golden capture; synthetic
     # Bernoulli runs must always report no phases.
     assert stats.pop("phases") == {}
     assert stats == GOLDEN[name], (
-        f"simulation kernel drifted from the pre-refactor golden stats for {name}"
+        f"{engine} engine drifted from the pre-refactor golden stats for {name}"
     )
 
 
-def test_back_to_back_runs_are_identical():
+@pytest.mark.parametrize("engine", ENGINES)
+def test_back_to_back_runs_are_identical(engine):
     # The kernel must be a pure function of (topology, config): no state may
     # leak between Simulator instances (e.g. via caches on shared objects).
-    first = dataclasses.asdict(_run_scenario("torus_5x5_default"))
-    second = dataclasses.asdict(_run_scenario("torus_5x5_default"))
+    first = dataclasses.asdict(_run_scenario("torus_5x5_default", engine))
+    second = dataclasses.asdict(_run_scenario("torus_5x5_default", engine))
     assert first == second
 
 
@@ -228,14 +239,14 @@ TRACE_SCENARIOS = {
 }
 
 
-def _replay_scenario(workload: str):
+def _replay_scenario(workload: str, engine: str = "reference"):
     from repro.simulator.sweep import replay_trace
     from repro.workloads import make_workload_trace
 
     params = dict(TRACE_SCENARIOS[workload])
     seed = params.pop("seed")
     trace = make_workload_trace(workload, 4, 4, seed=seed, **params)
-    config = SimulationConfig(drain_max_cycles=5000, seed=1)
+    config = SimulationConfig(drain_max_cycles=5000, seed=1, engine=engine)
     return trace, replay_trace(MeshTopology(4, 4), trace, config=config)
 
 
@@ -247,6 +258,18 @@ def test_trace_replay_is_bit_identical_across_runs(workload):
     # trace twice yields identical statistics, per-phase values included.
     assert trace_a.to_jsonl_bytes() == trace_b.to_jsonl_bytes()
     assert dataclasses.asdict(first) == dataclasses.asdict(second)
+
+
+@pytest.mark.parametrize("workload", sorted(TRACE_SCENARIOS))
+def test_trace_replay_is_bit_identical_across_engines(workload):
+    # Per-phase statistics included: a replay is the one mode where the
+    # engines' delivery ordering feeds phase-resolved latency lists.
+    per_engine = [
+        dataclasses.asdict(_replay_scenario(workload, engine)[1])
+        for engine in ENGINES
+    ]
+    for stats in per_engine[1:]:
+        assert stats == per_engine[0]
 
 
 @pytest.mark.parametrize("workload", sorted(TRACE_SCENARIOS))
