@@ -39,6 +39,7 @@ def trajectory_records(result: "SearchResult") -> list[dict[str, Any]]:
                 "feasible": record.feasible,
                 "reasons": "; ".join(record.reasons),
                 "score": record.score,
+                "verified": record.verified,
                 "cached": False,
             }
         )
@@ -54,6 +55,7 @@ def trajectory_records(result: "SearchResult") -> list[dict[str, Any]]:
                     "feasible": True,
                     "reasons": "",
                     "score": entry.score,
+                    "verified": True,
                     "cached": entry.cached,
                 }
             )

@@ -26,13 +26,21 @@ Subcommands
     Search a topology design space for an objective under constraints:
     analytical screening of the full space, then successive-halving
     cycle-accurate evaluation of the survivors (see ``docs/OPTIMIZER.md``).
+``repro verify``
+    Statically verify compiled routing tables (escape-CDG acyclicity,
+    reachability, minimality, config sanity) for one topology or every
+    registered one (see ``docs/VERIFICATION.md``).  Exits 1 on violations.
+``repro lint``
+    Run the determinism/consistency lint over the repo source tree
+    (:mod:`repro.verify.lint`).  Exits 1 on violations.
 
 Every subcommand that launches cycle-accurate simulations (``predict``,
 ``replay``, ``campaign``, ``optimize``) accepts ``--engine`` to pick the
-simulation kernel (``reference`` or ``soa``; both are bit-identical, so the
-choice only affects speed).  ``repro --version`` prints the installed
-package version.  ``campaign`` and ``optimize`` report per-experiment
-progress on stderr when it is a terminal.
+simulation kernel (``reference``, ``soa`` or ``sanitizer``; all are
+bit-identical, so the choice only affects speed and checking).  ``repro
+--version`` prints the installed package version.  ``campaign`` and
+``optimize`` report per-experiment progress on stderr when it is a
+terminal.
 
 The console script is registered in ``setup.py``; without installing, use
 ``PYTHONPATH=src python -m repro.experiments.cli ...``.
@@ -66,6 +74,8 @@ from repro.topologies.registry import (
     make_topology,
 )
 from repro.utils.validation import ValidationError
+from repro.verify import verify_topology
+from repro.verify.lint import run_lint
 from repro.workloads import WorkloadTrace, available_workloads, make_workload_trace
 
 
@@ -292,6 +302,106 @@ def _cmd_replay(args: argparse.Namespace) -> int:
             for row in phases
         ]
         _print_table(rows)
+    return 0
+
+
+#: Fallback grids ``repro verify --all-topologies`` probes for topologies
+#: that are not applicable to the requested grid (SlimNoC needs
+#: ``R*C = 2*q^2``, so a 4x4 request would otherwise silently skip it).
+_VERIFY_FALLBACK_GRIDS = ((4, 4), (3, 6), (2, 2), (3, 3))
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    if args.all_topologies:
+        if args.topology:
+            raise ValidationError("--topology and --all-topologies are exclusive")
+        targets: list[tuple[str, int, int, dict[str, Any]]] = []
+        for key in available_topologies():
+            if is_applicable(key, args.rows, args.cols):
+                targets.append((key, args.rows, args.cols, {}))
+                continue
+            grid = next(
+                (g for g in _VERIFY_FALLBACK_GRIDS if is_applicable(key, *g)), None
+            )
+            if grid is None:
+                raise ValidationError(
+                    f"topology {key!r} is applicable to none of the probe grids"
+                )
+            targets.append((key, grid[0], grid[1], {}))
+    else:
+        if not args.topology:
+            raise ValidationError("provide --topology NAME or --all-topologies")
+        targets = [
+            (
+                args.topology,
+                args.rows,
+                args.cols,
+                _json_object(args.topology_kwargs, "--topology-kwargs"),
+            )
+        ]
+
+    reports = []
+    for key, rows, cols, kwargs in targets:
+        try:
+            topology = make_topology(key, rows, cols, **kwargs)
+        except TypeError as error:
+            raise ValidationError(
+                f"invalid topology kwargs for {key!r}: {error}"
+            ) from error
+        report = verify_topology(topology)
+        reports.append((key, rows, cols, report))
+
+    if args.as_json:
+        print(
+            json.dumps(
+                [
+                    {"key": key, "rows": rows, "cols": cols, **report.to_dict()}
+                    for key, rows, cols, report in reports
+                ],
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        for key, rows, cols, report in reports:
+            print(f"{key} ({rows}x{cols}): {report.summary()}")
+            for violation in report.violations:
+                print(f"  [{violation.rule}] {violation.message}")
+    failed = sum(1 for _, _, _, report in reports if not report.ok)
+    if failed:
+        print(f"verify: {failed}/{len(reports)} topologies FAILED", file=sys.stderr)
+        return 1
+    if not args.as_json:
+        print(f"verify: all {len(reports)} topologies OK")
+    return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    violations = run_lint(args.root)
+    if args.as_json:
+        print(
+            json.dumps(
+                [
+                    {
+                        "path": violation.path,
+                        "line": violation.line,
+                        "rule": violation.rule,
+                        "message": violation.message,
+                    }
+                    for violation in violations
+                ],
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        for violation in violations:
+            print(violation)
+    if violations:
+        print(f"lint: {len(violations)} violation(s)", file=sys.stderr)
+        return 1
+    if not args.as_json:
+        print("lint: clean")
     return 0
 
 
@@ -712,6 +822,33 @@ def build_parser() -> argparse.ArgumentParser:
     p_opt.add_argument("--json-out", default=None, help="write the search result as JSON")
     p_opt.add_argument("--json", dest="as_json", action="store_true", help="emit JSON")
     p_opt.set_defaults(handler=_cmd_optimize)
+
+    p_verify = sub.add_parser(
+        "verify", help="statically verify compiled routing tables"
+    )
+    p_verify.add_argument("--topology", default=None, help="topology registry name")
+    p_verify.add_argument(
+        "--all-topologies",
+        action="store_true",
+        help="verify every registered topology (inapplicable grids fall "
+        "back to the nearest applicable probe grid)",
+    )
+    p_verify.add_argument("--rows", type=int, default=4)
+    p_verify.add_argument("--cols", type=int, default=4)
+    p_verify.add_argument(
+        "--topology-kwargs", default="{}", help="JSON generator kwargs (e.g. s_r/s_c)"
+    )
+    p_verify.add_argument("--json", dest="as_json", action="store_true", help="emit JSON")
+    p_verify.set_defaults(handler=_cmd_verify)
+
+    p_lint = sub.add_parser(
+        "lint", help="run the determinism/consistency lint over src/repro"
+    )
+    p_lint.add_argument(
+        "--root", default=None, help="source root to lint (default: the installed repro package)"
+    )
+    p_lint.add_argument("--json", dest="as_json", action="store_true", help="emit JSON")
+    p_lint.set_defaults(handler=_cmd_lint)
 
     p_campaign = sub.add_parser("campaign", help="run a JSON campaign file")
     p_campaign.add_argument("--spec", required=True, help="campaign JSON (specs list or grid)")

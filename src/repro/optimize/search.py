@@ -43,6 +43,7 @@ from repro.toolchain.screening import (
     screen_topology,
 )
 from repro.utils.validation import ValidationError
+from repro.verify.static import verify_topology
 from repro.workloads.generators import workload_trace_from_mapping
 
 #: Fidelity floors of the scaled-down early rungs (cycles).  Only applied
@@ -71,6 +72,11 @@ class ScreenRecord:
     estimate:
         The full :class:`ScreeningEstimate` (``None`` for link-length
         rejections, which skip the physical model).
+    verified:
+        Routing-verification outcome (:func:`repro.verify.verify_topology`):
+        ``True`` when the compiled tables passed, ``False`` when they were
+        the rejection reason, ``None`` when the candidate never reached
+        verification (it already violated a cheaper constraint).
     """
 
     candidate: Candidate
@@ -78,6 +84,7 @@ class ScreenRecord:
     reasons: tuple[str, ...] = ()
     score: float | None = None
     estimate: ScreeningEstimate | None = None
+    verified: bool | None = None
 
 
 @dataclass(frozen=True)
@@ -148,6 +155,11 @@ class SearchResult:
         return sum(1 for record in self.screening if record.feasible)
 
     @property
+    def candidates_routing_rejected(self) -> int:
+        """How many candidates were rejected by routing verification."""
+        return sum(1 for record in self.screening if record.verified is False)
+
+    @property
     def candidates_simulated(self) -> int:
         """How many distinct candidates reached the cycle-accurate stage."""
         if not self.rungs:
@@ -209,6 +221,7 @@ class SearchResult:
             "counts": {
                 "screened": self.candidates_screened,
                 "feasible": self.candidates_feasible,
+                "routing_rejected": self.candidates_routing_rejected,
                 "simulated_candidates": self.candidates_simulated,
                 "simulations": self.simulations,
                 "cached": self.num_cached,
@@ -221,6 +234,7 @@ class SearchResult:
                     "feasible": record.feasible,
                     "reasons": list(record.reasons),
                     "score": record.score,
+                    "verified": record.verified,
                 }
                 for record in self.screening
             ],
@@ -316,6 +330,21 @@ def _screen(
             router_pipeline_cycles=base_sim.router_pipeline_cycles,
         )
         reasons = tuple(constraints.violations(estimate))
+        verified = None
+        if not reasons:
+            # Routing verification runs last: it is the most expensive
+            # screen, so only candidates that survived every cheaper
+            # constraint pay for it.  A candidate whose compiled tables
+            # fail (escape-CDG cycle, unreachable pair, ...) must never
+            # reach the cycle-accurate stage — it could deadlock the
+            # simulation or silently produce garbage statistics.
+            report = verify_topology(topology, config=base_sim.network_config())
+            verified = report.ok
+            if not report.ok:
+                reasons = tuple(
+                    f"routing verification: [{violation.rule}] {violation.message}"
+                    for violation in report.violations[:3]
+                )
         records.append(
             ScreenRecord(
                 candidate=candidate,
@@ -323,6 +352,7 @@ def _screen(
                 reasons=reasons,
                 score=objective.screening_score(estimate),
                 estimate=estimate,
+                verified=verified,
             )
         )
     return records

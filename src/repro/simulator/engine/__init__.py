@@ -13,10 +13,17 @@ the :class:`~repro.simulator.engine.base.Engine` interface:
     preallocated columns indexed by compiled channel/VC ids.  Bit-identical
     to ``reference`` and several times faster (see ``docs/PERFORMANCE.md``
     and ``BENCH_simulator.json``).
+``sanitizer``
+    The reference kernel plus per-cycle runtime invariant checks
+    (:class:`SanitizerEngine`) — flit/credit conservation, buffer bounds,
+    allocation consistency and timestamp monotonicity, raising
+    :class:`~repro.simulator.engine.sanitizer.SanitizerError` with cycle/
+    router/VC context on the first violation.  Bit-identical statistics,
+    slower; intended for debugging and CI (see ``docs/VERIFICATION.md``).
 
 Engines are selected by name through ``SimulationConfig(engine=...)``, which
 every launching layer threads through: ``sweep``/``replay_trace``,
-``ExperimentSpec(sim={"engine": ...})`` (excluded from ``spec_id`` — both
+``ExperimentSpec(sim={"engine": ...})`` (excluded from ``spec_id`` — all
 engines produce identical results, so they share memoization cache entries),
 the ``repro`` CLI ``--engine`` flags, and ``repro.optimize.run_search``.
 
@@ -30,6 +37,7 @@ from typing import TYPE_CHECKING, Type
 
 from repro.simulator.engine.base import Engine
 from repro.simulator.engine.reference import ReferenceEngine
+from repro.simulator.engine.sanitizer import SanitizerEngine, SanitizerError
 from repro.simulator.engine.soa import SoAEngine
 from repro.utils.validation import ValidationError
 
@@ -43,6 +51,7 @@ if TYPE_CHECKING:  # imported for type hints only; no runtime dependency
 ENGINE_FACTORIES: dict[str, Type[Engine]] = {
     ReferenceEngine.name: ReferenceEngine,
     SoAEngine.name: SoAEngine,
+    SanitizerEngine.name: SanitizerEngine,
 }
 
 #: The engine a :class:`SimulationConfig` uses unless told otherwise.
@@ -79,6 +88,8 @@ __all__ = [
     "ENGINE_FACTORIES",
     "Engine",
     "ReferenceEngine",
+    "SanitizerEngine",
+    "SanitizerError",
     "SoAEngine",
     "available_engines",
     "check_engine_name",

@@ -89,6 +89,10 @@ class ReferenceEngine(Engine):
         self._active: set[int] = set()
         #: Tiles with queued packets or a partially injected packet.
         self._pending_injection: set[int] = set()
+        #: Optional end-of-cycle callback: ``None`` here; the sanitizer
+        #: engine installs its invariant checker (one ``is None`` test per
+        #: cycle keeps the reference hot loop unchanged otherwise).
+        self._cycle_end_hook = None
 
     # ----------------------------------------------------------- event plumbing
     def _schedule_flit(self, channel_id: int, vc: int, flit: Flit) -> None:
@@ -140,7 +144,12 @@ class ReferenceEngine(Engine):
 
     def _create_trace_packets(self) -> None:
         """Trace-mode packet creation: replay this cycle's recorded packets."""
-        assert self._trace_injector is not None
+        if self._trace_injector is None:
+            # Not an assert: asserts vanish under ``python -O`` and this
+            # guards the dispatch invariant of the run loop itself.
+            raise RuntimeError(
+                "trace-mode packet creation invoked without a trace injector"
+            )
         for source, destination, size in self._trace_injector.packets_for_cycle(
             self._cycle
         ):
@@ -217,6 +226,7 @@ class ReferenceEngine(Engine):
         active = self._active
         schedule_flit = self._schedule_flit
         schedule_credit = self._schedule_credit
+        cycle_end_hook = self._cycle_end_hook
 
         drained = True
         while True:
@@ -243,6 +253,8 @@ class ReferenceEngine(Engine):
                     if not router.buffered_count:
                         active.discard(node)
 
+            if cycle_end_hook is not None:
+                cycle_end_hook()
             self._cycle += 1
             if self._cycle >= measurement_end and self._measured_in_flight == 0:
                 break

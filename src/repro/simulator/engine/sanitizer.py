@@ -1,0 +1,250 @@
+"""The sanitizer engine: the reference kernel plus runtime invariant checks.
+
+``engine="sanitizer"`` runs the exact :class:`ReferenceEngine` simulation —
+same state, same scheduling, same statistics — and additionally audits the
+simulated state at the end of every cycle.  The checks only *read* state, so
+the statistics are bit-identical to ``reference`` by construction (enforced,
+like every engine, by the golden and cross-engine differential tests); the
+engine trades speed for a guarantee that a run which completes silently
+never violated the kernel's structural invariants.
+
+Checked every cycle (see ``docs/VERIFICATION.md``):
+
+* **flit conservation** — every flit ever created is exactly one of: queued
+  at its source, buffered in a router, in flight on a channel, or ejected;
+* **credit conservation** — per ``(channel, VC)``, upstream credits held +
+  credits in flight + flits in flight + flits buffered downstream equals the
+  configured buffer depth (credit-based flow control never over- or
+  under-counts buffer space);
+* **buffer bounds** — no input VC ever holds more flits than its depth (the
+  "no buffer overflow" face of credit conservation, checked independently);
+* **allocation consistency / no occupied-VC overwrite** — every held output
+  VC points back at exactly the input VC that holds it, and vice versa;
+* **monotone packet timestamps** — at ejection,
+  ``creation <= injection <= arrival`` for every packet.
+
+The first violated invariant raises :class:`SanitizerError` with cycle,
+router, channel and VC context, so the failure points at the cycle the state
+corrupted — not at the statistics that later looked wrong.
+
+The checks are intentionally exhaustive rather than incremental: the
+sanitizer is a debugging/CI engine, not a performance engine.  Its per-cycle
+cost is ``O(routers * ports * VCs + wheel)``.
+"""
+
+from __future__ import annotations
+
+from repro.simulator.engine.reference import ReferenceEngine
+from repro.simulator.flit import Flit
+from repro.simulator.router import EJECT_PORT, INJECT_PORT
+
+
+class SanitizerError(AssertionError):
+    """A runtime invariant of the simulation kernel was violated.
+
+    Derives from :class:`AssertionError` because a violation means the
+    *simulator* is wrong (or its inputs are corrupt), never that the user's
+    configuration is invalid — configuration errors raise
+    :class:`~repro.utils.validation.ValidationError` before a run starts.
+    """
+
+
+class SanitizerEngine(ReferenceEngine):
+    """Reference kernel with per-cycle invariant auditing.
+
+    Identical simulation semantics to :class:`ReferenceEngine` (it *is* the
+    reference engine; the subclass only installs the end-of-cycle audit hook
+    and accounting overrides that call straight through to the base class).
+    """
+
+    name = "sanitizer"
+
+    def __init__(self, topology, config, network, trace=None) -> None:
+        super().__init__(topology, config, network, trace=trace)
+        self._cycle_end_hook = self._check_invariants
+        #: Total flits handed to source queues so far.
+        self._audit_created_flits = 0
+        #: Total flits ejected so far (warmup, measurement and drain alike).
+        self._audit_ejected_flits = 0
+
+    # ------------------------------------------------------- accounting taps
+    def _create_packets(self, measured: bool) -> None:
+        before = self._packet_counter
+        super()._create_packets(measured)
+        self._audit_created_flits += (
+            self._packet_counter - before
+        ) * self.config.packet_size_flits
+
+    def _create_trace_packets(self) -> None:
+        super()._create_trace_packets()
+        # Trace packets carry per-record sizes; the injector counts the
+        # flits it has released so far.
+        self._audit_created_flits = self._trace_injector.released_flits
+
+    def _eject(self, flit: Flit, cycle: int, in_measurement_window: bool) -> None:
+        self._audit_ejected_flits += 1
+        packet = flit.packet
+        if flit.is_head and (
+            packet.injection_cycle is None
+            or packet.injection_cycle < packet.creation_cycle
+        ):
+            raise SanitizerError(
+                f"[sanitizer] cycle {cycle}, router {self._channel_or_local(flit)}: "
+                f"packet {packet.packet_id} ejected with injection cycle "
+                f"{packet.injection_cycle} before creation cycle "
+                f"{packet.creation_cycle}"
+            )
+        if flit.is_tail and packet.injection_cycle is not None and (
+            cycle < packet.injection_cycle
+        ):
+            raise SanitizerError(
+                f"[sanitizer] cycle {cycle}, router {self._channel_or_local(flit)}: "
+                f"packet {packet.packet_id} arrives at {cycle}, before its "
+                f"injection cycle {packet.injection_cycle} — timestamps are "
+                "not monotone"
+            )
+        super()._eject(flit, cycle, in_measurement_window)
+
+    @staticmethod
+    def _channel_or_local(flit: Flit) -> int:
+        return flit.destination
+
+    # ----------------------------------------------------------- the audit
+    def _check_invariants(self) -> None:
+        """Audit the complete simulated state at the end of one cycle."""
+        cycle = self._cycle
+        config = self.config
+        depth = config.buffer_depth_flits
+
+        # In-flight counts per (channel, VC), one scan over both wheels.
+        flits_in_flight: dict[tuple[int, int], int] = {}
+        total_in_flight = 0
+        for slot in self._flit_wheel:
+            total_in_flight += len(slot)
+            for _node, channel_id, vc, _flit in slot:
+                key = (channel_id, vc)
+                flits_in_flight[key] = flits_in_flight.get(key, 0) + 1
+        credits_in_flight: dict[tuple[int, int], int] = {}
+        for slot in self._credit_wheel:
+            for _node, channel_id, vc in slot:
+                key = (channel_id, vc)
+                credits_in_flight[key] = credits_in_flight.get(key, 0) + 1
+
+        total_buffered = 0
+        for router in self.routers:
+            node = router.node
+            buffered_here = 0
+            for key in router.input_keys:
+                for vc_index, state in enumerate(router.inputs[key]):
+                    occupancy = len(state.buffer)
+                    buffered_here += occupancy
+                    if occupancy > depth:
+                        raise SanitizerError(
+                            f"[sanitizer] cycle {cycle}, router {node}, input "
+                            f"{self._port_name(key)}, VC {vc_index}: "
+                            f"{occupancy} flits buffered but the depth is "
+                            f"{depth} — upstream ignored back-pressure"
+                        )
+                    out_channel, out_vc = state.out_channel, state.out_vc
+                    if (out_channel is None) != (out_vc is None):
+                        raise SanitizerError(
+                            f"[sanitizer] cycle {cycle}, router {node}, input "
+                            f"{self._port_name(key)}, VC {vc_index}: half-"
+                            f"allocated output (channel={out_channel}, "
+                            f"vc={out_vc})"
+                        )
+                    if out_channel is not None and out_channel != EJECT_PORT:
+                        holder = router.out_alloc[out_channel][out_vc]
+                        if holder != (key, vc_index):
+                            raise SanitizerError(
+                                f"[sanitizer] cycle {cycle}, router {node}: "
+                                f"input {self._port_name(key)}/VC {vc_index} "
+                                f"believes it holds output channel "
+                                f"{out_channel}/VC {out_vc}, but that VC is "
+                                f"allocated to {holder} — occupied-VC "
+                                "overwrite"
+                            )
+            if buffered_here != router.buffered_count:
+                raise SanitizerError(
+                    f"[sanitizer] cycle {cycle}, router {node}: buffered_count"
+                    f"={router.buffered_count} but buffers hold "
+                    f"{buffered_here} flits"
+                )
+            total_buffered += buffered_here
+
+            # Reverse direction of allocation consistency: every held output
+            # VC must point at an input VC that claims it.
+            for channel_id, alloc in router.out_alloc.items():
+                for vc, holder in enumerate(alloc):
+                    if holder is None:
+                        continue
+                    holder_key, holder_vc = holder
+                    state = router.inputs[holder_key][holder_vc]
+                    if state.out_channel != channel_id or state.out_vc != vc:
+                        raise SanitizerError(
+                            f"[sanitizer] cycle {cycle}, router {node}: output "
+                            f"channel {channel_id}/VC {vc} is allocated to "
+                            f"input {self._port_name(holder_key)}/VC "
+                            f"{holder_vc}, which holds "
+                            f"(channel={state.out_channel}, vc={state.out_vc})"
+                            " — dangling allocation"
+                        )
+
+        # Credit conservation, one equation per (channel, VC).
+        routers = self.routers
+        for channel in self.network.channels:
+            channel_id = channel.channel_id
+            upstream = routers[channel.source]
+            downstream = routers[channel.destination]
+            credit_column = upstream.credits[channel_id]
+            input_column = downstream.inputs[channel_id]
+            for vc in range(config.num_vcs):
+                held = credit_column[vc]
+                if held < 0:
+                    raise SanitizerError(
+                        f"[sanitizer] cycle {cycle}, router {channel.source}, "
+                        f"channel {channel_id} "
+                        f"({channel.source}->{channel.destination}), VC {vc}: "
+                        f"negative credit count {held}"
+                    )
+                total = (
+                    held
+                    + credits_in_flight.get((channel_id, vc), 0)
+                    + flits_in_flight.get((channel_id, vc), 0)
+                    + len(input_column[vc].buffer)
+                )
+                if total != depth:
+                    raise SanitizerError(
+                        f"[sanitizer] cycle {cycle}, channel {channel_id} "
+                        f"({channel.source}->{channel.destination}), VC {vc}: "
+                        f"credits held ({held}) + credits in flight + flits "
+                        f"in flight + flits buffered = {total}, expected the "
+                        f"buffer depth {depth} — credits leaked or were "
+                        "double-returned"
+                    )
+
+        # Flit conservation over the whole network.
+        queued = 0
+        for state in self._injection_states:
+            queued += sum(packet.size_flits for packet in state.queue)
+            queued += len(state.current_flits)
+        accounted = queued + total_buffered + total_in_flight + self._audit_ejected_flits
+        if accounted != self._audit_created_flits:
+            raise SanitizerError(
+                f"[sanitizer] cycle {cycle}: flit conservation violated — "
+                f"created {self._audit_created_flits}, but queued ({queued}) "
+                f"+ buffered ({total_buffered}) + in flight "
+                f"({total_in_flight}) + ejected ({self._audit_ejected_flits}) "
+                f"= {accounted}"
+            )
+
+    @staticmethod
+    def _port_name(key: int) -> str:
+        if key == INJECT_PORT:
+            return "inject"
+        if key == EJECT_PORT:
+            return "eject"
+        return f"channel {key}"
+
+
+__all__ = ["SanitizerEngine", "SanitizerError"]

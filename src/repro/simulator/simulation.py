@@ -76,10 +76,12 @@ class SimulationConfig:
         RNG seed (traffic generation).
     engine:
         Simulation-engine name (see :mod:`repro.simulator.engine`):
-        ``"reference"`` (object-graph kernel, the default) or ``"soa"``
-        (struct-of-arrays kernel, bit-identical and several times faster).
-        Because all engines produce identical statistics, the engine is
-        *not* part of an experiment's identity hash.
+        ``"reference"`` (object-graph kernel, the default), ``"soa"``
+        (struct-of-arrays kernel, bit-identical and several times faster)
+        or ``"sanitizer"`` (reference kernel plus per-cycle invariant
+        checks, bit-identical and slower).  Because all engines produce
+        identical statistics, the engine is *not* part of an experiment's
+        identity hash.
     """
 
     injection_rate: float = 0.05
@@ -105,6 +107,31 @@ class SimulationConfig:
             raise ValidationError("measurement_cycles must be >= 1")
         if self.warmup_cycles < 0 or self.drain_max_cycles < 0:
             raise ValidationError("cycle counts must be non-negative")
+        # Validate the VC/buffer parameters here, not only when the network
+        # is built: a bad value would otherwise surface as a late IndexError
+        # deep inside a run instead of at construction.
+        check_type("num_vcs", self.num_vcs, int)
+        check_type("buffer_depth_flits", self.buffer_depth_flits, int)
+        check_type("router_pipeline_cycles", self.router_pipeline_cycles, int)
+        check_type("packet_size_flits", self.packet_size_flits, int)
+        if self.num_vcs < 1:
+            raise ValidationError(
+                f"num_vcs must be >= 1 (got {self.num_vcs}): the escape VC "
+                "(VC 0) always exists; num_vcs >= 2 adds the adaptive layer"
+            )
+        if self.buffer_depth_flits < 1:
+            raise ValidationError(
+                f"buffer_depth_flits must be >= 1 (got {self.buffer_depth_flits})"
+            )
+        if self.router_pipeline_cycles < 1:
+            raise ValidationError(
+                f"router_pipeline_cycles must be >= 1 "
+                f"(got {self.router_pipeline_cycles})"
+            )
+        if self.packet_size_flits < 1:
+            raise ValidationError(
+                f"packet_size_flits must be >= 1 (got {self.packet_size_flits})"
+            )
 
     def network_config(self) -> NetworkConfig:
         """Derive the router-level configuration."""

@@ -293,6 +293,7 @@ class TraceInjector:
         ):
             raise ValidationError("trace record columns must be equally long")
         self._position = 0
+        self._released_flits = 0
 
     @property
     def num_packets(self) -> int:
@@ -303,6 +304,11 @@ class TraceInjector:
     def total_flits(self) -> int:
         """Total number of flits across all records."""
         return sum(self._sizes)
+
+    @property
+    def released_flits(self) -> int:
+        """Flits of the records handed out so far (sanitizer accounting)."""
+        return self._released_flits
 
     @property
     def last_cycle(self) -> int:
@@ -326,13 +332,11 @@ class TraceInjector:
         cycles = self._cycles
         end = len(cycles)
         while position < end and cycles[position] <= cycle:
+            size = self._sizes[position]
             created.append(
-                (
-                    self._sources[position],
-                    self._destinations[position],
-                    self._sizes[position],
-                )
+                (self._sources[position], self._destinations[position], size)
             )
+            self._released_flits += size
             position += 1
         self._position = position
         return created

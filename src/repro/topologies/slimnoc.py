@@ -142,7 +142,13 @@ class SlimNoCTopology(Topology):
     @property
     def q(self) -> int:
         """The prime power ``q`` with ``R*C = 2*q^2``."""
-        assert self._q is not None
+        if self._q is None:
+            # Not an assert: asserts vanish under ``python -O``, and callers
+            # (e.g. expected_radix) depend on this being a hard error.
+            raise ValidationError(
+                f"SlimNoC is not applicable to a {self.rows}x{self.cols} "
+                "grid: R*C must equal 2*q^2 for a prime power q"
+            )
         return self._q
 
     def expected_diameter(self) -> int:

@@ -1,0 +1,399 @@
+"""Determinism and consistency lint over the repo's own source tree.
+
+The simulator's reproducibility contract — same inputs, bit-identical
+statistics — only holds if nothing in the stack consumes hidden global
+state.  This module enforces that contract statically, plus the registry
+naming conventions the dynamic registries rely on:
+
+``unseeded-global-rng``
+    No calls to the *global-state* RNG APIs anywhere under ``src/repro``:
+    the stdlib ``random`` module functions (``random.random()``,
+    ``random.shuffle()``, ...) and the legacy ``numpy.random`` module
+    functions (``np.random.rand()``, ``np.random.seed()``, ...).  All
+    randomness must flow through explicitly seeded
+    :class:`numpy.random.Generator` objects (see ``repro.utils.rng``).
+``unseeded-default-rng``
+    ``numpy.random.default_rng()`` without a seed argument is OS-entropy
+    seeded and therefore irreproducible.  Only ``repro/utils/rng.py`` may
+    call it unseeded (its ``make_rng(seed=None)`` escape hatch is the one
+    sanctioned source of fresh entropy).
+``wall-clock-in-simulator``
+    No time reads (``time.time()``, ``time.perf_counter()``,
+    ``datetime.now()``, ...) inside ``src/repro/simulator/``: simulated
+    time must be a pure function of the inputs.  Wall-clock reads outside
+    the simulator (progress reporting, benchmark harnesses) are fine.
+``registry-name-mismatch``
+    Every registry entry is name-consistent with what it builds: engine
+    classes carry ``name`` equal to their :data:`ENGINE_FACTORIES` key,
+    traffic patterns carry ``name`` equal to their
+    :data:`TRAFFIC_FACTORIES` key, workload factories are the
+    ``generate_<key>`` function for their :data:`WORKLOAD_FACTORIES` key,
+    and every topology key has a display name and instantiates to a
+    topology named exactly :data:`DISPLAY_NAMES[key]`.
+
+The call rules are AST-based with import-alias resolution, so
+``import numpy as np`` / ``from numpy import random as npr`` spellings are
+all caught; annotations and attribute mentions that are not calls are not
+flagged.  Entry points: ``repro lint`` and ``tools/lint_repro.py``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+
+#: Global-state functions of the stdlib ``random`` module.
+_STDLIB_RANDOM_GLOBALS = frozenset(
+    {
+        "betavariate",
+        "choice",
+        "choices",
+        "expovariate",
+        "gammavariate",
+        "gauss",
+        "getrandbits",
+        "lognormvariate",
+        "normalvariate",
+        "paretovariate",
+        "randbytes",
+        "randint",
+        "random",
+        "randrange",
+        "sample",
+        "seed",
+        "shuffle",
+        "triangular",
+        "uniform",
+        "vonmisesvariate",
+        "weibullvariate",
+    }
+)
+
+#: Legacy global-state functions of the ``numpy.random`` module.
+_NUMPY_RANDOM_GLOBALS = frozenset(
+    {
+        "beta",
+        "binomial",
+        "choice",
+        "exponential",
+        "gamma",
+        "normal",
+        "permutation",
+        "poisson",
+        "rand",
+        "randint",
+        "randn",
+        "random",
+        "random_sample",
+        "ranf",
+        "sample",
+        "seed",
+        "shuffle",
+        "standard_normal",
+        "uniform",
+    }
+)
+
+#: Time-reading callables forbidden inside the simulator package.
+_WALL_CLOCK_CALLS = frozenset(
+    {
+        "time.clock",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "time.time",
+        "time.time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.today",
+        "datetime.datetime.utcnow",
+        "datetime.date.today",
+    }
+)
+
+#: Files allowed to call ``numpy.random.default_rng()`` without a seed
+#: (POSIX-style path suffixes).
+_UNSEEDED_RNG_ALLOWLIST = ("repro/utils/rng.py",)
+
+
+@dataclass(frozen=True)
+class LintViolation:
+    """One lint finding: ``rule`` violated at ``path:line``."""
+
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def __str__(self) -> str:
+        location = f"{self.path}:{self.line}" if self.line else self.path
+        return f"{location}: [{self.rule}] {self.message}"
+
+
+class _CallScanner(ast.NodeVisitor):
+    """Collect fully-resolved dotted names of every call in a module.
+
+    Import aliases are resolved module-wide first (``import numpy as np``
+    maps ``np`` back to ``numpy``; ``from numpy.random import default_rng``
+    maps ``default_rng`` back to ``numpy.random.default_rng``), then every
+    ``Call`` whose callee is a name/attribute chain is reported with its
+    canonical dotted name.
+    """
+
+    def __init__(self) -> None:
+        self._aliases: dict[str, str] = {}
+        #: ``(canonical_name, line, has_args)`` per call.
+        self.calls: list[tuple[str, int, bool]] = []
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.asname:
+                self._aliases[alias.asname] = alias.name
+            else:
+                # ``import numpy.random`` binds the *top-level* name.
+                top = alias.name.split(".", 1)[0]
+                self._aliases.setdefault(top, top)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module and node.level == 0:
+            for alias in node.names:
+                bound = alias.asname or alias.name
+                self._aliases[bound] = f"{node.module}.{alias.name}"
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = self._dotted_name(node.func)
+        if dotted is not None:
+            base, _, rest = dotted.partition(".")
+            canonical = self._aliases.get(base, base) + (f".{rest}" if rest else "")
+            has_args = bool(node.args or node.keywords)
+            self.calls.append((canonical, node.lineno, has_args))
+        self.generic_visit(node)
+
+    @staticmethod
+    def _dotted_name(func: ast.expr) -> str | None:
+        parts: list[str] = []
+        while isinstance(func, ast.Attribute):
+            parts.append(func.attr)
+            func = func.value
+        if not isinstance(func, ast.Name):
+            return None
+        parts.append(func.id)
+        return ".".join(reversed(parts))
+
+
+def _relative(path: Path, root: Path) -> str:
+    try:
+        return path.relative_to(root).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def lint_file(path: Path, root: Path, in_simulator: bool) -> list[LintViolation]:
+    """Run the AST call rules over one Python source file."""
+    rel = _relative(path, root)
+    source = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [
+            LintViolation(
+                rel, exc.lineno or 0, "syntax-error", f"file does not parse: {exc.msg}"
+            )
+        ]
+    scanner = _CallScanner()
+    scanner.visit(tree)
+
+    allow_unseeded = path.as_posix().endswith(_UNSEEDED_RNG_ALLOWLIST)
+    violations: list[LintViolation] = []
+    for name, line, has_args in scanner.calls:
+        module, _, attr = name.rpartition(".")
+        if module == "random" and attr in _STDLIB_RANDOM_GLOBALS:
+            violations.append(
+                LintViolation(
+                    rel,
+                    line,
+                    "unseeded-global-rng",
+                    f"call to stdlib global-state RNG `{name}()`; use a "
+                    "seeded numpy Generator (repro.utils.rng.make_rng)",
+                )
+            )
+        elif module == "numpy.random" and attr in _NUMPY_RANDOM_GLOBALS:
+            violations.append(
+                LintViolation(
+                    rel,
+                    line,
+                    "unseeded-global-rng",
+                    f"call to legacy numpy global-state RNG `{name}()`; use "
+                    "a seeded numpy Generator (repro.utils.rng.make_rng)",
+                )
+            )
+        elif name == "numpy.random.default_rng" and not has_args and not allow_unseeded:
+            violations.append(
+                LintViolation(
+                    rel,
+                    line,
+                    "unseeded-default-rng",
+                    "`default_rng()` without a seed is OS-entropy seeded; "
+                    "pass a seed or use repro.utils.rng.make_rng",
+                )
+            )
+        elif in_simulator and name in _WALL_CLOCK_CALLS:
+            violations.append(
+                LintViolation(
+                    rel,
+                    line,
+                    "wall-clock-in-simulator",
+                    f"`{name}()` inside the simulator: simulated time must "
+                    "be a pure function of the inputs",
+                )
+            )
+    return violations
+
+
+def lint_tree(root: Path | str | None = None) -> list[LintViolation]:
+    """Run the AST call rules over every ``*.py`` file under ``root``.
+
+    ``root`` defaults to the ``src/repro`` package directory this module was
+    imported from, so the lint works from any working directory.
+    """
+    if root is None:
+        root = Path(__file__).resolve().parent.parent
+    root = Path(root)
+    simulator_dir = root / "simulator" if root.name == "repro" else root / "src" / "repro" / "simulator"
+    violations: list[LintViolation] = []
+    for path in sorted(root.rglob("*.py")):
+        in_simulator = simulator_dir in path.parents or path.parent == simulator_dir
+        violations.extend(lint_file(path, root, in_simulator))
+    return violations
+
+
+def lint_registries() -> list[LintViolation]:
+    """Check name-consistency of every dynamic registry.
+
+    These checks are necessarily runtime imports, not AST: the invariant is
+    about the objects the registries produce, and several registrations are
+    lazy factory functions.
+    """
+    from repro.simulator.engine import ENGINE_FACTORIES
+    from repro.simulator.traffic import TRAFFIC_FACTORIES
+    from repro.topologies.registry import (
+        DISPLAY_NAMES,
+        TOPOLOGY_FACTORIES,
+        is_applicable,
+        make_topology,
+    )
+    from repro.workloads.generators import WORKLOAD_FACTORIES
+
+    violations: list[LintViolation] = []
+
+    for key, engine_cls in ENGINE_FACTORIES.items():
+        if engine_cls.name != key:
+            violations.append(
+                LintViolation(
+                    "simulator/engine/__init__.py",
+                    0,
+                    "registry-name-mismatch",
+                    f"ENGINE_FACTORIES[{key!r}] is {engine_cls.__name__} "
+                    f"whose name is {engine_cls.name!r}",
+                )
+            )
+
+    for key, factory in TRAFFIC_FACTORIES.items():
+        pattern = factory(16, 4, 4)
+        if pattern.name != key:
+            violations.append(
+                LintViolation(
+                    "simulator/traffic.py",
+                    0,
+                    "registry-name-mismatch",
+                    f"TRAFFIC_FACTORIES[{key!r}] builds "
+                    f"{type(pattern).__name__} whose name is {pattern.name!r}",
+                )
+            )
+
+    for key, factory in WORKLOAD_FACTORIES.items():
+        expected = f"generate_{key}"
+        if getattr(factory, "__name__", "") != expected:
+            violations.append(
+                LintViolation(
+                    "workloads/generators.py",
+                    0,
+                    "registry-name-mismatch",
+                    f"WORKLOAD_FACTORIES[{key!r}] is "
+                    f"{getattr(factory, '__name__', factory)!r}, expected "
+                    f"{expected!r}",
+                )
+            )
+
+    for key in TOPOLOGY_FACTORIES:
+        if key not in DISPLAY_NAMES:
+            violations.append(
+                LintViolation(
+                    "topologies/registry.py",
+                    0,
+                    "registry-name-mismatch",
+                    f"topology {key!r} has no DISPLAY_NAMES entry",
+                )
+            )
+            continue
+        grid = next(
+            (
+                (rows, cols)
+                for rows, cols in ((4, 4), (3, 6), (2, 2), (3, 3))
+                if is_applicable(key, rows, cols)
+            ),
+            None,
+        )
+        if grid is None:
+            violations.append(
+                LintViolation(
+                    "topologies/registry.py",
+                    0,
+                    "registry-name-mismatch",
+                    f"topology {key!r} is applicable to none of the lint's "
+                    "probe grids",
+                )
+            )
+            continue
+        topology = make_topology(key, *grid)
+        if topology.name != DISPLAY_NAMES[key]:
+            violations.append(
+                LintViolation(
+                    "topologies/registry.py",
+                    0,
+                    "registry-name-mismatch",
+                    f"topology {key!r} instantiates with name "
+                    f"{topology.name!r}, but DISPLAY_NAMES says "
+                    f"{DISPLAY_NAMES[key]!r}",
+                )
+            )
+    for key in DISPLAY_NAMES:
+        if key not in TOPOLOGY_FACTORIES:
+            violations.append(
+                LintViolation(
+                    "topologies/registry.py",
+                    0,
+                    "registry-name-mismatch",
+                    f"DISPLAY_NAMES entry {key!r} has no topology factory",
+                )
+            )
+    return violations
+
+
+def run_lint(root: Path | str | None = None) -> list[LintViolation]:
+    """Run every lint rule (AST pass + registry checks)."""
+    return lint_tree(root) + lint_registries()
+
+
+__all__ = [
+    "LintViolation",
+    "lint_file",
+    "lint_registries",
+    "lint_tree",
+    "run_lint",
+]

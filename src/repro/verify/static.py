@@ -1,0 +1,490 @@
+"""Static verification of compiled routing tables.
+
+The simulator's deadlock-freedom argument (see
+:mod:`repro.simulator.routing_tables`) is Duato's: the adaptive layer may
+request any hop-minimal output, but a blocked packet can always fall back to
+the escape layer, and the escape layer's **channel-dependency graph (CDG)**
+is acyclic.  That last clause is a property of the *tables*, not of the
+code that built them — hand-written tables, future fault-rerouted tables, or
+a bug in table construction can all silently break it.  This module checks
+the property instead of assuming it.
+
+From :meth:`~repro.simulator.network.Network.compiled_routes` (the exact
+arrays the router's allocation loop indexes) the verifier proves, per
+network:
+
+* **escape-layer CDG acyclicity** — the classic Duato/Dally condition.  The
+  CDG has one node per directed channel and an edge ``a -> b`` whenever some
+  destination's route enters a node over ``a`` and leaves it over ``b``; a
+  cycle is reported with the witness channel sequence;
+* **full reachability** of both layers — for every ``(source, destination)``
+  pair the table walk must terminate at the destination (a routing loop or a
+  stuck node is reported with the witness pair and the looping node path);
+* **hop-count minimality** of the minimal layer — the table walk from every
+  source must take exactly as many hops as the topology graph's BFS
+  distance (computed here from the link list, independently of the routing
+  module's own ``hop_distance``);
+* **VC/credit configuration sanity** — ``escape_vc < num_vcs``, buffer
+  depths and pipeline latency at least 1.
+
+Every violated property is reported as a :class:`Violation` carrying a
+concrete witness; :class:`VerificationReport` aggregates them per network.
+All checks are ``O(nodes^2)`` / ``O(channels * nodes)`` — cheap enough that
+``repro.optimize`` runs them on every feasible candidate during analytical
+screening (stage 1), so an auto-generated topology with broken tables never
+reaches the cycle-accurate stage.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from repro.simulator.network import Network, NetworkConfig, build_network
+from repro.simulator.routing_tables import RoutingTables
+from repro.topologies.base import Topology
+
+#: Layer identifiers accepted by the per-layer helpers.
+LAYERS = ("minimal", "escape")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One violated routing/configuration property with a concrete witness.
+
+    Attributes
+    ----------
+    rule:
+        Stable machine-readable rule identifier, e.g. ``"escape-cdg-cycle"``,
+        ``"unreachable"``, ``"non-minimal"``, ``"config"``.
+    layer:
+        ``"minimal"``, ``"escape"`` or ``""`` for layer-independent rules.
+    message:
+        Human-readable description including the witness.
+    witness:
+        Machine-readable witness: the channel ``(src, dst)`` pairs of a CDG
+        cycle, the node path of a routing loop, or the offending
+        ``(source, destination)`` pair.
+    """
+
+    rule: str
+    layer: str
+    message: str
+    witness: tuple[Any, ...] = ()
+
+
+@dataclass
+class VerificationReport:
+    """Outcome of statically verifying one network's routing tables.
+
+    Attributes
+    ----------
+    topology_name:
+        Human-readable topology name.
+    num_nodes, num_channels:
+        Size of the verified network.
+    violations:
+        Every violated property (empty when the network verifies).
+    escape_cdg_edges, minimal_cdg_edges:
+        Edge counts of the two channel-dependency graphs.
+    minimal_cdg_cyclic:
+        Whether the *adaptive* layer's CDG contains a cycle.  This is
+        informational, not a violation: tori legitimately have cyclic
+        adaptive layers — that is exactly why the escape layer exists.
+    """
+
+    topology_name: str
+    num_nodes: int
+    num_channels: int
+    violations: list[Violation] = field(default_factory=list)
+    escape_cdg_edges: int = 0
+    minimal_cdg_edges: int = 0
+    minimal_cdg_cyclic: bool = False
+
+    @property
+    def ok(self) -> bool:
+        """``True`` when every checked property holds."""
+        return not self.violations
+
+    def summary(self) -> str:
+        """One-line human-readable verdict."""
+        if self.ok:
+            return (
+                f"{self.topology_name}: OK — escape CDG acyclic "
+                f"({self.escape_cdg_edges} edges over {self.num_channels} "
+                f"channels), both layers fully reachable, minimal layer "
+                f"hop-optimal"
+            )
+        head = self.violations[0]
+        return (
+            f"{self.topology_name}: FAILED {len(self.violations)} check(s) — "
+            f"first: [{head.rule}] {head.message}"
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable form (CLI ``--json`` output)."""
+        return {
+            "topology": self.topology_name,
+            "num_nodes": self.num_nodes,
+            "num_channels": self.num_channels,
+            "ok": self.ok,
+            "escape_cdg_edges": self.escape_cdg_edges,
+            "minimal_cdg_edges": self.minimal_cdg_edges,
+            "minimal_cdg_cyclic": self.minimal_cdg_cyclic,
+            "violations": [
+                {
+                    "rule": violation.rule,
+                    "layer": violation.layer,
+                    "message": violation.message,
+                    "witness": list(violation.witness),
+                }
+                for violation in self.violations
+            ],
+        }
+
+
+# ------------------------------------------------------------------ CDG
+def channel_dependency_graph(network: Network, layer: str) -> dict[int, set[int]]:
+    """Channel-dependency graph of one routing layer.
+
+    Nodes are directed-channel ids; an edge ``a -> b`` means some packet the
+    table can route holds channel ``a`` while requesting channel ``b`` (it
+    arrives at ``a``'s head over ``a`` and continues over ``b``).  Built from
+    :meth:`Network.compiled_routes`, i.e. from exactly the arrays the router
+    allocates against.
+    """
+    if layer not in LAYERS:
+        raise ValueError(f"unknown routing layer {layer!r}; known: {LAYERS}")
+    minimal, escape = network.compiled_routes()
+    table = minimal if layer == "minimal" else escape
+    graph: dict[int, set[int]] = {
+        channel.channel_id: set() for channel in network.channels
+    }
+    num = network.num_nodes
+    for channel in network.channels:
+        u, v, cid = channel.source, channel.destination, channel.channel_id
+        row_u, row_v = table[u], table[v]
+        edges = graph[cid]
+        for dst in range(num):
+            if dst == v:
+                continue  # the packet ejects at v; no further dependency
+            if row_u[dst] == cid:
+                edges.add(row_v[dst])
+    return graph
+
+
+def find_cycle(graph: dict[int, set[int]]) -> list[int] | None:
+    """Return one cycle of ``graph`` as a node list, or ``None`` if acyclic.
+
+    Iterative three-colour DFS (white/grey/black); the returned list is the
+    witness cycle with ``cycle[0]`` reachable again from ``cycle[-1]``.
+    """
+    WHITE, GREY, BLACK = 0, 1, 2
+    colour = {node: WHITE for node in graph}
+    for root in graph:
+        if colour[root] != WHITE:
+            continue
+        # Stack of (node, iterator over successors); `path` mirrors the grey
+        # chain so a back edge can be turned into the witness cycle.
+        stack = [(root, iter(sorted(graph[root])))]
+        colour[root] = GREY
+        path = [root]
+        while stack:
+            node, successors = stack[-1]
+            advanced = False
+            for successor in successors:
+                if colour[successor] == GREY:
+                    return path[path.index(successor):]
+                if colour[successor] == WHITE:
+                    colour[successor] = GREY
+                    stack.append((successor, iter(sorted(graph[successor]))))
+                    path.append(successor)
+                    advanced = True
+                    break
+            if not advanced:
+                colour[node] = BLACK
+                stack.pop()
+                path.pop()
+    return None
+
+
+def _cycle_witness(network: Network, cycle: list[int]) -> tuple[tuple[int, int], ...]:
+    """Render a channel-id cycle as ``(source, destination)`` pairs."""
+    return tuple(
+        (network.channels[cid].source, network.channels[cid].destination)
+        for cid in cycle
+    )
+
+
+# -------------------------------------------------------- table walking
+def _walk_layer(
+    network: Network, layer: str
+) -> tuple[list[list[int]], list[tuple[int, int, list[int]]]]:
+    """Hop counts of every table walk, plus the pairs that never arrive.
+
+    For each destination the compiled table is a functional graph
+    ``node -> next node``; a memoized walk classifies every source in
+    amortized ``O(1)``: it either reaches the destination (hop count
+    recorded) or runs into a routing loop / an already-doomed node.
+
+    Returns ``(hops, failures)`` where ``hops[dst][node]`` is the walk
+    length (``-1`` when the walk never arrives) and each failure is
+    ``(source, destination, witness_node_path)``.
+    """
+    minimal, escape = network.compiled_routes()
+    table = minimal if layer == "minimal" else escape
+    channel_dest = [channel.destination for channel in network.channels]
+    num = network.num_nodes
+    all_hops: list[list[int]] = []
+    failures: list[tuple[int, int, list[int]]] = []
+    for dst in range(num):
+        hops = [-2] * num  # -2 unknown, -1 known-unreachable, >=0 hop count
+        hops[dst] = 0
+        for start in range(num):
+            if hops[start] != -2:
+                continue
+            chain = [start]
+            node = start
+            while True:
+                cid = table[node][dst]
+                nxt = channel_dest[cid] if cid >= 0 else dst
+                if hops[nxt] != -2:
+                    break
+                if nxt in chain:
+                    # Routing loop: everything on the chain is unreachable.
+                    loop = chain[chain.index(nxt):] + [nxt]
+                    failures.append((start, dst, loop))
+                    for member in chain:
+                        hops[member] = -1
+                    chain = []
+                    break
+                chain.append(nxt)
+                node = nxt
+            if not chain:
+                continue
+            terminal = hops[nxt]
+            if terminal < 0:
+                for member in chain:
+                    hops[member] = -1
+                failures.append((start, dst, chain + [nxt]))
+            else:
+                for depth, member in enumerate(reversed(chain)):
+                    hops[member] = terminal + depth + 1
+        all_hops.append(hops)
+    return all_hops, failures
+
+
+def _bfs_distances(topology: Topology) -> list[list[int]]:
+    """All-pairs hop distances recomputed from the raw link list.
+
+    Deliberately *not* taken from :class:`RoutingTables.hop_distance` — the
+    verifier must not trust the module under test for its ground truth.
+    """
+    num = topology.num_tiles
+    adjacency: list[list[int]] = [[] for _ in range(num)]
+    for link in topology.links:
+        adjacency[link.src].append(link.dst)
+        adjacency[link.dst].append(link.src)
+    distances: list[list[int]] = []
+    for source in range(num):
+        dist = [-1] * num
+        dist[source] = 0
+        queue = deque([source])
+        while queue:
+            node = queue.popleft()
+            for neighbor in adjacency[node]:
+                if dist[neighbor] == -1:
+                    dist[neighbor] = dist[node] + 1
+                    queue.append(neighbor)
+        distances.append(dist)
+    return distances
+
+
+# ------------------------------------------------------------ main entry
+def _config_violations(config: NetworkConfig) -> list[Violation]:
+    """VC/credit configuration sanity checks.
+
+    ``NetworkConfig`` validates these at construction too; the verifier
+    re-checks them so hand-built or monkeypatched networks (and future
+    config representations) cannot bypass the invariants the router's
+    allocation loop indexes by.
+    """
+    violations: list[Violation] = []
+    if not 0 <= config.escape_vc < config.num_vcs:
+        violations.append(
+            Violation(
+                rule="config",
+                layer="",
+                message=(
+                    f"escape_vc={config.escape_vc} outside the VC range "
+                    f"[0, {config.num_vcs})"
+                ),
+                witness=(config.escape_vc, config.num_vcs),
+            )
+        )
+    if config.buffer_depth_flits < 1:
+        violations.append(
+            Violation(
+                rule="config",
+                layer="",
+                message=f"buffer_depth_flits={config.buffer_depth_flits} < 1",
+                witness=(config.buffer_depth_flits,),
+            )
+        )
+    if config.router_pipeline_cycles < 1:
+        violations.append(
+            Violation(
+                rule="config",
+                layer="",
+                message=f"router_pipeline_cycles={config.router_pipeline_cycles} < 1",
+                witness=(config.router_pipeline_cycles,),
+            )
+        )
+    return violations
+
+
+#: Cap on reported per-pair violations so a catastrophically broken table
+#: (every pair unreachable) still yields a readable report.
+_MAX_PAIR_VIOLATIONS = 16
+
+
+def verify_network(network: Network) -> VerificationReport:
+    """Statically verify one network's compiled routing tables.
+
+    Checks escape-layer CDG acyclicity, full reachability of both layers,
+    hop-count minimality of the minimal layer, and configuration sanity.
+    """
+    report = VerificationReport(
+        topology_name=network.topology.name,
+        num_nodes=network.num_nodes,
+        num_channels=len(network.channels),
+    )
+    report.violations.extend(_config_violations(network.config))
+
+    # --- channel-dependency graphs --------------------------------------
+    escape_cdg = channel_dependency_graph(network, "escape")
+    minimal_cdg = channel_dependency_graph(network, "minimal")
+    report.escape_cdg_edges = sum(len(edges) for edges in escape_cdg.values())
+    report.minimal_cdg_edges = sum(len(edges) for edges in minimal_cdg.values())
+    report.minimal_cdg_cyclic = find_cycle(minimal_cdg) is not None
+
+    cycle = find_cycle(escape_cdg)
+    if cycle is not None:
+        witness = _cycle_witness(network, cycle)
+        rendered = " -> ".join(f"({u}->{v})" for u, v in witness)
+        report.violations.append(
+            Violation(
+                rule="escape-cdg-cycle",
+                layer="escape",
+                message=(
+                    "escape-layer channel-dependency graph has a cycle "
+                    f"(deadlock possible): {rendered} -> "
+                    f"({witness[0][0]}->{witness[0][1]})"
+                ),
+                witness=witness,
+            )
+        )
+
+    # --- reachability of both layers ------------------------------------
+    walks: dict[str, list[list[int]]] = {}
+    for layer in LAYERS:
+        hops, failures = _walk_layer(network, layer)
+        walks[layer] = hops
+        for source, dst, path in failures[:_MAX_PAIR_VIOLATIONS]:
+            report.violations.append(
+                Violation(
+                    rule="unreachable",
+                    layer=layer,
+                    message=(
+                        f"{layer} table never delivers {source} -> {dst}; "
+                        f"walk visits {path}"
+                    ),
+                    witness=(source, dst, tuple(path)),
+                )
+            )
+        if len(failures) > _MAX_PAIR_VIOLATIONS:
+            report.violations.append(
+                Violation(
+                    rule="unreachable",
+                    layer=layer,
+                    message=(
+                        f"... and {len(failures) - _MAX_PAIR_VIOLATIONS} more "
+                        f"unreachable (source, destination) pairs on the "
+                        f"{layer} layer"
+                    ),
+                    witness=(len(failures),),
+                )
+            )
+
+    # --- hop minimality of the minimal layer ----------------------------
+    distances = _bfs_distances(network.topology)
+    minimal_hops = walks["minimal"]
+    reported = 0
+    for dst in range(network.num_nodes):
+        for source in range(network.num_nodes):
+            taken = minimal_hops[dst][source]
+            shortest = distances[source][dst]
+            if taken < 0 or taken == shortest:
+                continue  # unreachable pairs are already reported above
+            reported += 1
+            if reported > _MAX_PAIR_VIOLATIONS:
+                continue
+            report.violations.append(
+                Violation(
+                    rule="non-minimal",
+                    layer="minimal",
+                    message=(
+                        f"minimal table routes {source} -> {dst} in {taken} "
+                        f"hops but the graph distance is {shortest}"
+                    ),
+                    witness=(source, dst, taken, shortest),
+                )
+            )
+    if reported > _MAX_PAIR_VIOLATIONS:
+        report.violations.append(
+            Violation(
+                rule="non-minimal",
+                layer="minimal",
+                message=(
+                    f"... and {reported - _MAX_PAIR_VIOLATIONS} more "
+                    "non-minimal pairs"
+                ),
+                witness=(reported,),
+            )
+        )
+    return report
+
+
+def verify_topology(
+    topology: Topology,
+    config: NetworkConfig | None = None,
+    routing: RoutingTables | None = None,
+) -> VerificationReport:
+    """Build a network for ``topology`` and statically verify it.
+
+    Convenience wrapper around :func:`verify_network`; link latencies do not
+    affect any verified property, so none are needed.
+    """
+    network = build_network(topology, config=config, routing=routing)
+    return verify_network(network)
+
+
+def verify_topologies(
+    items: Iterable[tuple[str, Topology]],
+    config: NetworkConfig | None = None,
+) -> dict[str, VerificationReport]:
+    """Verify several named topologies; returns ``name -> report``."""
+    return {name: verify_topology(topology, config=config) for name, topology in items}
+
+
+__all__ = [
+    "LAYERS",
+    "VerificationReport",
+    "Violation",
+    "channel_dependency_graph",
+    "find_cycle",
+    "verify_network",
+    "verify_topologies",
+    "verify_topology",
+]

@@ -140,6 +140,6 @@ def test_equivalence_sweep_exercises_both_kernel_modes():
 
 
 def test_engine_registry_is_consistent():
-    assert set(ENGINE_FACTORIES) == {"reference", "soa"}
+    assert set(ENGINE_FACTORIES) == {"reference", "soa", "sanitizer"}
     for name, factory in ENGINE_FACTORIES.items():
         assert factory.name == name

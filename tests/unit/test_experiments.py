@@ -755,9 +755,13 @@ class TestEngineCli:
     def test_list_engines(self, capsys):
         assert cli_main(["list-engines"]) == 0
         out = capsys.readouterr().out
-        assert "reference" in out and "soa" in out
+        assert "reference" in out and "soa" in out and "sanitizer" in out
         assert cli_main(["list-engines", "--json"]) == 0
-        assert json.loads(capsys.readouterr().out) == ["reference", "soa"]
+        assert json.loads(capsys.readouterr().out) == [
+            "reference",
+            "sanitizer",
+            "soa",
+        ]
 
     def test_predict_engine_flag_is_bit_identical(self, capsys):
         argv = [
@@ -809,3 +813,59 @@ class TestEngineCli:
         code = cli_main(["optimize", "--spec", str(path), "--engine", "soa"])
         assert code == 2
         assert "drop --engine" in capsys.readouterr().err
+
+
+class TestVerifyLintCli:
+    """``repro verify`` and ``repro lint``."""
+
+    def test_verify_single_topology(self, capsys):
+        assert cli_main(["verify", "--topology", "mesh", "--rows", "4", "--cols", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "OK" in out and "escape CDG acyclic" in out
+
+    def test_verify_all_topologies(self, capsys):
+        assert cli_main(["verify", "--all-topologies"]) == 0
+        out = capsys.readouterr().out
+        # Every registered family verifies, including SlimNoC on its
+        # fallback grid (4x4 is not 2*q^2).
+        assert "slimnoc (3x6)" in out
+        assert "all 9 topologies OK" in out
+
+    def test_verify_json_output(self, capsys):
+        assert cli_main(["verify", "--topology", "torus", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload) == 1
+        report = payload[0]
+        assert report["ok"] is True
+        assert report["key"] == "torus"
+        assert report["violations"] == []
+        assert report["minimal_cdg_cyclic"] in (True, False)
+
+    def test_verify_requires_a_target(self, capsys):
+        assert cli_main(["verify"]) == 2
+        assert "--topology" in capsys.readouterr().err
+
+    def test_verify_rejects_conflicting_flags(self, capsys):
+        code = cli_main(["verify", "--topology", "mesh", "--all-topologies"])
+        assert code == 2
+        assert "exclusive" in capsys.readouterr().err
+
+    def test_verify_unknown_topology_exits_2(self, capsys):
+        assert cli_main(["verify", "--topology", "nope"]) == 2
+        assert "unknown topology" in capsys.readouterr().err
+
+    def test_lint_clean_tree(self, capsys):
+        assert cli_main(["lint"]) == 0
+        assert "lint: clean" in capsys.readouterr().out
+
+    def test_lint_json_output(self, capsys):
+        assert cli_main(["lint", "--json"]) == 0
+        assert json.loads(capsys.readouterr().out) == []
+
+    def test_lint_reports_violations_with_exit_1(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import random\nvalue = random.random()\n")
+        assert cli_main(["lint", "--root", str(tmp_path)]) == 1
+        captured = capsys.readouterr()
+        assert "unseeded-global-rng" in captured.out
+        assert "1 violation(s)" in captured.err

@@ -1,0 +1,172 @@
+"""The determinism/consistency lint: the repo is clean, and the rules fire.
+
+Half the value of a lint is that the tree it guards currently passes it —
+``lint_tree``/``lint_registries`` over the real ``src/repro`` must return
+nothing.  The other half is that each rule actually detects its target
+pattern, including through import aliases (``import numpy as np``,
+``from numpy.random import default_rng``), which a naive textual grep
+would miss.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.verify.lint import (
+    LintViolation,
+    lint_file,
+    lint_registries,
+    lint_tree,
+    run_lint,
+)
+
+
+def _lint_source(tmp_path, source, in_simulator=False, name="mod.py"):
+    path = tmp_path / name
+    path.write_text(textwrap.dedent(source))
+    return lint_file(path, tmp_path, in_simulator)
+
+
+# ------------------------------------------------------------ repo is clean
+def test_repo_tree_is_clean():
+    assert lint_tree() == []
+
+
+def test_registries_are_consistent():
+    assert lint_registries() == []
+
+
+def test_run_lint_is_clean():
+    assert run_lint() == []
+
+
+# ------------------------------------------------------------- rules fire
+def test_stdlib_global_rng_is_flagged(tmp_path):
+    violations = _lint_source(
+        tmp_path,
+        """
+        import random
+
+        def roll():
+            return random.randint(1, 6)
+        """,
+    )
+    assert [v.rule for v in violations] == ["unseeded-global-rng"]
+    assert violations[0].line == 5
+    assert "random.randint" in violations[0].message
+
+
+def test_numpy_global_rng_is_flagged_through_alias(tmp_path):
+    violations = _lint_source(
+        tmp_path,
+        """
+        import numpy as np
+
+        def noise(n):
+            np.random.seed(0)
+            return np.random.rand(n)
+        """,
+    )
+    assert [v.rule for v in violations] == [
+        "unseeded-global-rng",
+        "unseeded-global-rng",
+    ]
+    assert {v.line for v in violations} == {5, 6}
+
+
+def test_from_import_alias_is_resolved(tmp_path):
+    violations = _lint_source(
+        tmp_path,
+        """
+        from numpy import random as npr
+
+        def noise(n):
+            return npr.standard_normal(n)
+        """,
+    )
+    assert [v.rule for v in violations] == ["unseeded-global-rng"]
+
+
+def test_unseeded_default_rng_is_flagged(tmp_path):
+    violations = _lint_source(
+        tmp_path,
+        """
+        from numpy.random import default_rng
+
+        def fresh():
+            return default_rng()
+        """,
+    )
+    assert [v.rule for v in violations] == ["unseeded-default-rng"]
+
+
+def test_seeded_default_rng_is_allowed(tmp_path):
+    violations = _lint_source(
+        tmp_path,
+        """
+        import numpy as np
+
+        def rng(seed):
+            return np.random.default_rng(seed)
+        """,
+    )
+    assert violations == []
+
+
+def test_rng_module_allowlist(tmp_path):
+    # repro/utils/rng.py is the one sanctioned unseeded-entropy source.
+    target = tmp_path / "repro" / "utils"
+    target.mkdir(parents=True)
+    path = target / "rng.py"
+    path.write_text("import numpy as np\nfresh = lambda: np.random.default_rng()\n")
+    assert lint_file(path, tmp_path, in_simulator=False) == []
+
+
+def test_generator_method_calls_are_not_flagged(tmp_path):
+    violations = _lint_source(
+        tmp_path,
+        """
+        def draw(rng, n):
+            return rng.random(n) + rng.integers(0, 2)
+        """,
+    )
+    assert violations == []
+
+
+def test_wall_clock_flagged_only_inside_simulator(tmp_path):
+    source = """
+        import time
+
+        def stamp():
+            return time.time()
+        """
+    assert _lint_source(tmp_path, source, in_simulator=False) == []
+    violations = _lint_source(tmp_path, source, in_simulator=True)
+    assert [v.rule for v in violations] == ["wall-clock-in-simulator"]
+    assert "time.time" in violations[0].message
+
+
+def test_datetime_now_flagged_inside_simulator(tmp_path):
+    violations = _lint_source(
+        tmp_path,
+        """
+        import datetime
+
+        def stamp():
+            return datetime.datetime.now()
+        """,
+        in_simulator=True,
+    )
+    assert [v.rule for v in violations] == ["wall-clock-in-simulator"]
+
+
+def test_syntax_error_is_reported_not_raised(tmp_path):
+    violations = _lint_source(tmp_path, "def broken(:\n")
+    assert [v.rule for v in violations] == ["syntax-error"]
+
+
+def test_violation_str_has_location_and_rule():
+    violation = LintViolation("pkg/mod.py", 12, "some-rule", "it is wrong")
+    assert str(violation) == "pkg/mod.py:12: [some-rule] it is wrong"
+    file_level = LintViolation("pkg/mod.py", 0, "some-rule", "whole file")
+    assert str(file_level).startswith("pkg/mod.py: ")

@@ -1,0 +1,216 @@
+"""The static routing verifier: every registered topology proves clean,
+and injected routing corruption is detected with a concrete witness.
+
+Two halves:
+
+* **Positive, exhaustive**: every registered topology family at 4x4 and 8x8
+  (SlimNoC at its applicable grids, since ``R*C = 2*q^2`` excludes square
+  power-of-two grids) passes every check — escape-CDG acyclicity, full
+  reachability of both layers, hop-minimality of the minimal layer, and
+  config sanity.  This is the repo's Duato deadlock-freedom proof.
+* **Negative, mutational**: corrupting a verified network's compiled escape
+  table (a two-channel ping-pong cycle, an ejection black hole) must be
+  reported with the right rule and a concrete witness — the verifier is only
+  trustworthy if it actually fails on broken tables.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulator.network import NetworkConfig, build_network
+from repro.topologies.registry import (
+    available_topologies,
+    is_applicable,
+    make_topology,
+)
+from repro.verify import (
+    LAYERS,
+    channel_dependency_graph,
+    find_cycle,
+    verify_network,
+    verify_topologies,
+    verify_topology,
+)
+from repro.verify.static import _config_violations
+
+#: (family, rows, cols) for every registered family at both target grids;
+#: families inapplicable at a grid (slimnoc everywhere square-power-of-two,
+#: hypercube nowhere here) are replaced by their nearest applicable grid.
+_CASES = []
+for _family in available_topologies():
+    _grids = [grid for grid in ((4, 4), (8, 8)) if is_applicable(_family, *grid)]
+    if not _grids:
+        # SlimNoC: R*C = 2*q^2 for a prime power q -> 3x6 (q=3), 5x10 (q=5).
+        _grids = [
+            grid for grid in ((3, 6), (5, 10)) if is_applicable(_family, *grid)
+        ]
+    assert _grids, f"no applicable test grid for {_family!r}"
+    _CASES.extend((_family, rows, cols) for rows, cols in _grids)
+
+
+@pytest.mark.parametrize(
+    "family,rows,cols",
+    _CASES,
+    ids=[f"{family}-{rows}x{cols}" for family, rows, cols in _CASES],
+)
+def test_every_registered_topology_verifies(family, rows, cols):
+    report = verify_topology(make_topology(family, rows, cols))
+    assert report.ok, report.summary()
+    assert report.num_nodes == rows * cols
+    # The escape layer is a spanning-tree up*/down* scheme: its CDG must not
+    # only be acyclic but non-trivial (there ARE dependencies to check).
+    assert report.escape_cdg_edges > 0
+    assert report.violations == []
+
+
+def test_verify_topologies_maps_names_to_reports():
+    items = [(name, make_topology(name, 4, 4)) for name in ("mesh", "torus")]
+    reports = verify_topologies(items)
+    assert set(reports) == {"mesh", "torus"}
+    assert all(report.ok for report in reports.values())
+
+
+def test_ring_minimal_layer_is_cyclic_but_not_a_violation():
+    # The wrap-around minimal routes of a ring form dependency cycles —
+    # that is exactly why Duato's escape layer exists.  The verifier must
+    # record this as a stat, not a violation.
+    report = verify_topology(make_topology("ring", 4, 4))
+    assert report.ok
+    assert report.minimal_cdg_cyclic
+    mesh = verify_topology(make_topology("mesh", 4, 4))
+    assert report.ok and not mesh.minimal_cdg_cyclic
+
+
+# --------------------------------------------------------------- CDG unit
+def test_find_cycle_on_known_graphs():
+    assert find_cycle({0: {1}, 1: {2}, 2: set()}) is None
+    graph = {0: {1}, 1: {2}, 2: {0}}
+    witness = find_cycle(graph)
+    assert witness is not None
+    # The witness is a cycle: consecutive entries are edges, and the last
+    # node closes back to the first.
+    for a, b in zip(witness, witness[1:]):
+        assert b in graph[a]
+    assert witness[0] in graph[witness[-1]]
+    # Self-loops are cycles too.
+    assert find_cycle({0: {0}}) == [0]
+
+
+def test_channel_dependency_graph_covers_all_channels():
+    network = build_network(make_topology("mesh", 3, 3))
+    for layer in LAYERS:
+        graph = channel_dependency_graph(network, layer)
+        assert set(graph) == set(range(len(network.channels)))
+
+
+# --------------------------------------------------------------- mutations
+def _corrupt_escape_pingpong(network):
+    """Make nodes 0 and 1 bounce escape traffic for the farthest destination.
+
+    Creates the CDG 2-cycle ``(0->1) -> (1->0) -> (0->1)`` and a routing
+    loop, so both the acyclicity and the reachability check have something
+    to find.
+    """
+    _, escape = network.compiled_routes()
+    dst = network.num_nodes - 1
+    escape[0][dst] = network.channel_ids[(0, 1)]
+    escape[1][dst] = network.channel_ids[(1, 0)]
+
+
+def test_injected_escape_cycle_is_reported_with_witness():
+    network = build_network(make_topology("mesh", 4, 4))
+    assert verify_network(network).ok
+    _corrupt_escape_pingpong(network)
+    report = verify_network(network)
+    assert not report.ok
+    cycles = [v for v in report.violations if v.rule == "escape-cdg-cycle"]
+    assert cycles, report.summary()
+    witness = cycles[0].witness
+    # The witness is the closed channel walk; the two corrupted channels
+    # must both appear in it.
+    channels = set(witness)
+    assert (0, 1) in channels and (1, 0) in channels
+    assert cycles[0].layer == "escape"
+    assert "0" in cycles[0].message and "1" in cycles[0].message
+
+
+def test_injected_escape_cycle_also_breaks_reachability():
+    network = build_network(make_topology("mesh", 4, 4))
+    _corrupt_escape_pingpong(network)
+    report = verify_network(network)
+    unreachable = [v for v in report.violations if v.rule == "unreachable"]
+    assert unreachable
+    assert all(v.layer == "escape" for v in unreachable)
+    # Witnesses name the (source, destination) pair that cannot be routed.
+    dst = network.num_nodes - 1
+    assert any(v.witness[1] == dst for v in unreachable)
+
+
+def _walk(table, channels, source, dst, limit):
+    """Follow a compiled table from ``source`` to ``dst``; hops or None."""
+    node, hops = source, 0
+    while node != dst and hops <= limit:
+        node = channels[table[node][dst]].destination
+        hops += 1
+    return hops if node == dst else None
+
+
+def test_non_minimal_route_is_reported():
+    network = build_network(make_topology("mesh", 4, 4))
+    minimal, _ = network.compiled_routes()
+    # Detour one (node, destination) entry through a different neighbour —
+    # picked so the mutated table still converges (just longer), which
+    # isolates the minimality check from the reachability check.
+    dst = 0
+    mutated = None
+    for (u, v), cid in sorted(network.channel_ids.items()):
+        if u == dst or cid == minimal[u][dst]:
+            continue
+        original = minimal[u][dst]
+        direct = _walk(minimal, network.channels, u, dst, 64)
+        minimal[u][dst] = cid
+        hops = _walk(minimal, network.channels, u, dst, 64)
+        if hops is not None and hops > direct:
+            mutated = u
+            break
+        minimal[u][dst] = original
+    assert mutated is not None, "no converging detour exists in a 4x4 mesh"
+
+    report = verify_network(network)
+    assert not report.ok
+    offenders = [v for v in report.violations if v.rule == "non-minimal"]
+    assert offenders
+    assert all(v.layer == "minimal" for v in offenders)
+    witnesses = {(v.witness[0], v.witness[1]) for v in offenders}
+    assert (mutated, dst) in witnesses
+    for violation in offenders:
+        _, _, taken, shortest = violation.witness
+        assert taken > shortest
+
+
+def test_config_violations_are_reported():
+    bad = NetworkConfig(num_vcs=1, buffer_depth_flits=1, router_pipeline_cycles=1)
+    assert _config_violations(bad) == []  # minimal but legal
+
+    class _Broken:
+        # NetworkConfig validates at construction, so an intentionally
+        # inconsistent stand-in exercises the verifier's own checks.
+        num_vcs = 2
+        escape_vc = 2  # out of range
+        buffer_depth_flits = 0
+        router_pipeline_cycles = 0
+
+    violations = _config_violations(_Broken())
+    rules = [violation.rule for violation in violations]
+    assert rules.count("config") == len(rules) and len(rules) == 3
+
+
+def test_report_json_round_trip():
+    report = verify_topology(make_topology("ring", 4, 4))
+    payload = report.to_dict()
+    assert payload["ok"] is True
+    assert payload["topology"] == "Ring"
+    assert payload["violations"] == []
+    assert payload["num_nodes"] == 16
+    assert "OK" in report.summary()

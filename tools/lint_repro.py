@@ -1,0 +1,45 @@
+#!/usr/bin/env python
+"""Run the repo's determinism/consistency lint (``repro.verify.lint``).
+
+Rules (see ``docs/VERIFICATION.md``): no global-state RNG calls, no
+unseeded ``default_rng()`` outside ``repro/utils/rng.py``, no wall-clock
+reads inside ``src/repro/simulator/``, and all dynamic registries
+name-consistent with what they build.
+
+Usage (from the repository root)::
+
+    python tools/lint_repro.py              # lint src/repro + registries
+    python tools/lint_repro.py PATH         # lint a different source root
+
+Exit status 0 when clean, 1 when any rule is violated (each finding is
+reported as ``file:line: [rule] message``).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+# Allow running straight from a checkout without installing the package.
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+_SRC = _REPO_ROOT / "src"
+if _SRC.is_dir() and str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.verify.lint import run_lint  # noqa: E402
+
+
+def main(argv: list[str]) -> int:
+    root = Path(argv[1]) if len(argv) > 1 else None
+    violations = run_lint(root)
+    for violation in violations:
+        print(violation)
+    if violations:
+        print(f"lint: {len(violations)} violation(s)")
+        return 1
+    print("lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))
