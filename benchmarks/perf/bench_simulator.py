@@ -1,16 +1,21 @@
 #!/usr/bin/env python
 """Simulator throughput benchmark: simulated cycles per wall-clock second.
 
-Measures every registered simulation engine (``reference`` and ``soa``) on
-four canonical workloads (small, medium, large, trace_replay) and writes the
-results to ``BENCH_simulator.json`` so the performance trajectory of the
-simulation kernel is tracked PR over PR — one record per (workload, engine)
-pair, so the reference-vs-soa gap on identical work is part of the record.
+Measures every registered simulation engine (``reference``, ``soa``,
+``sanitizer``, ``vec``) on four canonical workloads (small, medium, large,
+trace_replay) plus a ``batched_sweep`` case — a 24-lane (8 rates x 3 seeds)
+load sweep of a 16x16 mesh run sequentially under ``reference``/``soa`` and
+as one fused batch under ``vec`` — and writes the results to
+``BENCH_simulator.json`` so the performance trajectory of the simulation
+kernel is tracked PR over PR: one record per (workload, engine) pair, so
+the cross-engine gaps on identical work are part of the record.
 
 Because the engines are required to be bit-identical, the benchmark doubles
 as a smoke-level equivalence check: for each workload it asserts that every
 engine delivered the same packets with the same mean latency and drained
-state, and fails loudly otherwise (CI runs it on every push).
+state — and for the batched sweep, that every fused ``vec`` lane's full
+statistics equal its sequential ``soa`` run — failing loudly otherwise
+(CI runs it on every push).
 
 The *simulated-cycles/second* metric divides the number of kernel cycles the
 run advanced through (warmup + measurement + drain, as reported by the
@@ -102,6 +107,21 @@ WORKLOADS = {
     },
 }
 
+#: The batched-sweep case: one compiled network, many (rate, seed) lanes.
+#: Sequential engines simulate the lanes one by one; the ``vec`` engine
+#: fuses all of them into a single kernel invocation (``sweep.run_batch``).
+BATCHED_SWEEP = {
+    "description": "16x16 mesh, 8 rates x 3 seeds fused into one vec batch",
+    "topology": lambda: MeshTopology(16, 16),
+    "rates": [0.02, 0.04, 0.06, 0.08, 0.10, 0.12, 0.14, 0.16],
+    "seeds": [1, 2, 3],
+    "config": SimulationConfig(
+        warmup_cycles=300,
+        measurement_cycles=1000,
+        drain_max_cycles=2000,
+    ),
+}
+
 #: Statistics fields every engine must agree on, workload for workload.
 _EQUALITY_FIELDS = (
     "cycles_simulated",
@@ -158,6 +178,106 @@ def run_workload(name: str, engines: list[str], repeats: int = 3) -> list[dict]:
     return records
 
 
+def run_batched_sweep(engines: list[str], repeats: int = 1) -> list[dict]:
+    """Benchmark the multi-point sweep: sequential engines vs one vec batch.
+
+    The sequential baselines (``reference`` — the default engine a sweep
+    would otherwise use — and ``soa``, the fastest single-point kernel) run
+    the 24 lanes one after another on the shared compiled network; ``vec``
+    runs them as a single fused batch.  Every fused lane's statistics must
+    equal its sequential ``soa`` run exactly, so this case extends the
+    equivalence check to the batched path.
+    """
+    import dataclasses
+
+    from repro.simulator.batch import BatchSimulator
+
+    topology = BATCHED_SWEEP["topology"]()
+    base = BATCHED_SWEEP["config"]
+    rates = BATCHED_SWEEP["rates"]
+    seeds = BATCHED_SWEEP["seeds"]
+    routing = build_routing_tables(topology)
+    network = build_network(topology, config=base.network_config(), routing=routing)
+    lane_configs = [
+        replace(base, injection_rate=rate, seed=seed)
+        for seed in seeds
+        for rate in rates
+    ]
+
+    def record_for(engine: str, mode: str, elapsed: float, cycles: int) -> dict:
+        return {
+            "workload": "batched_sweep",
+            "engine": engine,
+            "mode": mode,
+            "description": BATCHED_SWEEP["description"],
+            "topology": topology.name,
+            "num_tiles": topology.num_tiles,
+            "lanes": len(lane_configs),
+            "cycles_simulated": cycles,
+            "wall_seconds": round(elapsed, 4),
+            "cycles_per_second": round(cycles / elapsed, 1),
+        }
+
+    records = []
+    per_engine_stats: dict[str, list] = {}
+    for engine in ("reference", "soa"):
+        if engine not in engines:
+            continue
+        best = None
+        for _ in range(repeats):
+            simulators = [
+                Simulator(
+                    topology,
+                    replace(config, engine=engine),
+                    routing=routing,
+                    network=network,
+                )
+                for config in lane_configs
+            ]
+            start = time.perf_counter()
+            stats_list = [simulator.run() for simulator in simulators]
+            elapsed = time.perf_counter() - start
+            cycles = sum(simulator.cycles_simulated for simulator in simulators)
+            record = record_for(engine, "sequential", elapsed, cycles)
+            if best is None or record["wall_seconds"] < best["wall_seconds"]:
+                best = record
+                per_engine_stats[engine] = stats_list
+        records.append(best)
+
+    if "vec" in engines:
+        best = None
+        for _ in range(repeats):
+            batch = BatchSimulator(topology, lane_configs, network=network)
+            start = time.perf_counter()
+            stats_list = batch.run()
+            elapsed = time.perf_counter() - start
+            record = record_for("vec", "batched", elapsed, batch.cycles_simulated)
+            if best is None or record["wall_seconds"] < best["wall_seconds"]:
+                best = record
+                per_engine_stats["vec"] = stats_list
+        for engine, sequential in per_engine_stats.items():
+            if engine == "vec":
+                continue
+            for lane, (stats_a, stats_b) in enumerate(
+                zip(sequential, per_engine_stats["vec"])
+            ):
+                if dataclasses.asdict(stats_a) != dataclasses.asdict(stats_b):
+                    raise SystemExit(
+                        f"batched_sweep: vec batch lane {lane} diverged from its "
+                        f"sequential {engine} run — the batched path is required "
+                        "to be bit-identical"
+                    )
+            best[f"speedup_vs_{engine}_sequential"] = round(
+                next(
+                    r["wall_seconds"] for r in records if r["engine"] == engine
+                )
+                / best["wall_seconds"],
+                2,
+            )
+        records.append(best)
+    return records
+
+
 def check_engine_equivalence(name: str, records: list[dict]) -> None:
     """Fail loudly if any engine produced different statistics on ``name``."""
     if len(records) < 2:
@@ -178,7 +298,7 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--size",
-        choices=sorted(WORKLOADS) + ["all"],
+        choices=sorted(WORKLOADS) + ["batched_sweep", "all"],
         default="all",
         help="workload to run (default: all)",
     )
@@ -198,25 +318,38 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    names = sorted(WORKLOADS) if args.size == "all" else [args.size]
+    names = (
+        sorted(WORKLOADS) + ["batched_sweep"] if args.size == "all" else [args.size]
+    )
     engines = available_engines() if args.engine == "all" else [args.engine]
     records = []
     for name in names:
-        workload_records = run_workload(name, engines, repeats=args.repeats)
+        if name == "batched_sweep":
+            workload_records = run_batched_sweep(engines)
+        else:
+            workload_records = run_workload(name, engines, repeats=args.repeats)
         records.extend(workload_records)
         by_engine = {record["engine"]: record for record in workload_records}
         for record in workload_records:
+            mode = f" ({record['mode']})" if "mode" in record else ""
             print(
-                f"{name:12s} {record['engine']:9s} {record['topology']:28s} "
-                f"{record['cycles_simulated']:7d} cycles in {record['wall_seconds']:8.3f}s "
+                f"{name:13s} {record['engine'] + mode:17s} {record['topology']:28s} "
+                f"{record['cycles_simulated']:8d} cycles in {record['wall_seconds']:8.3f}s "
                 f"-> {record['cycles_per_second']:>10.1f} cycles/s"
             )
-        if "reference" in by_engine and "soa" in by_engine:
-            speedup = (
-                by_engine["soa"]["cycles_per_second"]
-                / by_engine["reference"]["cycles_per_second"]
-            )
-            print(f"{name:12s} soa/reference speedup: {speedup:.2f}x")
+        for fast in ("soa", "vec"):
+            if "reference" in by_engine and fast in by_engine:
+                if name == "batched_sweep":
+                    speedup = (
+                        by_engine["reference"]["wall_seconds"]
+                        / by_engine[fast]["wall_seconds"]
+                    )
+                else:
+                    speedup = (
+                        by_engine[fast]["cycles_per_second"]
+                        / by_engine["reference"]["cycles_per_second"]
+                    )
+                print(f"{name:13s} {fast}/reference speedup: {speedup:.2f}x")
 
     payload = {
         "benchmark": "simulator-cycles-per-second",

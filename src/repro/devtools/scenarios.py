@@ -1,0 +1,242 @@
+"""Seeded randomized scenarios for the engine-differential harness.
+
+One generator, three consumers:
+
+* ``tests/unit/test_engine_equivalence.py`` parametrizes its differential
+  sweep over :func:`generate_scenarios` and embeds each scenario's
+  :meth:`Scenario.repro_command` in the assertion message, so a CI failure
+  carries its own one-line reproduction;
+* ``tools/gen_scenarios.py`` lists/exports the scenario table for a given
+  generator seed;
+* ``repro devtools replay-scenario`` rebuilds one scenario from its
+  ``(generator seed, index)`` coordinates and re-runs it under any set of
+  engines, printing a field-level diff on divergence.
+
+The draw sequence is a pure function of the generator seed: scenario
+``index`` is the ``index``-th draw of one ``numpy`` Generator, so
+``(seed, index)`` identifies a scenario forever — no scenario files, no
+pickles.  The generator favours small grids and short phase windows to keep
+sweeps fast while still crossing the kernel's distinct regimes (saturation,
+escape-layer fallback, multi-cycle links, trace replay, single-VC routers).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.core.sparse_hamming import SparseHammingGraph
+from repro.simulator.simulation import SimulationConfig, Simulator
+from repro.simulator.statistics import SimulationStats
+from repro.simulator.sweep import replay_trace
+from repro.topologies.base import Topology
+from repro.topologies.flattened_butterfly import FlattenedButterflyTopology
+from repro.topologies.mesh import MeshTopology
+from repro.topologies.ring import RingTopology
+from repro.topologies.torus import TorusTopology
+from repro.utils.validation import ValidationError
+from repro.workloads import make_workload_trace
+
+#: The default generator seed; the differential suite's scenarios are the
+#: first draws of this sequence, so ``--seed 2024 --index N`` replays the
+#: N-th suite scenario exactly.
+DEFAULT_GENERATOR_SEED = 2024
+
+#: Topology families the generator draws from (keyed for scenario labels).
+TOPOLOGIES = {
+    "mesh": lambda rows, cols: MeshTopology(rows, cols),
+    "torus": lambda rows, cols: TorusTopology(rows, cols),
+    "ring": lambda rows, cols: RingTopology(rows, cols),
+    "flattened_butterfly": lambda rows, cols: FlattenedButterflyTopology(rows, cols),
+    # s_r/s_c = {2} is valid for every grid the generator draws (3..5 per axis).
+    "sparse_hamming": lambda rows, cols: SparseHammingGraph(rows, cols, s_r={2}, s_c={2}),
+}
+
+TRAFFIC = ("uniform", "transpose", "tornado", "neighbor", "bit_complement")
+
+#: Workload-generator parameters for the trace-replay scenarios (kept small:
+#: a scenario is a harness probe, not a benchmark).
+WORKLOADS: Mapping[str, dict[str, Any]] = {
+    "dnn_inference": dict(layers=3, layer_window=40, fan_out=2),
+    "mpi_collective": dict(collective="allreduce_ring", step_cycles=5),
+    "stencil2d": dict(iterations=2, iteration_window=20),
+    "onoff": dict(duration=120, burst_rate=0.4),
+}
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One randomized differential scenario, identified by ``(seed, index)``.
+
+    ``config`` holds :class:`SimulationConfig` keyword arguments (injection
+    rate, router parameters, phase windows, simulation seed); ``workload``
+    names a trace generator for replay scenarios or is ``None`` for
+    synthetic Bernoulli traffic.
+    """
+
+    index: int
+    generator_seed: int
+    topology: str
+    rows: int
+    cols: int
+    traffic: str
+    workload: str | None
+    link_latency: int
+    config: Mapping[str, Any]
+
+    @property
+    def label(self) -> str:
+        """Short test id: index, topology family, and traffic or workload."""
+        return f"{self.index:02d}-{self.topology}-{self.workload or self.traffic}"
+
+    def repro_command(self) -> str:
+        """The one-line CLI command that rebuilds and re-runs this scenario."""
+        return (
+            "repro devtools replay-scenario "
+            f"--seed {self.generator_seed} --index {self.index}"
+        )
+
+    def build_topology(self) -> Topology:
+        return TOPOLOGIES[self.topology](self.rows, self.cols)
+
+    def build_trace(self):
+        """The workload trace of a replay scenario (``None`` for synthetic)."""
+        if self.workload is None:
+            return None
+        return make_workload_trace(
+            self.workload,
+            self.rows,
+            self.cols,
+            seed=self.config["seed"],
+            **WORKLOADS[self.workload],
+        )
+
+    def simulation_config(self, engine: str) -> SimulationConfig:
+        """The per-engine :class:`SimulationConfig` this scenario runs under.
+
+        Replay scenarios ignore the injection/phase knobs but honour the
+        randomized router configuration (VCs, buffers, pipeline), so the
+        trace path is cross-checked beyond the default router too.
+        """
+        if self.workload is not None:
+            return SimulationConfig(
+                num_vcs=self.config["num_vcs"],
+                buffer_depth_flits=self.config["buffer_depth_flits"],
+                router_pipeline_cycles=self.config["router_pipeline_cycles"],
+                drain_max_cycles=5000,
+                seed=1,
+                engine=engine,
+            )
+        return SimulationConfig(traffic=self.traffic, engine=engine, **self.config)
+
+
+def generate_scenarios(
+    count: int, seed: int = DEFAULT_GENERATOR_SEED
+) -> list[Scenario]:
+    """Deterministically draw the first ``count`` scenarios of ``seed``."""
+    rng = np.random.default_rng(seed)
+    scenarios = []
+    topo_keys = sorted(TOPOLOGIES)
+    workload_keys = sorted(WORKLOADS)
+    for index in range(count):
+        rows = int(rng.integers(3, 6))
+        cols = int(rng.integers(3, 6))
+        topo_key = topo_keys[int(rng.integers(len(topo_keys)))]
+        num_vcs = int(rng.choice([1, 2, 4, 8]))
+        config = dict(
+            injection_rate=float(rng.choice([0.02, 0.08, 0.20, 0.45])),
+            packet_size_flits=int(rng.choice([1, 2, 4])),
+            num_vcs=num_vcs,
+            buffer_depth_flits=int(rng.choice([1, 2, 4])),
+            router_pipeline_cycles=int(rng.choice([1, 2, 3])),
+            warmup_cycles=int(rng.choice([0, 50, 120])),
+            measurement_cycles=int(rng.choice([80, 150, 250])),
+            drain_max_cycles=int(rng.choice([400, 800])),
+            seed=int(rng.integers(0, 10_000)),
+        )
+        traffic = TRAFFIC[int(rng.integers(len(TRAFFIC)))]
+        if traffic == "transpose" and rows != cols:
+            traffic = "uniform"
+        workload = None
+        if rng.random() < 0.35:
+            workload = workload_keys[int(rng.integers(len(workload_keys)))]
+        link_latency = int(rng.choice([0, 0, 2, 4]))  # 0 = single-cycle links
+        scenarios.append(
+            Scenario(
+                index=index,
+                generator_seed=seed,
+                topology=topo_key,
+                rows=rows,
+                cols=cols,
+                traffic=traffic,
+                workload=workload,
+                link_latency=link_latency,
+                config=config,
+            )
+        )
+    return scenarios
+
+
+def get_scenario(index: int, seed: int = DEFAULT_GENERATOR_SEED) -> Scenario:
+    """Rebuild scenario ``index`` of generator ``seed`` (0-based)."""
+    if index < 0:
+        raise ValidationError(f"scenario index must be >= 0 (got {index})")
+    return generate_scenarios(index + 1, seed=seed)[index]
+
+
+def run_scenario(scenario: Scenario, engine: str) -> SimulationStats:
+    """Run one scenario under ``engine`` and return its statistics."""
+    topology = scenario.build_topology()
+    link_latencies = (
+        {link: scenario.link_latency for link in topology.links}
+        if scenario.link_latency
+        else None
+    )
+    config = scenario.simulation_config(engine)
+    trace = scenario.build_trace()
+    if trace is not None:
+        return replay_trace(
+            topology, trace, config=config, link_latencies=link_latencies
+        )
+    return Simulator(topology, config, link_latencies=link_latencies).run()
+
+
+def diff_stats(
+    baseline_name: str,
+    baseline: SimulationStats,
+    other_name: str,
+    other: SimulationStats,
+) -> list[str]:
+    """Field-level differences between two statistics objects.
+
+    Returns one ``"field: <baseline_name>=x <other_name>=y"`` line per
+    differing field (empty list = identical), so divergence reports show
+    the few fields that differ instead of two full ``SimulationStats``
+    dumps.
+    """
+    a = dataclasses.asdict(baseline)
+    b = dataclasses.asdict(other)
+    lines = []
+    for field in sorted(set(a) | set(b)):
+        if a.get(field) != b.get(field):
+            lines.append(
+                f"{field}: {baseline_name}={a.get(field)!r} "
+                f"{other_name}={b.get(field)!r}"
+            )
+    return lines
+
+
+__all__ = [
+    "DEFAULT_GENERATOR_SEED",
+    "Scenario",
+    "TOPOLOGIES",
+    "TRAFFIC",
+    "WORKLOADS",
+    "diff_stats",
+    "generate_scenarios",
+    "get_scenario",
+    "run_scenario",
+]

@@ -33,11 +33,17 @@ Subcommands
 ``repro lint``
     Run the determinism/consistency lint over the repo source tree
     (:mod:`repro.verify.lint`).  Exits 1 on violations.
+``repro devtools replay-scenario``
+    Rebuild one randomized differential scenario from its generator
+    ``(seed, index)`` and re-run it under any set of engines, reporting
+    statistics divergences field by field (see
+    :mod:`repro.devtools.scenarios`).  Exits 1 on divergence.
 
 Every subcommand that launches cycle-accurate simulations (``predict``,
 ``replay``, ``campaign``, ``optimize``) accepts ``--engine`` to pick the
-simulation kernel (``reference``, ``soa`` or ``sanitizer``; all are
-bit-identical, so the choice only affects speed and checking).  ``repro
+simulation kernel (``reference``, ``soa``, ``sanitizer`` or ``vec``; all
+are bit-identical, so the choice only affects speed and checking — ``vec``
+additionally batches sweep load points into one fused kernel).  ``repro
 --version`` prints the installed package version.  ``campaign`` and
 ``optimize`` report per-experiment progress on stderr when it is a
 terminal.
@@ -655,6 +661,73 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_devtools_replay_scenario(args: argparse.Namespace) -> int:
+    from repro.devtools.scenarios import diff_stats, get_scenario, run_scenario
+    from repro.simulator.sweep import run_batch
+
+    scenario = get_scenario(args.index, seed=args.seed)
+    engines = (
+        [name.strip() for name in args.engines.split(",") if name.strip()]
+        if args.engines
+        else available_engines()
+    )
+    print(f"scenario {scenario.label} (seed {args.seed}, index {args.index}):")
+    print(
+        f"  {scenario.topology} {scenario.rows}x{scenario.cols}, "
+        f"{'workload ' + scenario.workload if scenario.workload else 'traffic ' + scenario.traffic}, "
+        f"link latency {scenario.link_latency or 1}"
+    )
+    print(f"  config: {dict(scenario.config)}")
+
+    per_engine = {engine: run_scenario(scenario, engine) for engine in engines}
+    baseline_engine = engines[0]
+    baseline = per_engine[baseline_engine]
+    divergences = 0
+    for engine in engines:
+        stats = per_engine[engine]
+        differences = diff_stats(baseline_engine, baseline, engine, stats)
+        verdict = "match" if not differences else "DIVERGED"
+        print(
+            f"  {engine:10s} {verdict:8s} packets={stats.packets_delivered} "
+            f"latency={stats.average_packet_latency:.4f} drained={stats.drained}"
+        )
+        for line in differences:
+            print(f"    {line}")
+        divergences += bool(differences)
+
+    if args.batched and "vec" in engines:
+        # Re-run the scenario as three fused vec lanes and compare each lane
+        # against the solo vec run — catches batching-only divergences.
+        topology = scenario.build_topology()
+        link_latencies = (
+            {link: scenario.link_latency for link in topology.links}
+            if scenario.link_latency
+            else None
+        )
+        config = scenario.simulation_config("vec")
+        trace = scenario.build_trace()
+        lanes = run_batch(
+            topology,
+            [config] * 3,
+            link_latencies=link_latencies,
+            traces=[trace] * 3 if trace is not None else None,
+        )
+        solo = per_engine.get("vec") or run_scenario(scenario, "vec")
+        for lane_index, stats in enumerate(lanes):
+            differences = diff_stats("vec-solo", solo, f"batched[{lane_index}]", stats)
+            verdict = "match" if not differences else "DIVERGED"
+            print(f"  vec batched lane {lane_index}: {verdict}")
+            for line in differences:
+                print(f"    {line}")
+            divergences += bool(differences)
+
+    if divergences:
+        print(f"{divergences} divergence(s) — engines are required to be bit-identical")
+        return 1
+    print("all engines agree")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The ``repro`` argument parser (exposed for docs and tests).
 
@@ -876,6 +949,39 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig6.add_argument("--json-out", default=None, help="write results as JSON")
     p_fig6.add_argument("--json", dest="as_json", action="store_true", help="emit JSON")
     p_fig6.set_defaults(handler=_cmd_figure6)
+
+    p_dev = sub.add_parser(
+        "devtools", help="developer utilities (differential-test tooling)"
+    )
+    dev_sub = p_dev.add_subparsers(dest="devtools_command", required=True)
+    p_replay_scn = dev_sub.add_parser(
+        "replay-scenario",
+        help="rebuild one differential scenario from (seed, index) and re-run it",
+        description=(
+            "Reconstruct a randomized differential scenario from its generator "
+            "seed and index (see repro.devtools.scenarios), run it under the "
+            "given engines, and report any statistics divergence field by "
+            "field.  Failing differential tests print the exact command to "
+            "paste here."
+        ),
+    )
+    p_replay_scn.add_argument(
+        "--seed", type=int, default=2024, help="scenario-generator seed (default: 2024)"
+    )
+    p_replay_scn.add_argument(
+        "--index", type=int, required=True, help="0-based scenario index"
+    )
+    p_replay_scn.add_argument(
+        "--engines",
+        default=None,
+        help="comma-separated engine names (default: all registered engines)",
+    )
+    p_replay_scn.add_argument(
+        "--batched",
+        action="store_true",
+        help="also cross-check the vec engine's batched path against solo runs",
+    )
+    p_replay_scn.set_defaults(handler=_cmd_devtools_replay_scenario)
 
     return parser
 

@@ -20,9 +20,16 @@ this package implements the required subset from scratch:
 * load sweeps that extract zero-load latency and saturation throughput,
 * pluggable, bit-identical kernel implementations behind the
   :class:`~repro.simulator.engine.Engine` interface (``reference`` object
-  graph vs ``soa`` struct-of-arrays; see :mod:`repro.simulator.engine`),
-  selected via ``SimulationConfig(engine=...)``.
+  graph, ``soa`` struct-of-arrays, ``sanitizer`` audited, ``vec``
+  vectorized numpy; see :mod:`repro.simulator.engine`), selected via
+  ``SimulationConfig(engine=...)``,
+* multi-point batching (:class:`~repro.simulator.batch.BatchSimulator`,
+  :func:`~repro.simulator.sweep.run_batch`): many (seed, load-point) runs
+  of one compiled network fused into a single ``vec`` kernel invocation,
+  used transparently by the sweeps when ``engine="vec"``.
 """
+
+from repro.simulator.batch import BatchSimulator
 
 from repro.simulator.engine import (
     DEFAULT_ENGINE,
@@ -56,6 +63,7 @@ from repro.simulator.sweep import (
     measure_zero_load_latency,
     find_saturation_throughput,
     replay_trace,
+    run_batch,
     run_load_sweep,
 )
 
@@ -88,9 +96,11 @@ __all__ = [
     "Simulator",
     "SimulationStats",
     "PhaseStats",
+    "BatchSimulator",
     "LoadSweepResult",
     "measure_zero_load_latency",
     "find_saturation_throughput",
     "replay_trace",
+    "run_batch",
     "run_load_sweep",
 ]

@@ -1,0 +1,139 @@
+"""Multi-point batched simulation: many runs of one compiled network, fused.
+
+Campaigns are batch-shaped: a saturation sweep, a seed-replication study or a
+successive-halving rung all simulate the *same* compiled network under many
+``(seed, load point)`` configurations.  Run sequentially, each point pays the
+full per-cycle Python overhead on its own; the ``vec`` engine
+(:mod:`repro.simulator.engine.vec`) instead carries a leading batch axis, so
+:class:`BatchSimulator` fuses all points into a single kernel in which every
+numpy router pass advances every lane at once.
+
+Batching is purely a scheduling change: each lane keeps its own traffic
+generator, phase bounds and statistics accumulator, and the per-lane
+:class:`~repro.simulator.statistics.SimulationStats` are **bit-identical** to
+running each configuration alone through any registered engine (asserted by
+``tests/unit/test_batch.py`` and the differential suite).  Because of that,
+the batch always runs on the ``vec`` engine regardless of the engine named by
+the lane configurations — the result is the same, only the wall-clock
+changes.
+
+The sweep helpers (:func:`repro.simulator.sweep.run_batch` and the batched
+fast paths inside :func:`~repro.simulator.sweep.run_load_sweep` /
+:func:`~repro.simulator.sweep.find_saturation_throughput`) build on this
+class, which is how the speedup reaches ``ExperimentRunner`` campaigns,
+``repro.optimize.run_search`` rungs and the CLI without any caller changes
+beyond ``engine="vec"``.  See ``docs/PERFORMANCE.md`` for measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import TYPE_CHECKING, Sequence
+
+from repro.simulator.engine.vec import run_batched
+from repro.simulator.network import Network, build_network
+from repro.simulator.routing_tables import RoutingTables, build_routing_tables
+from repro.simulator.simulation import SimulationConfig, Simulator
+from repro.simulator.statistics import SimulationStats
+from repro.topologies.base import Link, Topology
+from repro.utils.validation import ValidationError
+
+if TYPE_CHECKING:  # imported for type hints only; no runtime dependency
+    from repro.workloads.trace import WorkloadTrace
+
+
+class BatchSimulator:
+    """Simulate many configurations of one topology in a single fused kernel.
+
+    Parameters
+    ----------
+    topology:
+        The NoC topology every lane simulates.
+    configs:
+        One :class:`SimulationConfig` per lane.  All lanes must share the
+        router-level parameters (``num_vcs``, ``buffer_depth_flits``,
+        ``router_pipeline_cycles``, ``packet_size_flits``) because they share
+        one compiled network; the injection process (rate, traffic, seed) and
+        the phase windows may vary freely per lane.  The ``engine`` field is
+        ignored — the fused kernel *is* the ``vec`` engine, and all engines
+        are bit-identical.
+    link_latencies, routing, network:
+        Prebuilt structures to share, exactly as in
+        :class:`~repro.simulator.simulation.Simulator`.
+    traces:
+        Optional per-lane workload traces, parallel to ``configs`` (``None``
+        entries mean Bernoulli injection for that lane).  Trace-replay and
+        synthetic lanes batch together freely.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        configs: Sequence[SimulationConfig],
+        link_latencies: dict[Link, int] | None = None,
+        routing: RoutingTables | None = None,
+        network: Network | None = None,
+        traces: "Sequence[WorkloadTrace | None] | None" = None,
+    ) -> None:
+        if not configs:
+            raise ValidationError("BatchSimulator needs at least one configuration")
+        if traces is not None and len(traces) != len(configs):
+            raise ValidationError(
+                f"traces must be parallel to configs: got {len(traces)} traces "
+                f"for {len(configs)} configurations"
+            )
+        net_config = configs[0].network_config()
+        for index, config in enumerate(configs):
+            if config.network_config() != net_config:
+                raise ValidationError(
+                    f"batched configuration {index} differs in router/network "
+                    "parameters; all lanes share one compiled network, so "
+                    "num_vcs, buffer_depth_flits, router_pipeline_cycles and "
+                    "packet_size_flits must match across the batch (vary the "
+                    "injection rate, traffic, seed or phase windows instead)"
+                )
+        if network is not None:
+            self.network = network
+        else:
+            if routing is None:
+                routing = build_routing_tables(topology)
+            self.network = build_network(
+                topology,
+                config=net_config,
+                link_latencies=link_latencies,
+                routing=routing,
+            )
+        if traces is None:
+            traces = [None] * len(configs)
+        # One Simulator per lane: reuses all of its validation (prebuilt
+        # network compatibility, trace tile count) and pins the lane to the
+        # vec engine, the only kernel with a batch axis.
+        self.simulators = [
+            Simulator(
+                topology,
+                replace(config, engine="vec"),
+                network=self.network,
+                trace=trace,
+            )
+            for config, trace in zip(configs, traces)
+        ]
+
+    def __len__(self) -> int:
+        return len(self.simulators)
+
+    @property
+    def cycles_simulated(self) -> int:
+        """Total cycles advanced across all lanes so far."""
+        return sum(sim.cycles_simulated for sim in self.simulators)
+
+    def run(self) -> list[SimulationStats]:
+        """Run every lane to completion and return per-lane statistics.
+
+        The returned list is parallel to the ``configs`` the batch was built
+        from, and each entry is bit-identical to ``Simulator(...).run()`` for
+        that lane alone.
+        """
+        return run_batched([sim.engine for sim in self.simulators])
+
+
+__all__ = ["BatchSimulator"]

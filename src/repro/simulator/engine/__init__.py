@@ -20,6 +20,14 @@ the :class:`~repro.simulator.engine.base.Engine` interface:
     :class:`~repro.simulator.engine.sanitizer.SanitizerError` with cycle/
     router/VC context on the first violation.  Bit-identical statistics,
     slower; intended for debugging and CI (see ``docs/VERIFICATION.md``).
+``vec``
+    The vectorized numpy kernel (:class:`VecEngine`) — router passes run as
+    masked array operations over every node at once, with a leading batch
+    axis that fuses many ``(seed, load point)`` runs of one compiled network
+    into a single kernel (:func:`~repro.simulator.engine.vec.run_batched`,
+    surfaced as :class:`~repro.simulator.batch.BatchSimulator` and the
+    batched sweep fast paths).  Bit-identical to ``reference``; fastest on
+    large networks and batched sweeps (see ``docs/PERFORMANCE.md``).
 
 Engines are selected by name through ``SimulationConfig(engine=...)``, which
 every launching layer threads through: ``sweep``/``replay_trace``,
@@ -39,6 +47,7 @@ from repro.simulator.engine.base import Engine
 from repro.simulator.engine.reference import ReferenceEngine
 from repro.simulator.engine.sanitizer import SanitizerEngine, SanitizerError
 from repro.simulator.engine.soa import SoAEngine
+from repro.simulator.engine.vec import VecEngine
 from repro.utils.validation import ValidationError
 
 if TYPE_CHECKING:  # imported for type hints only; no runtime dependency
@@ -52,6 +61,7 @@ ENGINE_FACTORIES: dict[str, Type[Engine]] = {
     ReferenceEngine.name: ReferenceEngine,
     SoAEngine.name: SoAEngine,
     SanitizerEngine.name: SanitizerEngine,
+    VecEngine.name: VecEngine,
 }
 
 #: The engine a :class:`SimulationConfig` uses unless told otherwise.
@@ -91,6 +101,7 @@ __all__ = [
     "SanitizerEngine",
     "SanitizerError",
     "SoAEngine",
+    "VecEngine",
     "available_engines",
     "check_engine_name",
     "make_engine",

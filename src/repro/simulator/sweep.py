@@ -21,13 +21,28 @@ shares them across all simulated load points — only the injection rate varies
 between points, and neither structure depends on it.  Callers that sweep the
 same topology repeatedly (e.g. the prediction toolchain) can pass prebuilt
 ``routing`` and/or ``network`` objects to skip construction entirely.
+
+Batched execution
+-----------------
+When ``config.engine == "vec"`` the sweeps exploit the vec engine's batch
+axis (:class:`~repro.simulator.batch.BatchSimulator`): :func:`run_load_sweep`
+fuses all rates into one kernel, and :func:`find_saturation_throughput` fuses
+the coarse bracketing stage (the bisection stays sequential — each midpoint
+depends on the previous verdict).  Batching never changes results: each lane
+is bit-identical to its solo run, and the coarse stage trims its batched
+results to exactly the points the sequential loop would have visited, so the
+returned ``points`` list — and with it every downstream consumer, including
+the experiment memoization cache shared across engines — is unchanged.
+:func:`run_batch` exposes the same fusion for arbitrary config batches
+(seed replications, mixed trace/synthetic lanes).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Sequence
 
+from repro.simulator.batch import BatchSimulator
 from repro.simulator.network import Network, build_network
 from repro.simulator.routing_tables import RoutingTables, build_routing_tables
 from repro.simulator.simulation import SimulationConfig, Simulator
@@ -91,6 +106,34 @@ def _simulate(
 ) -> SimulationStats:
     simulator = Simulator(topology, config, network=network)
     return simulator.run()
+
+
+def run_batch(
+    topology: Topology,
+    configs: "Sequence[SimulationConfig]",
+    link_latencies: dict[Link, int] | None = None,
+    routing: RoutingTables | None = None,
+    network: Network | None = None,
+    traces: "Sequence[WorkloadTrace | None] | None" = None,
+) -> list[SimulationStats]:
+    """Simulate many configurations of one topology in a single fused kernel.
+
+    A thin functional wrapper over
+    :class:`~repro.simulator.batch.BatchSimulator`: all lanes share one
+    compiled network (so the router-level parameters must match across
+    ``configs``) and run on the ``vec`` engine's batch axis.  The returned
+    list is parallel to ``configs`` and each entry is bit-identical to the
+    corresponding solo ``Simulator(...).run()``.
+    """
+    batch = BatchSimulator(
+        topology,
+        configs,
+        link_latencies=link_latencies,
+        routing=routing,
+        network=network,
+        traces=traces,
+    )
+    return batch.run()
 
 
 def measure_zero_load_latency(
@@ -168,11 +211,29 @@ def find_saturation_throughput(
         )
 
     # Coarse sweep: geometric spacing between the probe load and max_rate.
+    coarse_rates = [
+        min(max_rate, 0.02 * (max_rate / 0.02) ** (step / coarse_steps))
+        for step in range(1, coarse_steps + 1)
+    ]
+    coarse_stats: list[SimulationStats] | None = None
+    if base.engine == "vec" and len(coarse_rates) > 1:
+        # Batched fast path: fuse the whole coarse stage into one kernel.
+        # Each lane is bit-identical to its solo run, and the walk below
+        # still stops at the first saturated rate, so the ``points`` list
+        # (and everything derived from it) matches the sequential loop
+        # exactly — the lanes past the break are simply discarded.
+        coarse_stats = run_batch(
+            topology,
+            [replace(base, injection_rate=rate) for rate in coarse_rates],
+            network=network,
+        )
     lo, hi = None, None
     last_good = probe_rate
-    for step in range(1, coarse_steps + 1):
-        rate = min(max_rate, 0.02 * (max_rate / 0.02) ** (step / coarse_steps))
-        stats = _simulate(topology, replace(base, injection_rate=rate), network)
+    for step_index, rate in enumerate(coarse_rates):
+        if coarse_stats is not None:
+            stats = coarse_stats[step_index]
+        else:
+            stats = _simulate(topology, replace(base, injection_rate=rate), network)
         points.append((rate, stats))
         if _is_saturated(stats, zero_load_latency, latency_blowup):
             lo, hi = last_good, rate
@@ -262,9 +323,21 @@ def run_load_sweep(
     routing: RoutingTables | None = None,
     network: Network | None = None,
 ) -> list[tuple[float, SimulationStats]]:
-    """Simulate a fixed list of injection rates (latency/throughput curves)."""
+    """Simulate a fixed list of injection rates (latency/throughput curves).
+
+    With ``config.engine == "vec"`` all rates run as one fused batch (same
+    per-point statistics, lower wall-clock); otherwise the points run
+    sequentially through the configured engine.
+    """
     base = config or SimulationConfig()
     network = _shared_network(topology, base, link_latencies, routing, network)
+    if base.engine == "vec" and len(rates) > 1:
+        batch_stats = run_batch(
+            topology,
+            [replace(base, injection_rate=rate) for rate in rates],
+            network=network,
+        )
+        return list(zip(rates, batch_stats))
     results = []
     for rate in rates:
         stats = _simulate(topology, replace(base, injection_rate=rate), network)

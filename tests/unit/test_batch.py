@@ -1,0 +1,177 @@
+"""Batched simulation: ``BatchSimulator``/``run_batch`` vs sequential runs.
+
+The vec engine's batch axis fuses many (seed, load-point) runs of one
+compiled network into a single kernel.  Batching must be *purely* a
+scheduling change: every lane's :class:`SimulationStats` must be identical,
+field for field, to the same configuration run alone — through the vec
+engine and therefore (by the differential suite) through every engine.
+These tests pin that contract, the sweep fast paths that rely on it, and
+the batch-construction validation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.simulator.batch import BatchSimulator
+from repro.simulator.network import build_network
+from repro.simulator.simulation import SimulationConfig, Simulator
+from repro.simulator.sweep import (
+    find_saturation_throughput,
+    replay_trace,
+    run_batch,
+    run_load_sweep,
+)
+from repro.topologies.mesh import MeshTopology
+from repro.topologies.torus import TorusTopology
+from repro.utils.validation import ValidationError
+from repro.workloads import make_workload_trace
+
+
+def _stats_dict(stats):
+    return dataclasses.asdict(stats)
+
+
+def _config(**overrides):
+    base = dict(
+        injection_rate=0.08,
+        warmup_cycles=40,
+        measurement_cycles=120,
+        drain_max_cycles=600,
+        num_vcs=4,
+        buffer_depth_flits=2,
+        seed=7,
+    )
+    base.update(overrides)
+    return SimulationConfig(**base)
+
+
+def test_batched_lanes_match_sequential_runs():
+    # Mixed rates x seeds x traffic in one batch: every lane must equal its
+    # solo vec run (and, transitively, its solo run under any engine).
+    topology = MeshTopology(4, 4)
+    configs = [
+        _config(injection_rate=rate, seed=seed, traffic=traffic)
+        for rate, seed, traffic in [
+            (0.02, 1, "uniform"),
+            (0.10, 2, "transpose"),
+            (0.30, 3, "uniform"),
+            (0.10, 2, "tornado"),
+        ]
+    ]
+    batched = BatchSimulator(topology, configs).run()
+    assert len(batched) == len(configs)
+    for config, stats in zip(configs, batched):
+        solo = Simulator(topology, dataclasses.replace(config, engine="vec")).run()
+        assert _stats_dict(stats) == _stats_dict(solo), f"lane {config} diverged"
+
+
+def test_batched_lanes_match_reference_engine():
+    topology = TorusTopology(3, 3)
+    configs = [_config(injection_rate=r, seed=s) for r, s in [(0.05, 1), (0.2, 9)]]
+    batched = run_batch(topology, configs)
+    for config, stats in zip(configs, batched):
+        solo = Simulator(topology, dataclasses.replace(config, engine="reference")).run()
+        assert _stats_dict(stats) == _stats_dict(solo)
+
+
+def test_batch_mixes_trace_and_synthetic_lanes():
+    topology = MeshTopology(4, 4)
+    trace = make_workload_trace(
+        "stencil2d", 4, 4, seed=5, iterations=2, iteration_window=20
+    )
+    replay_config = SimulationConfig(
+        num_vcs=4, buffer_depth_flits=2, drain_max_cycles=2000, seed=1
+    )
+    synth_config = _config(injection_rate=0.06, seed=11)
+    batched = run_batch(
+        topology,
+        [replay_config, synth_config],
+        traces=[trace, None],
+    )
+    solo_replay = replay_trace(
+        topology, trace, config=dataclasses.replace(replay_config, engine="vec")
+    )
+    solo_synth = Simulator(
+        topology, dataclasses.replace(synth_config, engine="vec")
+    ).run()
+    assert _stats_dict(batched[0]) == _stats_dict(solo_replay)
+    assert _stats_dict(batched[1]) == _stats_dict(solo_synth)
+    # The trace lane carries per-phase statistics through the batch too.
+    assert batched[0].phases
+
+
+def test_batch_ignores_lane_engine_field():
+    # The fused kernel is the vec engine; lanes asking for other (bit-
+    # identical) engines are batched anyway.
+    topology = MeshTopology(3, 3)
+    configs = [_config(engine="reference"), _config(engine="soa", seed=8)]
+    batch = BatchSimulator(topology, configs)
+    assert all(sim.config.engine == "vec" for sim in batch.simulators)
+    batched = batch.run()
+    for config, stats in zip(configs, batched):
+        assert _stats_dict(stats) == _stats_dict(Simulator(topology, config).run())
+
+
+def test_batch_shares_prebuilt_network():
+    topology = MeshTopology(3, 3)
+    config = _config()
+    network = build_network(topology, config=config.network_config())
+    batch = BatchSimulator(topology, [config, _config(seed=2)], network=network)
+    assert batch.network is network
+    assert all(sim.network is network for sim in batch.simulators)
+
+
+def test_batch_rejects_empty_and_mismatched_inputs():
+    topology = MeshTopology(3, 3)
+    with pytest.raises(ValidationError):
+        BatchSimulator(topology, [])
+    with pytest.raises(ValidationError, match="router/network parameters"):
+        BatchSimulator(topology, [_config(num_vcs=4), _config(num_vcs=2)])
+    with pytest.raises(ValidationError, match="parallel"):
+        BatchSimulator(topology, [_config()], traces=[None, None])
+
+
+def test_run_load_sweep_vec_fast_path_matches_sequential():
+    topology = MeshTopology(4, 4)
+    rates = [0.02, 0.08, 0.14]
+    base = _config()
+    sequential = run_load_sweep(
+        topology, rates, config=dataclasses.replace(base, engine="reference")
+    )
+    batched = run_load_sweep(
+        topology, rates, config=dataclasses.replace(base, engine="vec")
+    )
+    assert [rate for rate, _ in batched] == rates
+    for (rate_a, stats_a), (rate_b, stats_b) in zip(sequential, batched):
+        assert rate_a == rate_b
+        assert _stats_dict(stats_a) == _stats_dict(stats_b)
+
+
+def test_find_saturation_vec_fast_path_matches_sequential():
+    # The batched coarse stage trims to the points the sequential loop
+    # visited, so the whole LoadSweepResult — saturation estimate, probe
+    # latency and the points list — must be identical across engines.
+    topology = MeshTopology(4, 4)
+    base = _config(measurement_cycles=100, drain_max_cycles=400)
+    sequential = find_saturation_throughput(
+        topology,
+        config=dataclasses.replace(base, engine="reference"),
+        coarse_steps=4,
+        refine_steps=2,
+    )
+    batched = find_saturation_throughput(
+        topology,
+        config=dataclasses.replace(base, engine="vec"),
+        coarse_steps=4,
+        refine_steps=2,
+    )
+    assert batched.saturation_throughput == sequential.saturation_throughput
+    assert batched.zero_load_latency == sequential.zero_load_latency
+    assert [rate for rate, _ in batched.points] == [
+        rate for rate, _ in sequential.points
+    ]
+    for (_, stats_a), (_, stats_b) in zip(sequential.points, batched.points):
+        assert _stats_dict(stats_a) == _stats_dict(stats_b)

@@ -1,145 +1,117 @@
-"""Cross-engine differential tests: ``soa`` must equal ``reference`` exactly.
+"""Cross-engine differential tests: every engine must match ``reference``.
 
-The pinned goldens in ``test_simulation_golden.py`` anchor both engines to the
+The pinned goldens in ``test_simulation_golden.py`` anchor the engines to the
 pre-refactor kernel on five fixed scenarios; these tests go wider: a seeded
 sweep of randomized small scenarios — topology family x grid x traffic/trace x
 load x router configuration — runs every scenario through every registered
-engine and asserts the full :class:`SimulationStats` (per-phase statistics
-included) are **identical**, field for field, with no tolerance.
+engine (``reference``, ``soa``, ``sanitizer``, ``vec``) and asserts the full
+:class:`SimulationStats` (per-phase statistics included) are **identical**,
+field for field, with no tolerance.  The ``vec`` engine's batch axis is
+cross-checked too: batching several lanes of a scenario must leave each
+lane's statistics bit-identical to its solo run.
 
-The scenario list is generated from a fixed seed, so failures are exactly
-reproducible; the generator favours small grids and short phase windows to
-keep the sweep fast while still crossing the kernel's distinct regimes
-(saturation, escape-layer fallback, multi-cycle links, trace replay).
+The scenarios come from :mod:`repro.devtools.scenarios` (shared with
+``tools/gen_scenarios.py`` and the ``repro devtools replay-scenario`` CLI),
+so every scenario is a pure function of ``(generator seed, index)`` — and a
+failing assertion prints the one-line command that reproduces it.
 """
 
 from __future__ import annotations
 
 import dataclasses
 
-import numpy as np
 import pytest
 
-from repro.core.sparse_hamming import SparseHammingGraph
+from repro.devtools.scenarios import (
+    diff_stats,
+    generate_scenarios,
+    run_scenario,
+)
 from repro.simulator.engine import ENGINE_FACTORIES, available_engines
-from repro.simulator.simulation import SimulationConfig, Simulator
-from repro.simulator.sweep import replay_trace
-from repro.topologies.flattened_butterfly import FlattenedButterflyTopology
-from repro.topologies.mesh import MeshTopology
-from repro.topologies.ring import RingTopology
-from repro.topologies.torus import TorusTopology
-from repro.workloads import make_workload_trace
+from repro.simulator.sweep import run_batch
 
 ENGINES = available_engines()
 
-#: Topology families the generator draws from (keyed for test ids).
-_TOPOLOGIES = {
-    "mesh": lambda rows, cols: MeshTopology(rows, cols),
-    "torus": lambda rows, cols: TorusTopology(rows, cols),
-    "ring": lambda rows, cols: RingTopology(rows, cols),
-    "flattened_butterfly": lambda rows, cols: FlattenedButterflyTopology(rows, cols),
-    # s_r/s_c = {2} is valid for every grid the generator draws (3..5 per axis).
-    "sparse_hamming": lambda rows, cols: SparseHammingGraph(rows, cols, s_r={2}, s_c={2}),
-}
+#: Size of the differential sweep (scenario indices 0..N-1 of the default
+#: generator seed).
+SWEEP_SIZE = 40
 
-_TRAFFIC = ("uniform", "transpose", "tornado", "neighbor", "bit_complement")
-
-_WORKLOADS = {
-    "dnn_inference": dict(layers=3, layer_window=40, fan_out=2),
-    "mpi_collective": dict(collective="allreduce_ring", step_cycles=5),
-    "stencil2d": dict(iterations=2, iteration_window=20),
-    "onoff": dict(duration=120, burst_rate=0.4),
-}
+_SCENARIOS = generate_scenarios(SWEEP_SIZE)
 
 
-def _random_scenarios(count: int, seed: int = 2024):
-    """Deterministically draw ``count`` randomized scenario descriptions."""
-    rng = np.random.default_rng(seed)
-    scenarios = []
-    topo_keys = sorted(_TOPOLOGIES)
-    workload_keys = sorted(_WORKLOADS)
-    for index in range(count):
-        rows = int(rng.integers(3, 6))
-        cols = int(rng.integers(3, 6))
-        topo_key = topo_keys[int(rng.integers(len(topo_keys)))]
-        num_vcs = int(rng.choice([1, 2, 4, 8]))
-        config = dict(
-            injection_rate=float(rng.choice([0.02, 0.08, 0.20, 0.45])),
-            packet_size_flits=int(rng.choice([1, 2, 4])),
-            num_vcs=num_vcs,
-            buffer_depth_flits=int(rng.choice([1, 2, 4])),
-            router_pipeline_cycles=int(rng.choice([1, 2, 3])),
-            warmup_cycles=int(rng.choice([0, 50, 120])),
-            measurement_cycles=int(rng.choice([80, 150, 250])),
-            drain_max_cycles=int(rng.choice([400, 800])),
-            seed=int(rng.integers(0, 10_000)),
-        )
-        traffic = _TRAFFIC[int(rng.integers(len(_TRAFFIC)))]
-        if traffic == "transpose" and rows != cols:
-            traffic = "uniform"
-        workload = None
-        if rng.random() < 0.35:
-            workload = workload_keys[int(rng.integers(len(workload_keys)))]
-        link_latency = int(rng.choice([0, 0, 2, 4]))  # 0 = single-cycle links
-        scenarios.append(
-            pytest.param(
-                (topo_key, rows, cols, traffic, workload, link_latency, config),
-                id=f"{index:02d}-{topo_key}-{workload or traffic}",
-            )
-        )
-    return scenarios
+def _params(scenarios):
+    return [pytest.param(scenario, id=scenario.label) for scenario in scenarios]
 
 
-def _run(scenario, engine: str):
-    topo_key, rows, cols, traffic, workload, link_latency, config = scenario
-    topology = _TOPOLOGIES[topo_key](rows, cols)
-    link_latencies = (
-        {link: link_latency for link in topology.links} if link_latency else None
-    )
-    if workload is not None:
-        trace = make_workload_trace(
-            workload, rows, cols, seed=config["seed"], **_WORKLOADS[workload]
-        )
-        # Replay ignores the injection/phase knobs but honours the router
-        # configuration — keep the randomized VC/buffer/pipeline draw so the
-        # trace path is cross-checked beyond the default router too.
-        sim_config = SimulationConfig(
-            num_vcs=config["num_vcs"],
-            buffer_depth_flits=config["buffer_depth_flits"],
-            router_pipeline_cycles=config["router_pipeline_cycles"],
-            drain_max_cycles=5000,
-            seed=1,
-            engine=engine,
-        )
-        return replay_trace(
-            topology, trace, config=sim_config, link_latencies=link_latencies
-        )
-    sim_config = SimulationConfig(traffic=traffic, engine=engine, **config)
-    return Simulator(topology, sim_config, link_latencies=link_latencies).run()
-
-
-@pytest.mark.parametrize("scenario", _random_scenarios(20))
+@pytest.mark.parametrize("scenario", _params(_SCENARIOS))
 def test_engines_produce_identical_stats(scenario):
-    per_engine = {
-        engine: dataclasses.asdict(_run(scenario, engine)) for engine in ENGINES
-    }
-    baseline = per_engine[ENGINES[0]]
+    baseline_engine = ENGINES[0]
+    baseline = run_scenario(scenario, baseline_engine)
     for engine in ENGINES[1:]:
-        assert per_engine[engine] == baseline, (
-            f"engine {engine!r} diverged from {ENGINES[0]!r} on {scenario}"
+        stats = run_scenario(scenario, engine)
+        differences = diff_stats(baseline_engine, baseline, engine, stats)
+        assert not differences, (
+            f"engine {engine!r} diverged from {baseline_engine!r} on scenario "
+            f"{scenario.label} — reproduce with: {scenario.repro_command()}\n"
+            + "\n".join(differences)
+        )
+
+
+# Batching is pure scheduling: fusing lanes into one vec kernel must not
+# change any lane's statistics.  Every 4th sweep scenario keeps the check
+# broad (synthetic and replay scenarios both batch) without doubling the
+# sweep's runtime.
+@pytest.mark.parametrize("scenario", _params(_SCENARIOS[::4]))
+def test_vec_batched_matches_sequential(scenario):
+    topology = scenario.build_topology()
+    link_latencies = (
+        {link: scenario.link_latency for link in topology.links}
+        if scenario.link_latency
+        else None
+    )
+    base = scenario.simulation_config("vec")
+    trace = scenario.build_trace()
+    if trace is not None:
+        configs = [base] * 3
+        traces = [trace] * 3
+    else:
+        # Vary the lane seeds so the batch holds genuinely different runs.
+        configs = [
+            dataclasses.replace(base, seed=base.seed + offset) for offset in range(3)
+        ]
+        traces = None
+    batched = run_batch(
+        topology, configs, link_latencies=link_latencies, traces=traces
+    )
+    for lane, (config, stats) in enumerate(zip(configs, batched)):
+        solo_scenario = dataclasses.replace(
+            scenario, config={**scenario.config, "seed": config.seed}
+        )
+        solo = run_scenario(solo_scenario if trace is None else scenario, "vec")
+        differences = diff_stats("solo", solo, f"batched[{lane}]", stats)
+        assert not differences, (
+            f"vec batch lane {lane} diverged from its solo run on scenario "
+            f"{scenario.label} — reproduce with: "
+            f"{scenario.repro_command()} --batched\n" + "\n".join(differences)
         )
 
 
 def test_equivalence_sweep_exercises_both_kernel_modes():
     # Regression guard for the generator itself: the fixed seed must keep
     # producing a mix of synthetic and trace-replay scenarios.
-    scenarios = [param.values[0] for param in _random_scenarios(20)]
-    workloads = [scenario[4] for scenario in scenarios]
+    workloads = [scenario.workload for scenario in _SCENARIOS]
     assert any(workload is not None for workload in workloads)
     assert any(workload is None for workload in workloads)
 
 
+def test_scenarios_are_reproducible_from_seed_and_index():
+    # (seed, index) is the whole identity: regenerating a prefix of the
+    # sequence yields the exact same scenarios the sweep ran.
+    regenerated = generate_scenarios(10)
+    assert regenerated == _SCENARIOS[:10]
+
+
 def test_engine_registry_is_consistent():
-    assert set(ENGINE_FACTORIES) == {"reference", "soa", "sanitizer"}
+    assert set(ENGINE_FACTORIES) == {"reference", "soa", "sanitizer", "vec"}
     for name, factory in ENGINE_FACTORIES.items():
         assert factory.name == name

@@ -1,0 +1,249 @@
+"""Property-based invariant tests over randomized simulations.
+
+Where the differential suite (``test_engine_equivalence.py``) checks that
+every engine produces the *same* statistics, these tests check that the
+statistics are *physically possible* — on randomized cases none of which has
+a pinned golden:
+
+* **flit conservation** — nothing is delivered that was not created, and the
+  per-cycle conservation ledger holds (every case runs under the
+  ``sanitizer`` engine, which audits flit and credit conservation, buffer
+  bounds and allocation consistency on every cycle and raises on the first
+  violation);
+* **credit/capacity conservation** — accepted load can never exceed the
+  injection capacity of one flit per tile per cycle;
+* **latency lower bounds** — per measured packet, packet latency ≥ network
+  latency ≥ ``router_pipeline_cycles`` x hops, and hops ≥ the BFS hop
+  distance of the packet's source/destination pair (checked in aggregate
+  through deterministic traffic patterns, whose destination map is known);
+* **drained ⇒ zero in-flight** — a run reporting ``drained`` must have
+  delivered every measured packet.
+
+The cases are drawn by a pure-pytest generator (no hypothesis dependency)
+from a fixed seed, and are ordered by *increasing* size: case ``NN`` has a
+grid and phase windows no smaller than case ``NN-1``'s.  That makes failures
+shrink-friendly by construction — if ``case12`` fails, rerun the lower
+indices first; the smallest failing index is the minimal repro the generator
+can express.  Every assertion message carries the case's full parameters,
+so a failure is reconstructible without rerunning the generator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Any, Mapping
+
+import numpy as np
+import pytest
+
+from repro.simulator.routing_tables import build_routing_tables
+from repro.simulator.simulation import SimulationConfig, Simulator
+from repro.simulator.traffic import make_traffic_pattern
+from repro.topologies.mesh import MeshTopology
+from repro.topologies.ring import RingTopology
+from repro.topologies.torus import TorusTopology
+
+#: Generator seed for the whole case sweep; change it and every case changes.
+GENERATOR_SEED = 20240808
+
+#: Number of randomized cases (indices 0..N-1, ordered by increasing size).
+NUM_CASES = 18
+
+_TOPOLOGIES = {
+    "mesh": MeshTopology,
+    "torus": TorusTopology,
+    "ring": RingTopology,
+}
+
+#: Deterministic patterns: ``destination(source)`` is a pure function, so
+#: the BFS lower bound on hop counts can be computed exactly.
+_DETERMINISTIC_TRAFFIC = ("transpose", "tornado", "neighbor", "bit_complement")
+
+
+@dataclass(frozen=True)
+class PropertyCase:
+    """One randomized simulation case, identified by ``(seed, index)``."""
+
+    index: int
+    topology: str
+    rows: int
+    cols: int
+    traffic: str
+    config: Mapping[str, Any]
+
+    @property
+    def label(self) -> str:
+        return f"case{self.index:02d}-{self.topology}-{self.traffic}"
+
+    def describe(self) -> str:
+        """Everything needed to rebuild this case by hand."""
+        return (
+            f"{self.label}: generator seed {GENERATOR_SEED}, "
+            f"{self.topology} {self.rows}x{self.cols}, traffic {self.traffic}, "
+            f"SimulationConfig(traffic={self.traffic!r}, "
+            + ", ".join(f"{k}={v!r}" for k, v in self.config.items())
+            + ") — lower case indices are smaller instances (shrink order)"
+        )
+
+
+def _draw_cases(count: int, seed: int) -> list[PropertyCase]:
+    """Draw ``count`` cases with sizes that grow monotonically in the index.
+
+    The randomized knobs (traffic, load, router parameters, simulation seed)
+    come from one seeded RNG; the *size* knobs (grid, measurement window)
+    are monotone functions of the index so that earlier cases are strictly
+    easier to debug — the pure-pytest stand-in for hypothesis shrinking.
+    """
+    rng = np.random.default_rng(seed)
+    topo_keys = sorted(_TOPOLOGIES)
+    cases = []
+    for index in range(count):
+        # Size ramp: 3x3 grids and 60-cycle windows first, 5x5/160 last.
+        side = 3 + index * 3 // count
+        rows = side
+        cols = side
+        measurement = 60 + (index * 100) // max(count - 1, 1)
+        topo_key = topo_keys[int(rng.integers(len(topo_keys)))]
+        traffic_pool = ("uniform",) + _DETERMINISTIC_TRAFFIC
+        traffic = traffic_pool[int(rng.integers(len(traffic_pool)))]
+        if traffic == "transpose" and rows != cols:
+            traffic = "uniform"
+        config = dict(
+            injection_rate=float(rng.choice([0.03, 0.10, 0.25, 0.50])),
+            packet_size_flits=int(rng.choice([1, 2, 4])),
+            num_vcs=int(rng.choice([1, 2, 4])),
+            buffer_depth_flits=int(rng.choice([1, 2, 4])),
+            router_pipeline_cycles=int(rng.choice([1, 2, 3])),
+            warmup_cycles=int(rng.choice([0, 40])),
+            measurement_cycles=measurement,
+            drain_max_cycles=600,
+            seed=int(rng.integers(0, 10_000)),
+        )
+        cases.append(
+            PropertyCase(
+                index=index,
+                topology=topo_key,
+                rows=rows,
+                cols=cols,
+                traffic=traffic,
+                config=config,
+            )
+        )
+    return cases
+
+
+_CASES = _draw_cases(NUM_CASES, GENERATOR_SEED)
+
+_PARAMS = [pytest.param(case, id=case.label) for case in _CASES]
+
+
+@lru_cache(maxsize=None)
+def _run(index: int):
+    """Run case ``index`` once under the sanitizer engine; share the result.
+
+    Running under ``sanitizer`` means every cycle of every case is audited
+    for flit/credit conservation, buffer bounds and allocation consistency —
+    a violation raises ``SanitizerError`` and fails whichever property test
+    touched the case first.
+    """
+    case = _CASES[index]
+    topology = _TOPOLOGIES[case.topology](case.rows, case.cols)
+    config = SimulationConfig(traffic=case.traffic, engine="sanitizer", **case.config)
+    simulator = Simulator(topology, config)
+    stats = simulator.run()
+    return topology, simulator, stats
+
+
+@pytest.mark.parametrize("case", _PARAMS)
+def test_flit_conservation(case):
+    _, simulator, stats = _run(case.index)
+    acc = simulator.engine._accumulator
+    assert stats.packets_delivered <= stats.packets_created, case.describe()
+    assert acc.measured_delivered <= stats.packets_measured, case.describe()
+    # Every flit delivered inside the measurement window (measured or not —
+    # warmup packets landing in the window count toward accepted load) came
+    # from a created packet: window flits can never exceed created flits.
+    assert (
+        acc.flits_delivered_measurement
+        <= stats.packets_created * case.config["packet_size_flits"]
+    ), case.describe()
+
+
+@pytest.mark.parametrize("case", _PARAMS)
+def test_accepted_load_respects_capacity(case):
+    _, _, stats = _run(case.index)
+    # One flit per tile per cycle is the hard injection/ejection capacity;
+    # accepted load is normalised to it and can never exceed 1.
+    assert 0.0 <= stats.accepted_load <= 1.0 + 1e-12, case.describe()
+    assert (
+        stats.flits_delivered_measurement
+        <= stats.measurement_cycles * stats.num_tiles
+    ), case.describe()
+
+
+@pytest.mark.parametrize("case", _PARAMS)
+def test_per_packet_latency_lower_bounds(case):
+    _, simulator, stats = _run(case.index)
+    acc = simulator.engine._accumulator
+    if not acc.measured_latencies:
+        pytest.skip("case measured no packets")
+    latencies = np.asarray(acc.measured_latencies)
+    network = np.asarray(acc.measured_network_latencies)
+    hops = np.asarray(acc.measured_hops)
+    pipeline = case.config["router_pipeline_cycles"]
+    # Queueing at the source only adds delay.
+    assert (latencies >= network).all(), case.describe()
+    # Every hop traverses a full router pipeline (and links only add).
+    assert (network >= pipeline * hops).all(), case.describe()
+    assert (network >= hops).all(), case.describe()
+    assert (hops >= 0).all(), case.describe()
+
+
+@pytest.mark.parametrize("case", _PARAMS)
+def test_hops_respect_bfs_lower_bound(case):
+    if case.traffic not in _DETERMINISTIC_TRAFFIC:
+        pytest.skip("bound is only exact for deterministic destination maps")
+    topology, simulator, stats = _run(case.index)
+    acc = simulator.engine._accumulator
+    if not acc.measured_hops:
+        pytest.skip("case measured no packets")
+    routing = build_routing_tables(topology)
+    pattern = make_traffic_pattern(case.traffic, topology)
+    rng = np.random.default_rng(0)  # unused by deterministic patterns
+    bfs = [
+        routing.hop_distance[source][pattern.destination(source, rng)]
+        for source in range(topology.num_tiles)
+    ]
+    # Every packet's hop count is bounded below by the BFS distance of its
+    # (source, destination) pair; without per-packet pairs the sharpest
+    # aggregate form is the minimum over the (deterministic) pair set.
+    assert min(np.asarray(acc.measured_hops)) >= min(bfs), case.describe()
+    assert stats.average_hops >= min(bfs), case.describe()
+
+
+@pytest.mark.parametrize("case", _PARAMS)
+def test_drained_implies_zero_in_flight(case):
+    _, simulator, stats = _run(case.index)
+    acc = simulator.engine._accumulator
+    if stats.drained:
+        assert simulator.engine._measured_in_flight == 0, case.describe()
+        assert acc.measured_delivered == stats.packets_measured, case.describe()
+    else:
+        # An undrained run must actually have something left in flight.
+        assert simulator.engine._measured_in_flight > 0, case.describe()
+
+
+def test_case_sizes_are_monotone():
+    # The shrink order is a contract: lower index ⇒ no-larger instance.
+    for previous, current in zip(_CASES, _CASES[1:]):
+        assert current.rows >= previous.rows
+        assert current.cols >= previous.cols
+        assert (
+            current.config["measurement_cycles"]
+            >= previous.config["measurement_cycles"]
+        )
+
+
+def test_cases_are_reproducible():
+    assert _draw_cases(NUM_CASES, GENERATOR_SEED) == _CASES

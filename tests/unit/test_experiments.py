@@ -756,11 +756,13 @@ class TestEngineCli:
         assert cli_main(["list-engines"]) == 0
         out = capsys.readouterr().out
         assert "reference" in out and "soa" in out and "sanitizer" in out
+        assert "vec" in out
         assert cli_main(["list-engines", "--json"]) == 0
         assert json.loads(capsys.readouterr().out) == [
             "reference",
             "sanitizer",
             "soa",
+            "vec",
         ]
 
     def test_predict_engine_flag_is_bit_identical(self, capsys):

@@ -1,0 +1,131 @@
+#!/usr/bin/env python
+"""List, export or run the engine-differential test scenarios.
+
+The differential harness (``tests/unit/test_engine_equivalence.py``) sweeps
+seeded randomized scenarios drawn by :mod:`repro.devtools.scenarios`; each
+scenario is a pure function of ``(generator seed, index)``.  This script is
+the standalone face of that generator:
+
+* ``--list`` (default) prints the scenario table for a seed, so you can see
+  what the suite actually covers;
+* ``--json`` exports the scenarios as JSON (for external tooling or to diff
+  the generator's output across revisions);
+* ``--run`` executes the full differential sweep outside pytest — every
+  scenario under every registered engine, failing on the first divergence
+  with the one-line ``repro devtools replay-scenario`` command that
+  reproduces it.  CI uses this as a pytest-free equivalence gate.
+
+Run it from the repository root::
+
+    PYTHONPATH=src python tools/gen_scenarios.py
+    PYTHONPATH=src python tools/gen_scenarios.py --count 40 --run
+    PYTHONPATH=src python tools/gen_scenarios.py --seed 7 --json
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.devtools.scenarios import (  # noqa: E402  (path bootstrap above)
+    DEFAULT_GENERATOR_SEED,
+    diff_stats,
+    generate_scenarios,
+    run_scenario,
+)
+from repro.simulator.engine import available_engines  # noqa: E402
+
+
+def _list(scenarios) -> int:
+    print(f"{'id':>3s} {'label':34s} {'grid':5s} {'vcs':>3s} {'rate':>5s} {'link':>4s}")
+    for scenario in scenarios:
+        print(
+            f"{scenario.index:3d} {scenario.label:34s} "
+            f"{scenario.rows}x{scenario.cols:<3d} "
+            f"{scenario.config['num_vcs']:3d} "
+            f"{scenario.config['injection_rate']:5.2f} "
+            f"{scenario.link_latency or 1:4d}"
+        )
+    return 0
+
+
+def _export(scenarios) -> int:
+    payload = [dataclasses.asdict(scenario) for scenario in scenarios]
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    return 0
+
+
+def _run_sweep(scenarios, engines: list[str]) -> int:
+    failures = 0
+    for scenario in scenarios:
+        baseline_engine = engines[0]
+        baseline = run_scenario(scenario, baseline_engine)
+        verdicts = []
+        for engine in engines[1:]:
+            stats = run_scenario(scenario, engine)
+            differences = diff_stats(baseline_engine, baseline, engine, stats)
+            if differences:
+                failures += 1
+                verdicts.append(f"{engine}:DIVERGED")
+                print(
+                    f"{scenario.label}: {engine} diverged from {baseline_engine} "
+                    f"— reproduce with: {scenario.repro_command()}"
+                )
+                for line in differences:
+                    print(f"  {line}")
+            else:
+                verdicts.append(f"{engine}:ok")
+        print(f"{scenario.label:34s} {' '.join(verdicts)}")
+    if failures:
+        print(f"{failures} scenario(s) diverged")
+        return 1
+    print(f"all {len(scenarios)} scenarios agree across {engines}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=DEFAULT_GENERATOR_SEED,
+        help=f"scenario-generator seed (default: {DEFAULT_GENERATOR_SEED})",
+    )
+    parser.add_argument(
+        "--count", type=int, default=40, help="number of scenarios (default: 40)"
+    )
+    parser.add_argument(
+        "--engines",
+        default=None,
+        help="comma-separated engines for --run (default: all registered)",
+    )
+    mode = parser.add_mutually_exclusive_group()
+    mode.add_argument("--list", action="store_true", help="print the scenario table")
+    mode.add_argument("--json", action="store_true", help="export scenarios as JSON")
+    mode.add_argument(
+        "--run", action="store_true", help="run the differential sweep, exit 1 on divergence"
+    )
+    args = parser.parse_args(argv)
+
+    scenarios = generate_scenarios(args.count, seed=args.seed)
+    if args.json:
+        return _export(scenarios)
+    if args.run:
+        engines = (
+            [name.strip() for name in args.engines.split(",") if name.strip()]
+            if args.engines
+            else available_engines()
+        )
+        if len(engines) < 2:
+            parser.error("--run needs at least two engines to compare")
+        return _run_sweep(scenarios, engines)
+    return _list(scenarios)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
