@@ -55,7 +55,7 @@ from repro.workloads import WorkloadTrace, make_workload_trace, replay_trace
 
 #: Single source of the package version: ``setup.py`` parses this assignment
 #: and the CLI's ``repro --version`` prints it.
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "SparseHammingGraph",

@@ -1,0 +1,162 @@
+"""Memoization backends of :class:`~repro.experiments.runner.ExperimentRunner`.
+
+The runner talks to its cache through two methods — ``load(spec)`` and
+``save(spec, prediction)`` — so durable backends can be swapped in without
+touching any caller:
+
+* :class:`DirectoryCache` — the original one-JSON-file-per-spec layout.
+  Writes are atomic (temp file + :func:`os.replace`), so a worker killed
+  mid-write can never leave a truncated entry behind; loads validate the
+  payload shape *and* that the stored spec actually hashes to the requested
+  ``spec_id``, treating any mismatch as a cache miss (warned once per cache,
+  counted in :attr:`DirectoryCache.invalid_entries`).
+* :class:`~repro.service.store.StoreCache` — the content-addressed SQLite
+  result store of :mod:`repro.service` behind the same interface.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import warnings
+from pathlib import Path
+from typing import Any, Mapping, Protocol
+
+from repro.experiments.spec import ExperimentSpec
+from repro.experiments.serialization import (
+    prediction_from_dict,
+    prediction_to_dict,
+    validate_result_payload,
+)
+from repro.toolchain.results import PredictionResult
+from repro.utils.validation import ValidationError
+
+
+class CacheBackend(Protocol):
+    """What the runner requires from a memoization backend."""
+
+    def load(self, spec: ExperimentSpec) -> PredictionResult | None:
+        """Return the memoized prediction for ``spec``, or ``None`` on a miss."""
+
+    def save(self, spec: ExperimentSpec, prediction: PredictionResult) -> None:
+        """Persist ``prediction`` under ``spec``'s identity."""
+
+
+def validate_cache_payload(payload: Any, spec_id: str | None = None) -> None:
+    """Validate a ``{"spec": ..., "result": ...}`` cache entry.
+
+    Shared by :class:`DirectoryCache` loads and the store migration tool so
+    both apply the same notion of "trustworthy entry".
+
+    Parameters
+    ----------
+    payload:
+        The decoded JSON payload.
+    spec_id:
+        When given, the spec the caller expects this entry to describe; the
+        stored spec is rebuilt and re-hashed, and an id mismatch (a renamed
+        file, a stale entry from an older spec schema) is rejected.
+
+    Raises
+    ------
+    ValidationError
+        On any structural problem — the entry must be treated as a miss.
+    """
+    if not isinstance(payload, Mapping):
+        raise ValidationError(
+            f"cache entry must be a JSON object, got {type(payload).__name__}"
+        )
+    if "spec" not in payload or "result" not in payload:
+        missing = [key for key in ("spec", "result") if key not in payload]
+        raise ValidationError(f"cache entry is missing keys: {missing}")
+    if not isinstance(payload["spec"], Mapping):
+        raise ValidationError("cache entry 'spec' must be a mapping")
+    stored_spec = ExperimentSpec.from_dict(payload["spec"])
+    if spec_id is not None and stored_spec.spec_id != spec_id:
+        raise ValidationError(
+            f"cache entry describes spec {stored_spec.spec_id}, "
+            f"but {spec_id} was requested"
+        )
+    validate_result_payload(payload["result"])
+
+
+class DirectoryCache:
+    """One JSON file per spec_id, with atomic writes and validated loads.
+
+    Parameters
+    ----------
+    cache_dir:
+        Directory holding ``<spec_id>.json`` entries (created if missing).
+
+    Examples
+    --------
+    >>> cache = DirectoryCache("/tmp/repro-cache")      # doctest: +SKIP
+    >>> cache.save(spec, spec.run())                    # doctest: +SKIP
+    >>> cache.load(spec) is not None                    # doctest: +SKIP
+    True
+    """
+
+    def __init__(self, cache_dir: str | Path) -> None:
+        self.cache_dir = Path(cache_dir)
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        #: Invalid entries encountered so far (truncated, mismatched, junk).
+        self.invalid_entries = 0
+        self._warned = False
+
+    def path_for(self, spec: ExperimentSpec) -> Path:
+        """On-disk location of the entry for ``spec``."""
+        return self.cache_dir / f"{spec.spec_id}.json"
+
+    def _reject(self, path: Path, reason: str) -> None:
+        """Count an invalid entry; warn on the first one only."""
+        self.invalid_entries += 1
+        if not self._warned:
+            self._warned = True
+            warnings.warn(
+                f"ignoring invalid cache entry {path}: {reason} "
+                "(recomputing; further invalid entries in this cache are "
+                "skipped silently)",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+
+    def load(self, spec: ExperimentSpec) -> PredictionResult | None:
+        """Validated load: any malformed or mismatched entry is a miss."""
+        path = self.path_for(spec)
+        if not path.exists():
+            return None
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as error:
+            self._reject(path, f"not valid JSON ({error})")
+            return None
+        try:
+            validate_cache_payload(payload, spec_id=spec.spec_id)
+            return prediction_from_dict(payload["result"])
+        except (ValidationError, KeyError, TypeError) as error:
+            self._reject(path, str(error))
+            return None
+
+    def save(self, spec: ExperimentSpec, prediction: PredictionResult) -> None:
+        """Atomic write: temp file in the same directory, then ``os.replace``.
+
+        A worker killed between the two steps leaves either the old entry or
+        no entry — never a truncated one that would poison later runs.  The
+        temp name carries the PID so concurrent writers of the same spec
+        (e.g. two queue workers racing on an expired lease) cannot clobber
+        each other's half-written files; last ``os.replace`` wins, and both
+        payloads are identical by determinism.
+        """
+        path = self.path_for(spec)
+        payload = {"spec": spec.to_dict(), "result": prediction_to_dict(prediction)}
+        text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        try:
+            tmp.write_text(text)
+            os.replace(tmp, path)
+        finally:
+            if tmp.exists():  # replace failed midway; don't litter
+                tmp.unlink()
+
+
+__all__ = ["CacheBackend", "DirectoryCache", "validate_cache_payload"]

@@ -38,15 +38,34 @@ Subcommands
     ``(seed, index)`` and re-run it under any set of engines, reporting
     statistics divergences field by field (see
     :mod:`repro.devtools.scenarios`).  Exits 1 on divergence.
+``repro store migrate`` / ``repro store stats``
+    Manage the content-addressed SQLite result store
+    (:mod:`repro.service.store`): one-shot import of a legacy memoization
+    directory, and store/queue statistics.
+``repro query``
+    Offline store lookups (by spec_id, topology, trace_id, search_id, ...)
+    with the usual table/CSV/JSON exports — no simulation runs.
+``repro enqueue``
+    Enqueue a campaign as durable work items in the store's work queue
+    (re-enqueueing a fully stored campaign enqueues nothing).
+``repro work``
+    Run one queue worker: claim jobs under an expiring lease, simulate,
+    store, repeat until the queue is drained.  Run N of these (or restart
+    after a crash) against one store file to shard a campaign.
+``repro serve``
+    Async query API (:mod:`repro.service.api`): answers predictions from
+    the store, enqueues misses, optionally drains them with background
+    worker threads (see ``docs/SERVICE.md``).
 
 Every subcommand that launches cycle-accurate simulations (``predict``,
 ``replay``, ``campaign``, ``optimize``) accepts ``--engine`` to pick the
 simulation kernel (``reference``, ``soa``, ``sanitizer`` or ``vec``; all
 are bit-identical, so the choice only affects speed and checking — ``vec``
-additionally batches sweep load points into one fused kernel).  ``repro
---version`` prints the installed package version.  ``campaign`` and
-``optimize`` report per-experiment progress on stderr when it is a
-terminal.
+additionally batches sweep load points into one fused kernel), and either
+``--cache-dir`` (per-spec JSON files) or ``--store`` (the durable SQLite
+result store) for memoization.  ``repro --version`` prints the installed
+package version.  ``campaign`` and ``optimize`` report per-experiment
+progress on stderr when it is a terminal.
 
 The console script is registered in ``setup.py``; without installing, use
 ``PYTHONPATH=src python -m repro.experiments.cli ...``.
@@ -69,6 +88,7 @@ from repro.optimize import SearchSpec, run_search
 from repro.experiments.campaign import Campaign, figure6_campaign
 from repro.experiments.runner import ExperimentRunner, ResultSet, prediction_to_dict
 from repro.experiments.spec import ExperimentSpec, check_sim_overrides
+from repro.service.queue import DEFAULT_LEASE_SECONDS
 from repro.simulator.engine import available_engines
 from repro.simulator.simulation import SimulationConfig
 from repro.simulator.sweep import replay_trace
@@ -192,6 +212,19 @@ def _merge_engine(sim_overrides: dict[str, Any], engine: str | None) -> dict[str
 def _progress_enabled() -> bool:
     """Progress lines are only useful (and only emitted) on a live terminal."""
     return sys.stderr.isatty()
+
+
+def _build_runner(args: argparse.Namespace, search_id: str | None = None) -> ExperimentRunner:
+    """Runner with the memoization backend the flags selected.
+
+    ``--cache-dir`` picks the per-spec JSON directory cache, ``--store`` the
+    durable SQLite result store; passing both is rejected by the runner.
+    """
+    return ExperimentRunner(
+        cache_dir=args.cache_dir,
+        store=getattr(args, "store", None),
+        search_id=search_id,
+    )
 
 
 def _json_object(text: str, flag: str) -> dict[str, Any]:
@@ -435,7 +468,7 @@ def _cmd_predict(args: argparse.Namespace) -> int:
         sim=_merge_engine(_json_object(args.sim, "--sim"), args.engine),
         workload=workload,
     )
-    runner = ExperimentRunner(cache_dir=args.cache_dir)
+    runner = _build_runner(args)
     results = runner.run(spec)
     if args.as_json:
         print(
@@ -458,7 +491,7 @@ def _cmd_predict(args: argparse.Namespace) -> int:
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
     campaign = Campaign.load(args.spec)
-    runner = ExperimentRunner(cache_dir=args.cache_dir)
+    runner = _build_runner(args)
     specs = list(campaign.specs)
     if args.engine:
         # Thread the engine through every spec of the campaign; the engine
@@ -476,7 +509,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
 
 def _cmd_figure6(args: argparse.Namespace) -> int:
     keys = sorted(KNC_SCENARIOS) if args.scenario == "all" else [args.scenario]
-    runner = ExperimentRunner(cache_dir=args.cache_dir)
+    runner = _build_runner(args)
     combined: list[Any] = []
     for key in keys:
         scenario = KNC_SCENARIOS[key]
@@ -598,6 +631,7 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
     result = run_search(
         spec,
         cache_dir=args.cache_dir,
+        store=args.store,
         parallel=args.parallel,
         progress=_progress_enabled(),
     )
@@ -728,6 +762,150 @@ def _cmd_devtools_replay_scenario(args: argparse.Namespace) -> int:
     return 0
 
 
+# ------------------------------------------------------- service subcommands
+def _cmd_store_migrate(args: argparse.Namespace) -> int:
+    from repro.service.store import ResultStore
+
+    store = ResultStore(args.db)
+    report = store.import_cache_dir(args.cache_dir)
+    if args.as_json:
+        print(
+            json.dumps(
+                {
+                    "imported": report.imported,
+                    "already_present": report.already_present,
+                    "invalid": [
+                        {"file": name, "reason": reason}
+                        for name, reason in report.invalid
+                    ],
+                    "total": report.total,
+                    "store": str(store.path),
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        print(f"migrated {args.cache_dir} -> {store.path}: {report.summary()}")
+        for name, reason in report.invalid:
+            print(f"  skipped {name}: {reason}")
+    return 0
+
+
+def _cmd_store_stats(args: argparse.Namespace) -> int:
+    from repro.service.store import ResultStore
+
+    stats = ResultStore(args.db).stats()
+    if args.as_json:
+        print(json.dumps(stats, indent=2, sort_keys=True))
+        return 0
+    print(f"store {stats['path']} (schema v{stats['store_schema_version']})")
+    print(f"  results: {stats['results']} ({stats['size_bytes']} bytes on disk)")
+    for topology, count in stats["by_topology"].items():
+        print(f"    {topology}: {count}")
+    if stats["by_workload"]:
+        print("  workloads:")
+        for workload, count in stats["by_workload"].items():
+            print(f"    {workload}: {count}")
+    if stats["searches"]:
+        print(f"  searches recorded: {stats['searches']}")
+    if stats["jobs"]:
+        jobs = ", ".join(f"{status}={n}" for status, n in sorted(stats["jobs"].items()))
+        print(f"  queue: {jobs}")
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    from repro.service.store import ResultStore
+
+    store = ResultStore(args.db)
+    filters = {
+        key: getattr(args, key)
+        for key in ("spec_id", "topology", "trace_id", "search_id", "scenario", "workload")
+        if getattr(args, key) is not None
+    }
+    if args.limit is not None:
+        filters["limit"] = args.limit
+    results = store.result_set(**filters)
+    if not args.as_json and not args.json_out and not args.csv:
+        print(f"{len(results)} stored result(s) match")
+    _emit_results(results, args)
+    return 0
+
+
+def _cmd_enqueue(args: argparse.Namespace) -> int:
+    from repro.service.queue import WorkQueue
+
+    campaign = Campaign.load(args.spec)
+    queue = WorkQueue(args.db)
+    report = queue.enqueue(campaign)
+    if args.as_json:
+        print(
+            json.dumps(
+                {
+                    "campaign_id": report.campaign_id,
+                    "total": report.total,
+                    "enqueued": report.enqueued,
+                    "already_stored": report.already_stored,
+                    "already_queued": report.already_queued,
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        print(report.summary())
+        print(
+            f"drain with: repro work --db {args.db}  "
+            "(run several times or in parallel to shard)"
+        )
+    return 0
+
+
+def _cmd_work(args: argparse.Namespace) -> int:
+    from repro.service.worker import run_worker
+
+    stats = run_worker(
+        args.db,
+        worker_id=args.worker_id,
+        lease_seconds=args.lease,
+        max_jobs=args.max_jobs,
+        poll_seconds=args.poll,
+        idle_exit=not args.keep_alive,
+        progress=_progress_enabled() or args.verbose,
+    )
+    print(stats.summary())
+    for spec_id, error in stats.errors:
+        print(f"  failed {spec_id}: {error}", file=sys.stderr)
+    return 1 if stats.failed else 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.api import make_server
+
+    server = make_server(
+        args.db,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        verbose=args.verbose,
+    )
+    host, port = server.server_address[:2]
+    print(
+        f"repro serve: http://{host}:{port} "
+        f"(store {args.db}, {args.workers} background worker(s)); Ctrl-C stops",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+        server.server_close()
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The ``repro`` argument parser (exposed for docs and tests).
 
@@ -839,6 +1017,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="JSON workload spec or bare name (forces simulation mode)",
     )
     p_predict.add_argument("--cache-dir", default=None, help="on-disk result cache directory")
+    p_predict.add_argument(
+        "--store", default=None, help="durable SQLite result store (alternative to --cache-dir)"
+    )
     p_predict.add_argument("--json", dest="as_json", action="store_true", help="emit JSON")
     p_predict.set_defaults(handler=_cmd_predict)
 
@@ -891,6 +1072,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_opt.add_argument("--parallel", type=int, default=None, help="worker processes per rung")
     p_opt.add_argument("--cache-dir", default=None, help="on-disk result cache directory")
+    p_opt.add_argument(
+        "--store", default=None, help="durable SQLite result store (alternative to --cache-dir)"
+    )
     p_opt.add_argument("--csv", default=None, help="write the search trajectory as CSV")
     p_opt.add_argument("--json-out", default=None, help="write the search result as JSON")
     p_opt.add_argument("--json", dest="as_json", action="store_true", help="emit JSON")
@@ -933,6 +1117,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_campaign.add_argument("--parallel", type=int, default=None, help="worker processes")
     p_campaign.add_argument("--cache-dir", default=None, help="on-disk result cache directory")
+    p_campaign.add_argument(
+        "--store", default=None, help="durable SQLite result store (alternative to --cache-dir)"
+    )
     p_campaign.add_argument("--csv", default=None, help="write results as CSV")
     p_campaign.add_argument("--json-out", default=None, help="write results as JSON")
     p_campaign.add_argument("--json", dest="as_json", action="store_true", help="emit JSON")
@@ -945,6 +1132,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig6.add_argument("--mode", default="analytical", choices=("analytical", "simulation"))
     p_fig6.add_argument("--parallel", type=int, default=None, help="worker processes")
     p_fig6.add_argument("--cache-dir", default=None, help="on-disk result cache directory")
+    p_fig6.add_argument(
+        "--store", default=None, help="durable SQLite result store (alternative to --cache-dir)"
+    )
     p_fig6.add_argument("--csv", default=None, help="write results as CSV")
     p_fig6.add_argument("--json-out", default=None, help="write results as JSON")
     p_fig6.add_argument("--json", dest="as_json", action="store_true", help="emit JSON")
@@ -982,6 +1172,91 @@ def build_parser() -> argparse.ArgumentParser:
         help="also cross-check the vec engine's batched path against solo runs",
     )
     p_replay_scn.set_defaults(handler=_cmd_devtools_replay_scenario)
+
+    p_store = sub.add_parser(
+        "store", help="manage the durable SQLite result store"
+    )
+    store_sub = p_store.add_subparsers(dest="store_command", required=True)
+    p_migrate = store_sub.add_parser(
+        "migrate",
+        help="import a legacy --cache-dir memoization directory into a store",
+    )
+    p_migrate.add_argument("--db", required=True, help="SQLite store file")
+    p_migrate.add_argument(
+        "--cache-dir", required=True, help="legacy per-spec JSON cache directory"
+    )
+    p_migrate.add_argument("--json", dest="as_json", action="store_true", help="emit JSON")
+    p_migrate.set_defaults(handler=_cmd_store_migrate)
+    p_stats = store_sub.add_parser("stats", help="summarize a store file")
+    p_stats.add_argument("--db", required=True, help="SQLite store file")
+    p_stats.add_argument("--json", dest="as_json", action="store_true", help="emit JSON")
+    p_stats.set_defaults(handler=_cmd_store_stats)
+
+    p_query = sub.add_parser(
+        "query", help="look up stored results offline (no simulation runs)"
+    )
+    p_query.add_argument("--db", required=True, help="SQLite store file")
+    p_query.add_argument("--spec-id", dest="spec_id", default=None)
+    p_query.add_argument("--topology", default=None, help="topology family filter")
+    p_query.add_argument("--trace-id", dest="trace_id", default=None)
+    p_query.add_argument("--search-id", dest="search_id", default=None)
+    p_query.add_argument("--scenario", default=None, choices=sorted(KNC_SCENARIOS))
+    p_query.add_argument("--workload", default=None, help="workload name filter")
+    p_query.add_argument("--limit", type=int, default=None, help="max records returned")
+    p_query.add_argument("--csv", default=None, help="write results as CSV")
+    p_query.add_argument("--json-out", default=None, help="write results as JSON")
+    p_query.add_argument("--json", dest="as_json", action="store_true", help="emit JSON")
+    p_query.set_defaults(handler=_cmd_query)
+
+    p_enq = sub.add_parser(
+        "enqueue", help="push a campaign's specs onto a store's work queue"
+    )
+    p_enq.add_argument("--db", required=True, help="SQLite store file")
+    p_enq.add_argument("--spec", required=True, help="campaign JSON (specs list or grid)")
+    p_enq.add_argument("--json", dest="as_json", action="store_true", help="emit JSON")
+    p_enq.set_defaults(handler=_cmd_enqueue)
+
+    p_work = sub.add_parser(
+        "work", help="drain queued jobs (run N copies to shard a campaign)"
+    )
+    p_work.add_argument("--db", required=True, help="SQLite store file")
+    p_work.add_argument(
+        "--worker-id", default=None, help="lease identity (default: pid-<pid>)"
+    )
+    p_work.add_argument(
+        "--lease", type=float, default=DEFAULT_LEASE_SECONDS,
+        help="lease seconds per claim (heartbeats renew it while running)",
+    )
+    p_work.add_argument(
+        "--max-jobs", type=int, default=None, help="stop after this many jobs"
+    )
+    p_work.add_argument(
+        "--poll", type=float, default=0.5, help="idle poll interval with --keep-alive"
+    )
+    p_work.add_argument(
+        "--keep-alive",
+        action="store_true",
+        help="keep polling when the queue is empty instead of exiting",
+    )
+    p_work.add_argument(
+        "--verbose", action="store_true", help="print one line per processed job"
+    )
+    p_work.set_defaults(handler=_cmd_work)
+
+    p_serve = sub.add_parser(
+        "serve", help="HTTP prediction/query API over a store"
+    )
+    p_serve.add_argument("--db", required=True, help="SQLite store file")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8321)
+    p_serve.add_argument(
+        "--workers", type=int, default=0,
+        help="background worker threads draining enqueued misses",
+    )
+    p_serve.add_argument(
+        "--verbose", action="store_true", help="emit per-request access-log lines"
+    )
+    p_serve.set_defaults(handler=_cmd_serve)
 
     return parser
 

@@ -8,25 +8,32 @@ prediction toolchains across specs that differ only in traffic pattern, which
 lets the toolchain's per-topology routing-table cache skip redundant BFS work;
 the parallel path fans specs out over a :class:`ProcessPoolExecutor`.
 
-Cache entries and parallel-worker payloads round-trip through JSON: the
-scalar prediction metrics and the analytical performance details survive,
-while heavyweight intermediate artifacts (the physical-model result,
-cycle-accurate sweep statistics) are dropped.  When those artifacts are
-needed, run serially without a cache directory — the serial uncached path
-returns the live :class:`PredictionResult` objects untouched.
+Cache entries and parallel-worker payloads round-trip through JSON (see
+:mod:`repro.experiments.serialization`): the scalar prediction metrics and
+the analytical performance details survive, while heavyweight intermediate
+artifacts (the physical-model result, cycle-accurate sweep statistics) are
+dropped.  When those artifacts are needed, run serially without a cache
+directory — the serial uncached path returns the live
+:class:`PredictionResult` objects untouched.
+
+Memoization is pluggable (see :mod:`repro.experiments.cache`): ``cache_dir``
+selects the classic one-file-per-spec :class:`DirectoryCache`, while
+``store`` selects the durable content-addressed SQLite result store of
+:mod:`repro.service` — the backend the campaign queue workers and the
+``repro serve`` API share, so campaigns/optimize runs gain durability with
+zero caller changes.
 """
 
 from __future__ import annotations
 
 import csv
-import dataclasses
 import json
 import sys
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Callable, Iterable, Mapping, Sequence, TextIO
+from typing import Any, Callable, Iterable, Sequence, TextIO
 
 from repro.analysis.pareto import (
     ParetoPoint,
@@ -34,113 +41,12 @@ from repro.analysis.pareto import (
     latency_rank,
     pareto_front,
 )
+from repro.experiments.cache import CacheBackend, DirectoryCache
 from repro.experiments.campaign import Campaign
+from repro.experiments.serialization import prediction_from_dict, prediction_to_dict
 from repro.experiments.spec import ExperimentSpec, toolchain_key, topology_key
-from repro.simulator.statistics import PhaseStats, SimulationStats
-from repro.toolchain.analytical import AnalyticalPerformance
 from repro.toolchain.results import PredictionResult
 from repro.utils.validation import ValidationError
-
-_RESULT_SCALARS = (
-    "topology_name",
-    "area_overhead",
-    "total_area_mm2",
-    "noc_power_w",
-    "zero_load_latency_cycles",
-    "saturation_throughput",
-    "performance_mode",
-)
-
-
-def prediction_to_dict(prediction: PredictionResult) -> dict[str, Any]:
-    """JSON-serializable form of a prediction (scalar metrics + analytical details).
-
-    Parameters
-    ----------
-    prediction:
-        A live :class:`~repro.toolchain.results.PredictionResult`.
-
-    Returns
-    -------
-    dict
-        The scalar Figure 6 metrics plus, when present, the analytical
-        performance details and a workload replay's per-phase statistics.
-        Heavyweight artifacts (the physical-model result, cycle-accurate
-        sweep/replay statistics) are dropped.
-
-    Examples
-    --------
-    >>> payload = prediction_to_dict(spec.run())        # doctest: +SKIP
-    >>> sorted(payload)[:3]                             # doctest: +SKIP
-    ['analytical', 'area_overhead', 'noc_power_w']
-    """
-    data = {key: getattr(prediction, key) for key in _RESULT_SCALARS}
-    analytical = prediction.details.get("analytical")
-    if isinstance(analytical, AnalyticalPerformance):
-        data["analytical"] = {
-            "zero_load_latency_cycles": analytical.zero_load_latency_cycles,
-            "saturation_throughput": analytical.saturation_throughput,
-            "average_hops": analytical.average_hops,
-            "max_channel_load": analytical.max_channel_load,
-        }
-    # Per-phase workload statistics are small and survive serialization (the
-    # full replay SimulationStats does not), so cached/parallel workload
-    # results keep their phase breakdown.  The overall packet counters are
-    # kept too — they are the only delivery evidence for unphased traces,
-    # and the optimizer's undelivered-packet penalty reads them.
-    replay = prediction.details.get("replay")
-    phases = (
-        replay.phases if isinstance(replay, SimulationStats) else prediction.details.get("phases")
-    )
-    if phases:
-        data["phases"] = {
-            name: dataclasses.asdict(phase) for name, phase in phases.items()
-        }
-    if isinstance(replay, SimulationStats):
-        data["replay_counts"] = {
-            "packets_created": replay.packets_created,
-            "packets_delivered": replay.packets_delivered,
-        }
-    elif prediction.details.get("replay_counts"):
-        data["replay_counts"] = dict(prediction.details["replay_counts"])
-    return data
-
-
-def prediction_from_dict(data: Mapping[str, Any]) -> PredictionResult:
-    """Rebuild a prediction from :func:`prediction_to_dict` output.
-
-    Parameters
-    ----------
-    data:
-        A mapping previously produced by :func:`prediction_to_dict` (e.g. a
-        cache entry or a parallel-worker payload).
-
-    Returns
-    -------
-    PredictionResult
-        The scalar metrics and analytical details; ``physical`` is ``None``
-        (it does not survive serialization).
-
-    Examples
-    --------
-    >>> rebuilt = prediction_from_dict(prediction_to_dict(p))  # doctest: +SKIP
-    >>> rebuilt.zero_load_latency_cycles == p.zero_load_latency_cycles  # doctest: +SKIP
-    True
-    """
-    details: dict[str, Any] = {}
-    if "analytical" in data:
-        details["analytical"] = AnalyticalPerformance(**data["analytical"])
-    if "phases" in data:
-        details["phases"] = {
-            name: PhaseStats(**entry) for name, entry in data["phases"].items()
-        }
-    if "replay_counts" in data:
-        details["replay_counts"] = dict(data["replay_counts"])
-    return PredictionResult(
-        **{key: data[key] for key in _RESULT_SCALARS},
-        physical=None,
-        details=details,
-    )
 
 
 def _predict_payload(spec_dict: dict[str, Any]) -> dict[str, Any]:
@@ -245,6 +151,39 @@ class ResultSet:
 
     def __init__(self, results: Iterable[ExperimentResult]) -> None:
         self.results = list(results)
+
+    @classmethod
+    def from_store(cls, store: Any, **filters: Any) -> "ResultSet":
+        """Build a ResultSet from a service result-store query (no execution).
+
+        Parameters
+        ----------
+        store:
+            A :class:`~repro.service.store.ResultStore` or the path to its
+            SQLite file.
+        **filters:
+            Query filters forwarded to
+            :meth:`~repro.service.store.ResultStore.query` — ``topology``,
+            ``trace_id``, ``search_id``, ``scenario``, ``workload``,
+            ``spec_id``, ``limit``.
+
+        Returns
+        -------
+        ResultSet
+            One entry per matching store row (every entry ``cached=True``),
+            ready for the usual export/Pareto/compliance helpers.
+
+        Examples
+        --------
+        >>> results = ResultSet.from_store("results.sqlite",
+        ...                                topology="mesh")  # doctest: +SKIP
+        >>> results.to_csv("mesh.csv")                       # doctest: +SKIP
+        """
+        from repro.service.store import ResultStore
+
+        if not isinstance(store, ResultStore):
+            store = ResultStore(store)
+        return store.result_set(**filters)
 
     def __len__(self) -> int:
         return len(self.results)
@@ -357,10 +296,22 @@ class ExperimentRunner:
     Parameters
     ----------
     cache_dir:
-        Directory for the JSON result cache; ``None`` disables memoization.
+        Directory for the JSON result cache (a validated, atomic-write
+        :class:`~repro.experiments.cache.DirectoryCache`); ``None`` disables
+        memoization unless ``store`` is given.
     max_workers:
         Default process count for parallel runs (``run(..., parallel=...)``
         overrides per call); ``None`` or 1 runs serially.
+    store:
+        Durable alternative to ``cache_dir``: a
+        :class:`~repro.service.store.ResultStore` (or a path to its SQLite
+        file) used as the memoization backend.  Mutually exclusive with
+        ``cache_dir``.
+    search_id:
+        Optional search identity recorded on every result written to the
+        ``store`` backend (``repro.optimize`` threads its
+        :attr:`~repro.optimize.spec.SearchSpec.search_id` through here so
+        store rows are queryable per search).
 
     Examples
     --------
@@ -377,38 +328,56 @@ class ExperimentRunner:
     Fan a campaign out over four worker processes:
 
     >>> results = runner.run(campaign, parallel=4)           # doctest: +SKIP
+
+    Use the durable service store instead of a cache directory:
+
+    >>> runner = ExperimentRunner(store="results.sqlite")    # doctest: +SKIP
     """
 
-    def __init__(self, cache_dir: str | Path | None = None, max_workers: int | None = None) -> None:
+    def __init__(
+        self,
+        cache_dir: str | Path | None = None,
+        max_workers: int | None = None,
+        store: Any = None,
+        search_id: str | None = None,
+    ) -> None:
+        if cache_dir is not None and store is not None:
+            raise ValidationError(
+                "pass either cache_dir (directory cache) or store "
+                "(service result store), not both"
+            )
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         self.max_workers = max_workers
-        if self.cache_dir is not None:
-            self.cache_dir.mkdir(parents=True, exist_ok=True)
+        self.cache: CacheBackend | None = None
+        if store is not None:
+            # Imported lazily: repro.service depends on this module.
+            from repro.service.store import ResultStore, StoreCache
+
+            if not isinstance(store, ResultStore):
+                store = ResultStore(store)
+            self.cache = StoreCache(store, search_id=search_id)
+        elif self.cache_dir is not None:
+            self.cache = DirectoryCache(self.cache_dir)
 
     # ---------------------------------------------------------------- cache
     def cache_path(self, spec: ExperimentSpec) -> Path | None:
-        """On-disk location of the memoized result for ``spec`` (or ``None``)."""
-        if self.cache_dir is None:
-            return None
-        return self.cache_dir / f"{spec.spec_id}.json"
+        """On-disk location of the memoized result for ``spec``.
+
+        ``None`` when memoization is disabled or the backend is not a
+        directory cache (the store keeps results in one SQLite file).
+        """
+        if isinstance(self.cache, DirectoryCache):
+            return self.cache.path_for(spec)
+        return None
 
     def _load_cached(self, spec: ExperimentSpec) -> PredictionResult | None:
-        path = self.cache_path(spec)
-        if path is None or not path.exists():
+        if self.cache is None:
             return None
-        try:
-            payload = json.loads(path.read_text())
-            return prediction_from_dict(payload["result"])
-        except (json.JSONDecodeError, KeyError, TypeError):
-            # A corrupt cache entry is recomputed, not fatal.
-            return None
+        return self.cache.load(spec)
 
     def _store(self, spec: ExperimentSpec, prediction: PredictionResult) -> None:
-        path = self.cache_path(spec)
-        if path is None:
-            return
-        payload = {"spec": spec.to_dict(), "result": prediction_to_dict(prediction)}
-        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        if self.cache is not None:
+            self.cache.save(spec, prediction)
 
     # ------------------------------------------------------------ execution
     def run(
@@ -526,6 +495,7 @@ def run_campaign(
     cache_dir: str | Path | None = None,
     parallel: int | None = None,
     progress: bool = False,
+    store: Any = None,
 ) -> ResultSet:
     """One-shot convenience wrapper around :class:`ExperimentRunner`.
 
@@ -540,6 +510,9 @@ def run_campaign(
     progress:
         Report per-spec completion lines on stderr (see
         :meth:`ExperimentRunner.run`).
+    store:
+        Durable service result store (or path) used instead of
+        ``cache_dir`` (see :class:`ExperimentRunner`).
 
     Returns
     -------
@@ -553,7 +526,7 @@ def run_campaign(
     >>> len(results) > 0                                # doctest: +SKIP
     True
     """
-    return ExperimentRunner(cache_dir=cache_dir).run(
+    return ExperimentRunner(cache_dir=cache_dir, store=store).run(
         campaign, parallel=parallel, progress=progress
     )
 

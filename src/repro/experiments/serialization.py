@@ -1,0 +1,156 @@
+"""Prediction (de)serialization shared by every result persistence layer.
+
+The runner's on-disk memoization, the parallel-worker payloads, the
+``repro.service`` result store, and the HTTP API all move predictions
+around as the same JSON shape: the scalar Figure 6 metrics plus the small
+analytical/per-phase details (heavyweight artifacts — the physical-model
+result, cycle-accurate sweep statistics — are dropped).  This module owns
+that shape so the producers and consumers cannot drift apart.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Mapping
+
+from repro.simulator.statistics import PhaseStats, SimulationStats
+from repro.toolchain.analytical import AnalyticalPerformance
+from repro.toolchain.results import PredictionResult
+from repro.utils.validation import ValidationError
+
+#: Scalar PredictionResult attributes that survive serialization.
+_RESULT_SCALARS = (
+    "topology_name",
+    "area_overhead",
+    "total_area_mm2",
+    "noc_power_w",
+    "zero_load_latency_cycles",
+    "saturation_throughput",
+    "performance_mode",
+)
+
+#: Version of the serialized result payload shape.  Bump when
+#: :func:`prediction_to_dict` changes incompatibly; the service store
+#: records it per row so old payloads remain identifiable.
+RESULT_SCHEMA_VERSION = 1
+
+
+def prediction_to_dict(prediction: PredictionResult) -> dict[str, Any]:
+    """JSON-serializable form of a prediction (scalar metrics + analytical details).
+
+    Parameters
+    ----------
+    prediction:
+        A live :class:`~repro.toolchain.results.PredictionResult`.
+
+    Returns
+    -------
+    dict
+        The scalar Figure 6 metrics plus, when present, the analytical
+        performance details and a workload replay's per-phase statistics.
+        Heavyweight artifacts (the physical-model result, cycle-accurate
+        sweep/replay statistics) are dropped.
+
+    Examples
+    --------
+    >>> payload = prediction_to_dict(spec.run())        # doctest: +SKIP
+    >>> sorted(payload)[:3]                             # doctest: +SKIP
+    ['analytical', 'area_overhead', 'noc_power_w']
+    """
+    data = {key: getattr(prediction, key) for key in _RESULT_SCALARS}
+    analytical = prediction.details.get("analytical")
+    if isinstance(analytical, AnalyticalPerformance):
+        data["analytical"] = {
+            "zero_load_latency_cycles": analytical.zero_load_latency_cycles,
+            "saturation_throughput": analytical.saturation_throughput,
+            "average_hops": analytical.average_hops,
+            "max_channel_load": analytical.max_channel_load,
+        }
+    # Per-phase workload statistics are small and survive serialization (the
+    # full replay SimulationStats does not), so cached/parallel workload
+    # results keep their phase breakdown.  The overall packet counters are
+    # kept too — they are the only delivery evidence for unphased traces,
+    # and the optimizer's undelivered-packet penalty reads them.
+    replay = prediction.details.get("replay")
+    phases = (
+        replay.phases if isinstance(replay, SimulationStats) else prediction.details.get("phases")
+    )
+    if phases:
+        data["phases"] = {
+            name: dataclasses.asdict(phase) for name, phase in phases.items()
+        }
+    if isinstance(replay, SimulationStats):
+        data["replay_counts"] = {
+            "packets_created": replay.packets_created,
+            "packets_delivered": replay.packets_delivered,
+        }
+    elif prediction.details.get("replay_counts"):
+        data["replay_counts"] = dict(prediction.details["replay_counts"])
+    return data
+
+
+def prediction_from_dict(data: Mapping[str, Any]) -> PredictionResult:
+    """Rebuild a prediction from :func:`prediction_to_dict` output.
+
+    Parameters
+    ----------
+    data:
+        A mapping previously produced by :func:`prediction_to_dict` (e.g. a
+        cache entry, a store row, or a parallel-worker payload).
+
+    Returns
+    -------
+    PredictionResult
+        The scalar metrics and analytical details; ``physical`` is ``None``
+        (it does not survive serialization).
+
+    Examples
+    --------
+    >>> rebuilt = prediction_from_dict(prediction_to_dict(p))  # doctest: +SKIP
+    >>> rebuilt.zero_load_latency_cycles == p.zero_load_latency_cycles  # doctest: +SKIP
+    True
+    """
+    details: dict[str, Any] = {}
+    if "analytical" in data:
+        details["analytical"] = AnalyticalPerformance(**data["analytical"])
+    if "phases" in data:
+        details["phases"] = {
+            name: PhaseStats(**entry) for name, entry in data["phases"].items()
+        }
+    if "replay_counts" in data:
+        details["replay_counts"] = dict(data["replay_counts"])
+    return PredictionResult(
+        **{key: data[key] for key in _RESULT_SCALARS},
+        physical=None,
+        details=details,
+    )
+
+
+def validate_result_payload(payload: Any) -> None:
+    """Check that ``payload`` looks like :func:`prediction_to_dict` output.
+
+    Persistence layers call this before trusting bytes read back from disk
+    (a cache entry, a store row): a worker killed mid-write, a partially
+    copied file, or a hand-edited entry must surface as a recoverable cache
+    miss, not as a ``KeyError`` crash deep inside a campaign.
+
+    Raises
+    ------
+    ValidationError
+        When the payload is not a mapping or is missing scalar metrics.
+    """
+    if not isinstance(payload, Mapping):
+        raise ValidationError(
+            f"result payload must be a mapping, got {type(payload).__name__}"
+        )
+    missing = [key for key in _RESULT_SCALARS if key not in payload]
+    if missing:
+        raise ValidationError(f"result payload is missing metrics: {missing}")
+
+
+__all__ = [
+    "RESULT_SCHEMA_VERSION",
+    "prediction_to_dict",
+    "prediction_from_dict",
+    "validate_result_payload",
+]

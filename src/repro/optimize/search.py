@@ -364,6 +364,7 @@ def run_search(
     cache_dir: str | None = None,
     parallel: int | None = None,
     progress: bool = False,
+    store: Any = None,
 ) -> SearchResult:
     """Execute a :class:`SearchSpec` and return the :class:`SearchResult`.
 
@@ -373,7 +374,7 @@ def run_search(
         The search to run.
     runner:
         The :class:`ExperimentRunner` executing the cycle-accurate stage;
-        built from ``cache_dir`` when omitted.
+        built from ``cache_dir``/``store`` when omitted.
     cache_dir:
         On-disk memoization directory (ignored when ``runner`` is given);
         ``None`` disables caching.
@@ -383,6 +384,12 @@ def run_search(
         Report per-evaluation completion lines on stderr during the
         cycle-accurate rungs (see
         :meth:`~repro.experiments.runner.ExperimentRunner.run`).
+    store:
+        Durable service result store
+        (:class:`~repro.service.store.ResultStore` or path) used instead of
+        ``cache_dir``; every rung evaluation is recorded under this
+        search's :attr:`~repro.optimize.spec.SearchSpec.search_id`, so the
+        store can be queried per search afterwards.
 
     Raises
     ------
@@ -399,7 +406,15 @@ def run_search(
             f"a {spec.rows}x{spec.cols} grid"
         )
     if runner is None:
-        runner = ExperimentRunner(cache_dir=cache_dir)
+        if store is not None and cache_dir is not None:
+            raise ValidationError(
+                "pass either cache_dir (directory cache) or store "
+                "(service result store), not both"
+            )
+        if store is not None:
+            runner = ExperimentRunner(store=store, search_id=spec.search_id)
+        else:
+            runner = ExperimentRunner(cache_dir=cache_dir)
 
     # ---------------------------------------------------- stage 1: screening
     screening = _screen(spec, candidates, objective, constraints)

@@ -1,0 +1,192 @@
+"""Queue worker: claim -> simulate -> store -> complete, restart-safe.
+
+:func:`run_worker` is the execution half of the campaign service.  Any
+number of workers (processes on one machine, or repeated invocations after
+crashes) point at the same SQLite file and drain the same queue; the
+lease/heartbeat protocol of :class:`~repro.service.queue.WorkQueue`
+guarantees no job runs on two live workers at once, and the
+content-addressed :class:`~repro.service.store.ResultStore` makes the rare
+post-crash recomputation idempotent (specs are deterministic, so a reclaimed
+job writes a bit-identical payload).
+
+The result is written to the store *before* the job is marked done: a crash
+between the two steps re-runs the job, which merely re-upserts the same
+payload — never the other way around, where a "done" job would have no
+result.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TextIO
+
+from repro.experiments.serialization import prediction_to_dict
+from repro.service.queue import DEFAULT_LEASE_SECONDS, WorkQueue
+from repro.service.store import ResultStore
+
+
+@dataclass
+class WorkerStats:
+    """What one :func:`run_worker` invocation did.
+
+    Attributes
+    ----------
+    worker_id:
+        Identity the worker claimed jobs under.
+    computed:
+        Jobs executed and marked done by this worker.
+    failed:
+        Jobs whose execution raised (recorded via ``WorkQueue.fail``).
+    lost_leases:
+        Jobs computed whose lease was lost before completion (another
+        worker reclaimed them; the store write was idempotent).
+    errors:
+        ``(spec_id, error)`` pairs for the failed jobs.
+    """
+
+    worker_id: str
+    computed: int = 0
+    failed: int = 0
+    lost_leases: int = 0
+    errors: list[tuple[str, str]] = field(default_factory=list)
+
+    def summary(self) -> str:
+        """One-line human-readable outcome."""
+        return (
+            f"worker {self.worker_id}: {self.computed} computed, "
+            f"{self.failed} failed, {self.lost_leases} lost lease(s)"
+        )
+
+
+class _LeaseHeartbeat:
+    """Daemon thread renewing the lease while a job executes.
+
+    Simulations can outlast any fixed lease; renewing at a third of the
+    lease period keeps ownership alive for as long as the worker process
+    actually lives — which is exactly the semantics a lease should have.
+    """
+
+    def __init__(
+        self, queue: WorkQueue, spec_id: str, worker_id: str, lease_seconds: float
+    ) -> None:
+        self._queue = queue
+        self._spec_id = spec_id
+        self._worker_id = worker_id
+        self._lease_seconds = lease_seconds
+        self._stop = threading.Event()
+        self.lost = False
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self) -> None:
+        interval = max(self._lease_seconds / 3.0, 0.05)
+        while not self._stop.wait(interval):
+            if not self._queue.heartbeat(
+                self._spec_id, self._worker_id, self._lease_seconds
+            ):
+                self.lost = True
+                return
+
+    def __enter__(self) -> "_LeaseHeartbeat":
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+
+
+def default_worker_id() -> str:
+    """Process-unique worker identity (``pid-<pid>``)."""
+    return f"pid-{os.getpid()}"
+
+
+def run_worker(
+    queue: WorkQueue | ResultStore | str | Path,
+    worker_id: str | None = None,
+    lease_seconds: float = DEFAULT_LEASE_SECONDS,
+    max_jobs: int | None = None,
+    idle_exit: bool = True,
+    poll_seconds: float = 0.5,
+    stop: threading.Event | None = None,
+    progress: bool = False,
+    stream: TextIO | None = None,
+) -> WorkerStats:
+    """Drain jobs from a queue until it is empty (or told to stop).
+
+    Parameters
+    ----------
+    queue:
+        A :class:`WorkQueue`, or a :class:`ResultStore`/path to build one on.
+    worker_id:
+        Lease identity; defaults to a process-unique id.
+    lease_seconds:
+        Lease duration per claim; a heartbeat thread renews it while the
+        job executes, so this only bounds how long a *dead* worker's job
+        stays unclaimable.
+    max_jobs:
+        Stop after claiming this many jobs (``None`` = unbounded).
+    idle_exit:
+        When ``True`` (the default), return as soon as no job is claimable —
+        the "drain the queue" mode of ``repro work``.  When ``False``, keep
+        polling every ``poll_seconds`` until ``stop`` is set — the mode of
+        the ``repro serve`` background workers.
+    stop:
+        Cooperative stop signal (checked between jobs).
+    progress:
+        Emit one line per processed job on ``stream`` (default stderr).
+
+    Returns
+    -------
+    WorkerStats
+        Per-worker counters; ``stats.failed`` jobs remain in the queue as
+        ``pending``/``failed`` for inspection.
+    """
+    if not isinstance(queue, WorkQueue):
+        queue = WorkQueue(queue)
+    worker_id = worker_id or default_worker_id()
+    stream = stream if stream is not None else sys.stderr
+    stats = WorkerStats(worker_id=worker_id)
+
+    while stop is None or not stop.is_set():
+        if max_jobs is not None and stats.computed + stats.failed >= max_jobs:
+            break
+        job = queue.claim(worker_id, lease_seconds=lease_seconds)
+        if job is None:
+            if idle_exit:
+                break
+            time.sleep(poll_seconds)
+            continue
+        spec = job.build_spec()
+        if progress:
+            print(
+                f"[repro.worker {worker_id}] {job.spec_id} "
+                f"(attempt {job.attempts}): {spec.describe()}",
+                file=stream,
+                flush=True,
+            )
+        with _LeaseHeartbeat(queue, job.spec_id, worker_id, lease_seconds) as beat:
+            try:
+                payload = prediction_to_dict(spec.run())
+            except Exception as error:  # noqa: BLE001 — any failure is job data
+                queue.fail(job.spec_id, worker_id, repr(error))
+                stats.failed += 1
+                stats.errors.append((job.spec_id, repr(error)))
+                continue
+        queue.store.put(spec, payload)
+        if beat.lost or not queue.complete(job.spec_id, worker_id):
+            # Lease expired mid-run and someone else owns (or finished) the
+            # job now; our store write was idempotent, so just account for it.
+            stats.lost_leases += 1
+        else:
+            stats.computed += 1
+    if progress:
+        print(f"[repro.worker] {stats.summary()}", file=stream, flush=True)
+    return stats
+
+
+__all__ = ["WorkerStats", "default_worker_id", "run_worker"]

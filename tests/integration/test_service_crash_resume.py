@@ -1,0 +1,157 @@
+"""Crash/resume integration tests of the campaign service.
+
+The durability acceptance criterion of the service layer: a campaign
+interrupted by a SIGKILLed worker resumes on restart, every spec is computed
+*exactly once* (``completions == 1`` on every job), and the resumed result
+set is identical to a serial uncached run.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import Campaign, ExperimentRunner
+from repro.experiments.serialization import prediction_to_dict
+from repro.service.queue import WorkQueue
+from repro.service.store import ResultStore
+from repro.service.worker import run_worker
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+#: Subprocess body: claim one job under a long lease, signal readiness, then
+#: hang without heartbeating — a stand-in for a worker that dies mid-job.
+_VICTIM = """
+import sys, time
+from repro.service.queue import WorkQueue
+
+queue = WorkQueue(sys.argv[1])
+job = queue.claim("victim", lease_seconds=3600)
+assert job is not None, "victim found nothing to claim"
+print(job.spec_id, flush=True)
+time.sleep(600)
+"""
+
+
+def small_campaign() -> Campaign:
+    return Campaign.grid(
+        topologies=("mesh", "torus", "hypercube"),
+        sizes=((4, 4),),
+        traffics=("uniform",),
+        name="crash-resume",
+    )
+
+
+def test_sigkilled_worker_resumes_without_duplicate_work(tmp_path):
+    campaign = small_campaign()
+    store = ResultStore(tmp_path / "store.sqlite")
+    WorkQueue(store).enqueue(campaign)
+
+    # A worker claims the first job under a generous lease and is SIGKILLed
+    # mid-execution — no cleanup, no goodbye, exactly like an OOM kill.
+    victim = subprocess.Popen(
+        [sys.executable, "-c", _VICTIM, str(store.path)],
+        env={**os.environ, "PYTHONPATH": SRC},
+        stdout=subprocess.PIPE,
+        text=True,
+    )
+    claimed_spec_id = victim.stdout.readline().strip()
+    assert claimed_spec_id
+    victim.kill()
+    victim.wait(timeout=30)
+    assert victim.returncode == -signal.SIGKILL
+
+    # The dead worker's job is invisible until its lease expires: a restarted
+    # worker drains everything else first.
+    queue = WorkQueue(store)
+    stats = run_worker(queue, worker_id="restart-1", lease_seconds=60)
+    assert stats.computed == len(campaign.specs) - 1
+    assert queue.job_status(claimed_spec_id)["status"] == "running"
+
+    # Once the lease lapses (injected clock — no sleeping), the orphaned job
+    # is reclaimed and completed exactly once.
+    late = WorkQueue(store, clock=lambda: time.time() + 7200)
+    stats = run_worker(late, worker_id="restart-2", lease_seconds=60)
+    assert stats.computed == 1
+
+    for spec in campaign.specs:
+        status = queue.job_status(spec.spec_id)
+        assert status["status"] == "done"
+        assert status["completions"] == 1
+    assert queue.counts() == {
+        "pending": 0, "running": 0, "done": len(campaign.specs), "failed": 0,
+    }
+
+    # The resumed, piecewise-computed campaign equals a serial uncached run.
+    reference = ExperimentRunner().run(campaign)
+    for result in reference:
+        row = store.get(result.spec.spec_id)
+        assert row is not None
+        assert row.result == prediction_to_dict(result.prediction)
+
+    # Re-enqueueing the finished campaign creates zero work.
+    report = WorkQueue(store).enqueue(campaign)
+    assert report.enqueued == 0
+    assert report.already_stored == len(campaign.specs)
+
+
+def test_expired_lease_resume_is_exactly_once(tmp_path):
+    """Pure lease-expiry variant: no processes, fully deterministic clock."""
+    campaign = small_campaign()
+    store = ResultStore(tmp_path / "store.sqlite")
+
+    clock = {"now": 1000.0}
+    queue = WorkQueue(store, clock=lambda: clock["now"])
+    queue.enqueue(campaign)
+
+    # Worker 1 claims a job and "dies" (never completes, never heartbeats).
+    dead = queue.claim("w-dead", lease_seconds=30)
+    assert dead is not None
+
+    # Worker 2 drains the rest; the dead job's lease is still live.
+    stats = run_worker(queue, worker_id="w-live", lease_seconds=30)
+    assert stats.computed == len(campaign.specs) - 1
+
+    clock["now"] += 31
+    stats = run_worker(queue, worker_id="w-live", lease_seconds=30)
+    assert stats.computed == 1
+
+    for spec in campaign.specs:
+        assert queue.job_status(spec.spec_id)["completions"] == 1
+        assert spec.spec_id in store
+
+    # Second claim of the dead job recorded a second attempt, not a second
+    # completion — that distinction is the whole point of the counter.
+    assert queue.job_status(dead.spec_id)["attempts"] == 2
+
+
+def test_two_workers_share_one_queue_without_overlap(tmp_path):
+    """Two live workers drain one campaign; no spec runs twice."""
+    campaign = small_campaign()
+    store = ResultStore(tmp_path / "store.sqlite")
+    queue = WorkQueue(store)
+    queue.enqueue(campaign)
+
+    import threading
+
+    stats: list = [None, None]
+
+    def drain(index: int) -> None:
+        stats[index] = run_worker(queue, worker_id=f"w{index}", lease_seconds=60)
+
+    threads = [threading.Thread(target=drain, args=(i,)) for i in range(2)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=120)
+
+    assert stats[0].computed + stats[1].computed == len(campaign.specs)
+    assert stats[0].failed == stats[1].failed == 0
+    for spec in campaign.specs:
+        assert queue.job_status(spec.spec_id)["completions"] == 1

@@ -1,0 +1,80 @@
+"""Store-migration round trip: legacy cache dir -> SQLite store -> 100% hits.
+
+The migration acceptance criterion: importing an existing memoization
+directory preserves every payload spec-for-spec, and a subsequent run of the
+same campaign against the store computes nothing.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.experiments import Campaign, ExperimentRunner
+from repro.service.queue import WorkQueue
+from repro.service.store import ResultStore
+
+
+def small_campaign() -> Campaign:
+    return Campaign.grid(
+        topologies=("mesh", "torus", "sparse_hamming"),
+        sizes=((4, 4),),
+        traffics=("uniform", "tornado"),
+        topology_kwargs={"sparse_hamming": {"s_r": [2], "s_c": [2]}},
+        name="migration",
+    )
+
+
+def test_migration_round_trip_and_store_hits(tmp_path):
+    campaign = small_campaign()
+    cache_dir = tmp_path / "legacy-cache"
+    store_path = tmp_path / "store.sqlite"
+
+    # 1. A legacy campaign run populating the directory cache.
+    legacy = ExperimentRunner(cache_dir=cache_dir).run(campaign)
+    assert legacy.num_cached == 0
+    entries = sorted(cache_dir.glob("*.json"))
+    assert len(entries) == len(campaign.specs)
+
+    # 2. One-shot migration imports every entry.
+    store = ResultStore(store_path)
+    report = store.import_cache_dir(cache_dir)
+    assert report.imported == len(campaign.specs)
+    assert report.already_present == 0
+    assert report.invalid == []
+    assert len(store) == len(campaign.specs)
+
+    # 3. Spec-for-spec payload equality with the files on disk.
+    for path in entries:
+        payload = json.loads(path.read_text())
+        row = store.get(path.stem)
+        assert row is not None
+        assert row.spec == payload["spec"]
+        assert row.result == payload["result"]
+
+    # 4. Re-running the campaign against the store is a 100% hit...
+    replay = ExperimentRunner(store=store).run(campaign)
+    assert replay.num_cached == len(campaign.specs)
+    for before, after in zip(legacy, replay):
+        assert before.spec == after.spec
+        assert before.prediction.zero_load_latency_cycles == (
+            after.prediction.zero_load_latency_cycles
+        )
+        assert before.prediction.noc_power_w == after.prediction.noc_power_w
+
+    # ...and enqueueing it creates zero jobs.
+    report = WorkQueue(store).enqueue(campaign)
+    assert report.enqueued == 0
+    assert report.already_stored == len(campaign.specs)
+
+    # 5. The store-backed ResultSet matches the legacy run's records.
+    from_store = store.result_set()
+    legacy_records = {
+        record["spec_id"]: record for record in legacy.to_records()
+    }
+    assert len(from_store) == len(legacy)
+    for record in from_store.to_records():
+        reference = legacy_records[record["spec_id"]]
+        for key, value in reference.items():
+            if key == "cached":
+                continue
+            assert record[key] == value, key

@@ -1,0 +1,209 @@
+"""Unit tests of the lease-based durable work queue."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import Campaign, ExperimentSpec
+from repro.experiments.serialization import prediction_to_dict
+from repro.service.queue import WorkQueue, campaign_id_for
+from repro.service.store import ResultStore
+from repro.utils.validation import ValidationError
+
+
+class FakeClock:
+    """Deterministic, manually advanced lease clock."""
+
+    def __init__(self, now: float = 1000.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def spec_for(topology: str = "mesh", **overrides) -> ExperimentSpec:
+    kwargs = dict(topology=topology, rows=4, cols=4, traffic="uniform",
+                  performance_mode="analytical")
+    kwargs.update(overrides)
+    return ExperimentSpec(**kwargs)
+
+
+@pytest.fixture
+def store(tmp_path) -> ResultStore:
+    return ResultStore(tmp_path / "store.sqlite")
+
+
+@pytest.fixture
+def clock() -> FakeClock:
+    return FakeClock()
+
+
+@pytest.fixture
+def queue(store, clock) -> WorkQueue:
+    return WorkQueue(store, clock=clock)
+
+
+def test_enqueue_campaign_and_dedupe(queue):
+    campaign = Campaign(specs=[spec_for(), spec_for("torus"), spec_for()], name="c")
+    report = queue.enqueue(campaign)
+    assert report.campaign_id == campaign_id_for(campaign.specs, "c")
+    # Duplicate specs collapse to one job each.
+    assert report.total == 2
+    assert report.enqueued == 2
+    assert report.already_stored == 0 and report.already_queued == 0
+    assert queue.counts() == {"pending": 2, "running": 0, "done": 0, "failed": 0}
+
+    # Re-enqueueing while jobs are pending adds nothing.
+    again = queue.enqueue(campaign)
+    assert again.enqueued == 0
+    assert again.already_queued == 2
+    assert queue.counts()["pending"] == 2
+    assert "2 already queued" in again.summary()
+
+
+def test_enqueue_skips_stored_results(queue, store):
+    spec = spec_for()
+    store.put(spec, prediction_to_dict(spec.run()))
+    report = queue.enqueue([spec, spec_for("torus")], name="mixed")
+    assert report.already_stored == 1
+    assert report.enqueued == 1
+    assert queue.job_status(spec.spec_id) is None
+
+
+def test_enqueue_rejects_non_specs(queue):
+    with pytest.raises(ValidationError, match="ExperimentSpec"):
+        queue.enqueue(["not a spec"])  # type: ignore[list-item]
+
+
+def test_claim_complete_lifecycle(queue):
+    spec = spec_for()
+    queue.enqueue(spec)
+    job = queue.claim("w1", lease_seconds=60)
+    assert job is not None
+    assert job.spec_id == spec.spec_id
+    assert job.worker_id == "w1"
+    assert job.attempts == 1
+    assert job.build_spec() == spec
+    # Queue drained: nothing else claimable while the lease is live.
+    assert queue.claim("w2") is None
+    assert queue.counts()["running"] == 1
+
+    assert queue.complete(spec.spec_id, "w1") is True
+    status = queue.job_status(spec.spec_id)
+    assert status["status"] == "done"
+    assert status["completions"] == 1
+    # Completing twice, or as a non-owner, is refused.
+    assert queue.complete(spec.spec_id, "w1") is False
+
+
+def test_expired_lease_is_reclaimable(queue, clock):
+    queue.enqueue(spec_for())
+    job = queue.claim("w1", lease_seconds=30)
+    assert queue.claim("w2") is None
+    assert queue.claimable() == 0
+
+    clock.advance(31)
+    assert queue.claimable() == 1
+    stolen = queue.claim("w2", lease_seconds=30)
+    assert stolen is not None
+    assert stolen.spec_id == job.spec_id
+    assert stolen.attempts == 2
+    # The dead worker's late completion is rejected; the new owner's lands.
+    assert queue.complete(job.spec_id, "w1") is False
+    assert queue.complete(job.spec_id, "w2") is True
+    assert queue.job_status(job.spec_id)["completions"] == 1
+
+
+def test_heartbeat_extends_lease(queue, clock):
+    queue.enqueue(spec_for())
+    job = queue.claim("w1", lease_seconds=30)
+    clock.advance(25)
+    assert queue.heartbeat(job.spec_id, "w1", lease_seconds=30) is True
+    clock.advance(25)
+    # 50s elapsed but the renewed lease is still live.
+    assert queue.claim("w2") is None
+    # A non-owner cannot renew.
+    assert queue.heartbeat(job.spec_id, "w2") is False
+
+
+def test_fail_returns_job_to_pending_then_parks(queue, clock):
+    queue = WorkQueue(queue.store, clock=clock, max_attempts=2)
+    queue.enqueue(spec_for())
+    job = queue.claim("w1")
+    assert queue.fail(job.spec_id, "w1", "boom") is True
+    assert queue.job_status(job.spec_id)["status"] == "pending"
+
+    job = queue.claim("w1")
+    assert job.attempts == 2
+    assert queue.fail(job.spec_id, "w1", "boom again") is True
+    status = queue.job_status(job.spec_id)
+    assert status["status"] == "failed"
+    assert status["error"] == "boom again"
+    assert queue.claim("w1") is None
+
+
+def test_over_budget_job_is_parked_at_claim(queue, clock):
+    queue = WorkQueue(queue.store, clock=clock, max_attempts=1)
+    queue.enqueue([spec_for(), spec_for("torus")], name="pair")
+    first = queue.claim("w1", lease_seconds=10)
+    # Worker dies; the lease expires with the attempt budget already spent.
+    clock.advance(11)
+    second = queue.claim("w2", lease_seconds=10)
+    # The dead job is parked as failed and the claim falls through to the
+    # next runnable one instead of returning None.
+    assert second is not None
+    assert second.spec_id != first.spec_id
+    assert queue.job_status(first.spec_id)["status"] == "failed"
+
+
+def test_enqueue_revives_failed_jobs(queue, clock):
+    queue = WorkQueue(queue.store, clock=clock, max_attempts=1)
+    spec = spec_for()
+    queue.enqueue(spec)
+    job = queue.claim("w1")
+    queue.fail(job.spec_id, "w1", "boom")
+    assert queue.job_status(spec.spec_id)["status"] == "failed"
+
+    report = queue.enqueue(spec)
+    assert report.enqueued == 1
+    status = queue.job_status(spec.spec_id)
+    assert status["status"] == "pending"
+    assert status["attempts"] == 0
+    assert status["error"] is None
+
+
+def test_campaign_status_tracks_progress(queue, store):
+    campaign = Campaign(specs=[spec_for(), spec_for("torus")], name="c")
+    report = queue.enqueue(campaign)
+    status = queue.campaign_status(report.campaign_id)
+    assert status["specs"] == 2
+    assert status["stored"] == 0
+    assert status["pending"] == 2
+    assert status["complete"] is False
+
+    job = queue.claim("w1")
+    spec = job.build_spec()
+    store.put(spec, prediction_to_dict(spec.run()))
+    queue.complete(job.spec_id, "w1")
+    status = queue.campaign_status(report.campaign_id)
+    assert status["stored"] == 1
+    assert status["done"] == 1
+    assert status["complete"] is False
+
+    with pytest.raises(ValidationError, match="unknown campaign"):
+        queue.campaign_status("cmp-nope")
+
+
+def test_claim_order_is_fifo(queue):
+    specs = [spec_for(), spec_for("torus"), spec_for("ring")]
+    queue.enqueue(specs, name="ordered")
+    claimed = [queue.claim("w1").spec_id for _ in specs]
+    assert claimed == [spec.spec_id for spec in specs]
+
+
+def test_max_attempts_validation(store):
+    with pytest.raises(ValidationError, match="max_attempts"):
+        WorkQueue(store, max_attempts=0)
