@@ -3,12 +3,15 @@
 
 Measures every registered simulation engine (``reference``, ``soa``,
 ``sanitizer``, ``vec``) on four canonical workloads (small, medium, large,
-trace_replay) plus a ``batched_sweep`` case — a 24-lane (8 rates x 3 seeds)
-load sweep of a 16x16 mesh run sequentially under ``reference``/``soa`` and
-as one fused batch under ``vec`` — and writes the results to
-``BENCH_simulator.json`` so the performance trajectory of the simulation
-kernel is tracked PR over PR: one record per (workload, engine) pair, so
-the cross-engine gaps on identical work are part of the record.
+trace_replay) plus two batching cases: ``batched_sweep`` — a 24-lane
+(8 rates x 3 seeds) load sweep of a 16x16 mesh run sequentially under
+``reference``/``soa`` and as one fused batch under ``vec`` — and
+``batched_campaign`` — 24 whole same-network ExperimentSpecs run
+one-at-a-time under ``soa`` and as one gang-fused vec kernel (the gang
+scheduler's cross-spec batching).  Results go to ``BENCH_simulator.json``
+so the performance trajectory of the simulation kernel is tracked PR over
+PR: one record per (workload, engine) pair, so the cross-engine gaps on
+identical work are part of the record.
 
 Because the engines are required to be bit-identical, the benchmark doubles
 as a smoke-level equivalence check: for each workload it asserts that every
@@ -120,6 +123,30 @@ BATCHED_SWEEP = {
         measurement_cycles=1000,
         drain_max_cycles=2000,
     ),
+}
+
+#: The batched-campaign case: 24 whole ExperimentSpecs (one compiled
+#: network, seeds 1-24) executed one-at-a-time under ``soa`` — the
+#: pre-gang-scheduler campaign path — and as one gang-fused vec kernel via
+#: :func:`repro.experiments.scheduler.run_gang_detailed`.  Where
+#: ``batched_sweep`` batches the load points *inside* one spec, this case
+#: batches *across* specs, which is what ``run_campaign``/``run_search``/
+#: ``repro work --batch`` do in production.
+BATCHED_CAMPAIGN = {
+    "description": "24-spec trace-replay campaign (16x16 mesh) fused by the gang scheduler",
+    "rows": 16,
+    "cols": 16,
+    "seeds": list(range(1, 25)),
+    "workload": {
+        "name": "dnn_inference",
+        "params": {
+            "layers": 8,
+            "layer_window": 256,
+            "activations_per_tile": 8,
+            "fan_out": 8,
+        },
+    },
+    "sim": {"drain_max_cycles": 4000},
 }
 
 #: Statistics fields every engine must agree on, workload for workload.
@@ -278,6 +305,89 @@ def run_batched_sweep(engines: list[str], repeats: int = 1) -> list[dict]:
     return records
 
 
+def run_batched_campaign(engines: list[str]) -> list[dict]:
+    """Benchmark a whole campaign: sequential specs vs one gang-fused kernel.
+
+    The ``soa`` baseline runs each spec exactly as ``run_campaign`` did
+    before the gang scheduler existed — one ``spec.run()`` after another,
+    each building its own network and trace.  The ``vec`` run hands all 24
+    specs to :func:`~repro.experiments.scheduler.run_gang_detailed`, which
+    compiles the shared network once and recycles the batch lanes across
+    specs.  Every spec's replay :class:`SimulationStats` must equal its
+    sequential run field for field — the gang scheduler's bit-identity
+    contract, asserted here on every benchmark run.
+    """
+    import dataclasses
+
+    from repro.experiments.scheduler import run_gang_detailed
+    from repro.experiments.spec import ExperimentSpec
+
+    def make_specs(engine: str) -> list[ExperimentSpec]:
+        return [
+            ExperimentSpec(
+                topology="mesh",
+                rows=BATCHED_CAMPAIGN["rows"],
+                cols=BATCHED_CAMPAIGN["cols"],
+                performance_mode="simulation",
+                sim={"engine": engine, **BATCHED_CAMPAIGN["sim"]},
+                workload={**BATCHED_CAMPAIGN["workload"], "seed": seed},
+                label=f"campaign-{seed}",
+            )
+            for seed in BATCHED_CAMPAIGN["seeds"]
+        ]
+
+    def record_for(engine: str, mode: str, elapsed: float, replays: list) -> dict:
+        # Replay statistics carry the measurement window (the whole trace),
+        # not the drain tail — a consistent cycle proxy for both modes.
+        cycles = sum(stats.measurement_cycles for stats in replays)
+        return {
+            "workload": "batched_campaign",
+            "engine": engine,
+            "mode": mode,
+            "description": BATCHED_CAMPAIGN["description"],
+            "topology": "mesh",
+            "num_tiles": BATCHED_CAMPAIGN["rows"] * BATCHED_CAMPAIGN["cols"],
+            "specs": len(replays),
+            "cycles_simulated": cycles,
+            "wall_seconds": round(elapsed, 4),
+            "cycles_per_second": round(cycles / elapsed, 1),
+        }
+
+    records = []
+    soa_replays: list | None = None
+    if "soa" in engines:
+        specs = make_specs("soa")
+        start = time.perf_counter()
+        predictions = [spec.run() for spec in specs]
+        elapsed = time.perf_counter() - start
+        soa_replays = [prediction.details["replay"] for prediction in predictions]
+        records.append(record_for("soa", "sequential", elapsed, soa_replays))
+
+    if "vec" in engines:
+        specs = make_specs("vec")
+        start = time.perf_counter()
+        predictions, lanes = run_gang_detailed(specs)
+        elapsed = time.perf_counter() - start
+        vec_replays = [prediction.details["replay"] for prediction in predictions]
+        record = record_for("vec", "batched", elapsed, vec_replays)
+        record["lanes"] = lanes
+        if soa_replays is not None:
+            for index, (sequential, fused) in enumerate(
+                zip(soa_replays, vec_replays)
+            ):
+                if dataclasses.asdict(sequential) != dataclasses.asdict(fused):
+                    raise SystemExit(
+                        f"batched_campaign: gang-fused spec {index} diverged "
+                        "from its sequential soa run — the gang scheduler is "
+                        "required to be bit-identical"
+                    )
+            record["speedup_vs_soa_sequential"] = round(
+                records[-1]["wall_seconds"] / record["wall_seconds"], 2
+            )
+        records.append(record)
+    return records
+
+
 def check_engine_equivalence(name: str, records: list[dict]) -> None:
     """Fail loudly if any engine produced different statistics on ``name``."""
     if len(records) < 2:
@@ -298,7 +408,7 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--size",
-        choices=sorted(WORKLOADS) + ["batched_sweep", "all"],
+        choices=sorted(WORKLOADS) + ["batched_sweep", "batched_campaign", "all"],
         default="all",
         help="workload to run (default: all)",
     )
@@ -319,13 +429,17 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     names = (
-        sorted(WORKLOADS) + ["batched_sweep"] if args.size == "all" else [args.size]
+        sorted(WORKLOADS) + ["batched_sweep", "batched_campaign"]
+        if args.size == "all"
+        else [args.size]
     )
     engines = available_engines() if args.engine == "all" else [args.engine]
     records = []
     for name in names:
         if name == "batched_sweep":
             workload_records = run_batched_sweep(engines)
+        elif name == "batched_campaign":
+            workload_records = run_batched_campaign(engines)
         else:
             workload_records = run_workload(name, engines, repeats=args.repeats)
         records.extend(workload_records)

@@ -198,14 +198,22 @@ def _cmd_list_engines(args: argparse.Namespace) -> int:
     return 0
 
 
-def _merge_engine(sim_overrides: dict[str, Any], engine: str | None) -> dict[str, Any]:
-    """Apply a ``--engine`` flag on top of ``--sim`` JSON overrides.
+def _merge_engine(
+    sim_overrides: dict[str, Any],
+    engine: str | None,
+    audit_interval: int | None = None,
+) -> dict[str, Any]:
+    """Apply ``--engine``/``--audit-interval`` flags on top of ``--sim`` JSON.
 
-    The flag wins over a conflicting ``{"engine": ...}`` entry in the JSON —
-    the explicit flag is the more specific spelling.
+    The flags win over conflicting entries in the JSON — the explicit flag
+    is the more specific spelling.  Both knobs are excluded from spec
+    identity (engines are bit-identical; the sanitizer audit only reads
+    state), so neither splits the memoization key space.
     """
     if engine:
         sim_overrides = {**sim_overrides, "engine": engine}
+    if audit_interval is not None:
+        sim_overrides = {**sim_overrides, "audit_interval": audit_interval}
     return sim_overrides
 
 
@@ -286,7 +294,9 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         raise ValidationError(
             f"invalid topology kwargs for {args.topology!r}: {error}"
         ) from error
-    sim_overrides = _merge_engine(_json_object(args.sim, "--sim"), args.engine)
+    sim_overrides = _merge_engine(
+        _json_object(args.sim, "--sim"), args.engine, args.audit_interval
+    )
     if "traffic" in sim_overrides:
         raise ValidationError("trace replay ignores synthetic traffic; drop 'traffic'")
     check_sim_overrides(sim_overrides)
@@ -465,7 +475,9 @@ def _cmd_predict(args: argparse.Namespace) -> int:
         arch=json.loads(args.arch),
         traffic=args.traffic,
         performance_mode="simulation" if workload is not None else args.mode,
-        sim=_merge_engine(_json_object(args.sim, "--sim"), args.engine),
+        sim=_merge_engine(
+            _json_object(args.sim, "--sim"), args.engine, args.audit_interval
+        ),
         workload=workload,
     )
     runner = _build_runner(args)
@@ -493,11 +505,14 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     campaign = Campaign.load(args.spec)
     runner = _build_runner(args)
     specs = list(campaign.specs)
-    if args.engine:
+    if args.engine or args.audit_interval is not None:
         # Thread the engine through every spec of the campaign; the engine
-        # is excluded from spec_id, so memoized results stay shared.
+        # (and the sanitizer's audit interval) is excluded from spec_id, so
+        # memoized results stay shared.
         specs = [
-            spec.with_overrides(sim=_merge_engine(dict(spec.sim), args.engine))
+            spec.with_overrides(
+                sim=_merge_engine(dict(spec.sim), args.engine, args.audit_interval)
+            )
             for spec in specs
         ]
     results = runner.run(specs, parallel=args.parallel, progress=_progress_enabled())
@@ -618,7 +633,9 @@ def _build_search_spec(args: argparse.Namespace) -> SearchSpec:
         constraints=constraints,
         scenario=args.scenario,
         arch=_json_object(args.arch, "--arch"),
-        sim=_merge_engine(_json_object(args.sim, "--sim"), args.engine),
+        sim=_merge_engine(
+            _json_object(args.sim, "--sim"), args.engine, args.audit_interval
+        ),
         traffic=args.traffic,
         survivors=args.survivors,
         seed=args.seed,
@@ -873,6 +890,7 @@ def _cmd_work(args: argparse.Namespace) -> int:
         poll_seconds=args.poll,
         idle_exit=not args.keep_alive,
         progress=_progress_enabled() or args.verbose,
+        batch_size=args.batch,
     )
     print(stats.summary())
     for spec_id, error in stats.errors:
@@ -888,6 +906,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         host=args.host,
         port=args.port,
         workers=args.workers,
+        batch_size=args.batch,
         verbose=args.verbose,
     )
     host, port = server.server_address[:2]
@@ -990,6 +1009,10 @@ def build_parser() -> argparse.ArgumentParser:
         choices=available_engines(),
         help="simulation engine (bit-identical; soa is the fast kernel)",
     )
+    p_replay.add_argument(
+        "--audit-interval", type=int, default=None,
+        help="sanitizer audit sampling period in cycles (default 1: every cycle)",
+    )
     p_replay.add_argument("--json", dest="as_json", action="store_true", help="emit JSON")
     p_replay.set_defaults(handler=_cmd_replay)
 
@@ -1010,6 +1033,10 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         choices=available_engines(),
         help="simulation engine (bit-identical; soa is the fast kernel)",
+    )
+    p_predict.add_argument(
+        "--audit-interval", type=int, default=None,
+        help="sanitizer audit sampling period in cycles (default 1: every cycle)",
     )
     p_predict.add_argument(
         "--workload",
@@ -1054,6 +1081,10 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         choices=available_engines(),
         help="simulation engine for the cycle-accurate rungs",
+    )
+    p_opt.add_argument(
+        "--audit-interval", type=int, default=None,
+        help="sanitizer audit sampling period in cycles (default 1: every cycle)",
     )
     p_opt.add_argument("--traffic", default="uniform")
     p_opt.add_argument(
@@ -1114,6 +1145,10 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         choices=available_engines(),
         help="simulation engine applied to every spec of the campaign",
+    )
+    p_campaign.add_argument(
+        "--audit-interval", type=int, default=None,
+        help="sanitizer audit sampling period in cycles (default 1: every cycle)",
     )
     p_campaign.add_argument("--parallel", type=int, default=None, help="worker processes")
     p_campaign.add_argument("--cache-dir", default=None, help="on-disk result cache directory")
@@ -1239,6 +1274,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="keep polling when the queue is empty instead of exiting",
     )
     p_work.add_argument(
+        "--batch", type=int, default=1,
+        help="jobs leased per claim; >1 fuses gang-compatible jobs into one "
+        "batched vec kernel (results stay bit-identical)",
+    )
+    p_work.add_argument(
         "--verbose", action="store_true", help="print one line per processed job"
     )
     p_work.set_defaults(handler=_cmd_work)
@@ -1252,6 +1292,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument(
         "--workers", type=int, default=0,
         help="background worker threads draining enqueued misses",
+    )
+    p_serve.add_argument(
+        "--batch", type=int, default=8,
+        help="jobs each background worker leases per claim; >1 drains "
+        "gang-compatible miss storms as fused vec batches",
     )
     p_serve.add_argument(
         "--verbose", action="store_true", help="emit per-request access-log lines"

@@ -45,6 +45,7 @@ from repro.experiments.cache import CacheBackend, DirectoryCache
 from repro.experiments.campaign import Campaign
 from repro.experiments.serialization import prediction_from_dict, prediction_to_dict
 from repro.experiments.spec import ExperimentSpec, toolchain_key, topology_key
+from repro.experiments.scheduler import plan_gangs, run_gang_detailed
 from repro.toolchain.results import PredictionResult
 from repro.utils.validation import ValidationError
 
@@ -55,14 +56,34 @@ def _predict_payload(spec_dict: dict[str, Any]) -> dict[str, Any]:
     return prediction_to_dict(spec.run())
 
 
+def _gang_payload(spec_dicts: list[dict[str, Any]]) -> dict[str, Any]:
+    """Process-pool worker: run one gang of specs fused (or one spec solo).
+
+    The pool fans out *across* gangs — each worker process runs one fused
+    kernel — so a campaign spanning several compiled networks gangs each
+    one while still using every core.
+    """
+    specs = [ExperimentSpec.from_dict(spec_dict) for spec_dict in spec_dicts]
+    if len(specs) == 1:
+        return {"results": [prediction_to_dict(specs[0].run())], "lanes": None}
+    predictions, lanes = run_gang_detailed(specs)
+    return {
+        "results": [prediction_to_dict(prediction) for prediction in predictions],
+        "lanes": lanes,
+    }
+
+
 class _ProgressReporter:
-    """One stderr line per completed spec, with elapsed time and a crude ETA.
+    """One stderr line per completed spec (or fused gang), with a crude ETA.
 
     Long campaigns (and the optimizer's simulation rungs) are otherwise
     silent for minutes; the runner calls :meth:`completed` after every
-    *computed* spec (cache hits are instant and reported once up front).
-    The ETA extrapolates the mean time per completed spec — coarse, but
-    honest about the remaining workload size.
+    *computed* spec and :meth:`group_completed` after every fused gang.
+    Cache-hit specs are excluded from ``total`` up front (and reported once
+    at construction), so the ETA extrapolates the mean time per *computed*
+    spec over the specs actually left to compute — coarse, but honest about
+    the remaining workload size, and not skewed toward zero by instant
+    cache hits.
     """
 
     def __init__(self, total: int, num_cached: int = 0, stream: TextIO | None = None) -> None:
@@ -81,14 +102,29 @@ class _ProgressReporter:
     def completed(self, spec: ExperimentSpec) -> None:
         """Report one computed spec."""
         self.done += 1
-        elapsed = time.monotonic() - self._start
-        remaining = (elapsed / self.done) * (self.total - self.done)
         print(
-            f"[repro] {self.done}/{self.total} "
-            f"({elapsed:.1f}s elapsed, ~{remaining:.1f}s left) {spec.describe()}",
+            f"[repro] {self.done}/{self.total} ({self._timing()}) {spec.describe()}",
             file=self.stream,
             flush=True,
         )
+
+    def group_completed(
+        self, specs: Sequence[ExperimentSpec], lanes: int | None = None
+    ) -> None:
+        """Report one fused gang: ``len(specs)`` specs finished at once."""
+        self.done += len(specs)
+        lane_note = f", {lanes} lanes" if lanes else ""
+        print(
+            f"[repro] {self.done}/{self.total} ({self._timing()}) "
+            f"gang of {len(specs)} specs{lane_note}: {specs[0].describe()}",
+            file=self.stream,
+            flush=True,
+        )
+
+    def _timing(self) -> str:
+        elapsed = time.monotonic() - self._start
+        remaining = (elapsed / self.done) * (self.total - self.done)
+        return f"{elapsed:.1f}s elapsed, ~{remaining:.1f}s left"
 
 
 @dataclass(frozen=True)
@@ -395,10 +431,17 @@ class ExperimentRunner:
         analytical details (``physical`` is ``None``); the serial uncached
         path returns full :class:`PredictionResult` objects.
 
-        With ``progress=True`` one line per completed (non-cached) spec is
-        written to stderr with elapsed time and a remaining-time estimate —
-        ``repro campaign``/``repro optimize`` enable this when stderr is a
-        terminal.
+        Specs that explicitly select ``sim={"engine": "vec"}`` and share a
+        compiled network (see :func:`~repro.experiments.scheduler.gang_key`)
+        are *ganged*: their sweeps run fused in one lane-recycled batched
+        kernel instead of one at a time, with bit-identical results and
+        unchanged memoization keys/payloads.  In parallel mode the process
+        pool fans out across gangs (plus the remaining solo specs).
+
+        With ``progress=True`` one line per completed (non-cached) spec or
+        fused gang is written to stderr with elapsed time and a
+        remaining-time estimate — ``repro campaign``/``repro optimize``
+        enable this when stderr is a terminal.
         """
         if isinstance(experiments, ExperimentSpec):
             specs = [experiments]
@@ -433,26 +476,51 @@ class ExperimentRunner:
             else None
         )
 
+        # Specs that opted into the vec engine and share a compiled network
+        # fuse into gangs; everything else runs through the classic paths.
+        gangs = plan_gangs(unique.values()) if len(unique) > 1 else []
+        ganged_ids = {spec.spec_id for gang in gangs for spec in gang}
+
         if parallel is not None and parallel > 1 and len(unique) > 1:
+            solo = [
+                spec for spec in unique.values() if spec.spec_id not in ganged_ids
+            ]
+            units: list[list[ExperimentSpec]] = list(gangs)
+            units.extend([spec] for spec in solo)
             with ProcessPoolExecutor(max_workers=parallel) as pool:
                 payloads = pool.map(
-                    _predict_payload, [spec.to_dict() for spec in unique.values()]
+                    _gang_payload,
+                    [[spec.to_dict() for spec in unit] for unit in units],
                 )
                 # pool.map yields in submission order, so progress lines
-                # appear as each next-in-order spec finishes.
-                for spec, payload in zip(unique.values(), payloads):
-                    computed[spec.spec_id] = prediction_from_dict(payload)
-                    if reporter is not None:
-                        reporter.completed(spec)
+                # appear as each next-in-order unit finishes.
+                for unit, payload in zip(units, payloads):
+                    for spec, result in zip(unit, payload["results"]):
+                        computed[spec.spec_id] = prediction_from_dict(result)
+                    if reporter is None:
+                        continue
+                    if len(unit) > 1:
+                        reporter.group_completed(unit, payload["lanes"])
+                    else:
+                        reporter.completed(unit[0])
         else:
+            for gang in gangs:
+                predictions, lanes = run_gang_detailed(gang)
+                for spec, prediction in zip(gang, predictions):
+                    computed[spec.spec_id] = prediction
+                if reporter is not None:
+                    reporter.group_completed(gang, lanes)
             # Share toolchains and topology objects between specs that agree
             # on them (so the toolchain's routing-table cache kicks in), but
             # evict each as soon as the last spec needing it has run — a
             # 4096-configuration design-space sweep must not hold 4096
             # routing tables in memory at once.
+            solo = [
+                spec for spec in unique.values() if spec.spec_id not in ganged_ids
+            ]
             remaining_chain: dict[tuple, int] = {}
             remaining_topo: dict[tuple, int] = {}
-            for spec in unique.values():
+            for spec in solo:
                 remaining_chain[toolchain_key(spec)] = (
                     remaining_chain.get(toolchain_key(spec), 0) + 1
                 )
@@ -461,7 +529,7 @@ class ExperimentRunner:
                 )
             toolchains: dict[tuple, Any] = {}
             topologies: dict[tuple, Any] = {}
-            for spec in unique.values():
+            for spec in solo:
                 chain_key, topo_key = toolchain_key(spec), topology_key(spec)
                 chain = toolchains.get(chain_key)
                 if chain is None:

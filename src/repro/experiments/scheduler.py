@@ -1,0 +1,316 @@
+"""Gang scheduler: fuse many specs' simulations into recycled vec kernels.
+
+A campaign of simulation-mode specs over one topology used to pay one full
+load sweep per spec, sequentially.  This module packs *cross-spec* work into
+fused batched kernels instead:
+
+1. **Grouping** — :func:`gang_key` buckets specs that can share one compiled
+   :class:`~repro.simulator.network.Network`: same topology build
+   (:func:`~repro.experiments.spec.topology_key`, which includes the
+   architecture overrides that determine the physical link latencies) and
+   same router-level :meth:`~repro.simulator.simulation.SimulationConfig.network_config`.
+   Analytical specs and specs pinned to the ``sanitizer`` engine (whose
+   per-cycle audits must actually run) never gang.
+2. **Expansion** — :func:`run_gang` expands each spec into its sequence of
+   simulation rounds: the saturation search's probe/coarse/bisection rounds
+   (via :func:`~repro.simulator.sweep.saturation_plan`) or a single
+   trace-replay lane for workload specs.
+3. **Execution** — all rounds flow through one lane-recycled vec kernel
+   (:func:`~repro.simulator.engine.vec.run_batched`): when a lane drains,
+   the freed slot is immediately re-armed with the next pending config —
+   the next spec's probe, a coarse batch, a bisection midpoint — so the
+   batch axis stays full instead of waiting on the slowest lane.
+
+Bit-identity contract: every lane is bit-identical to its solo run (the vec
+kernel's guarantee), the saturation plan emits the same rounds and trims the
+same points as the sequential search, and the per-spec
+:class:`~repro.toolchain.results.PredictionResult` is assembled exactly as
+:meth:`~repro.toolchain.predict.PredictionToolchain.predict` does — so
+memoization keys *and* cached payloads are unchanged, and cross-engine cache
+hits keep working.  Specs whose physical link latencies unexpectedly diverge
+from their gang (which the gang key should prevent) fall back to solo
+execution rather than sharing a mismatched network.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import replace
+from typing import Iterable, Sequence
+
+from repro.experiments.spec import ExperimentSpec, topology_key
+from repro.physical.model import NoCPhysicalModel
+from repro.simulator.engine.vec import run_batched
+from repro.simulator.network import build_network
+from repro.simulator.routing_tables import build_routing_tables
+from repro.simulator.simulation import SimulationConfig, Simulator
+from repro.simulator.statistics import SimulationStats
+from repro.simulator.sweep import LoadSweepResult, saturation_plan
+from repro.toolchain.results import PredictionResult
+from repro.utils.validation import ValidationError
+
+#: Engines whose specs must never be fused: the gang executes every lane on
+#: the vec kernel, which would silently skip the sanitizer's runtime audits.
+#: ``reference``/``soa``/``vec`` specs fuse freely — engines are
+#: bit-identical, and the engine choice is excluded from spec identity.
+UNFUSABLE_ENGINES = frozenset({"sanitizer"})
+
+#: Default cap on the kernel's batch width.  Lanes beyond the cap queue as
+#: pending work and recycle into freed slots; the cap bounds the kernel's
+#: state arrays, not the amount of work a gang can execute.
+DEFAULT_MAX_WIDTH = 64
+
+
+def gang_key(spec: ExperimentSpec) -> tuple | None:
+    """Compiled-network compatibility key of ``spec`` (``None``: not gangable).
+
+    Specs with equal gang keys can share one compiled network — and with it
+    one fused kernel.  Returns ``None`` for analytical specs (no simulation
+    to fuse) and for specs pinned to an engine in :data:`UNFUSABLE_ENGINES`.
+    """
+    if spec.performance_mode != "simulation":
+        return None
+    if spec.sim.get("engine") in UNFUSABLE_ENGINES:
+        return None
+    return (topology_key(spec), spec.build_simulation_config().network_config())
+
+
+def gang_key_id(spec: ExperimentSpec) -> str | None:
+    """Stable string form of :func:`gang_key` (for the service job table).
+
+    A content hash, identical across processes and Python versions — two
+    workers computing the key of the same job JSON agree byte-for-byte.
+    """
+    key = gang_key(spec)
+    if key is None:
+        return None
+    topo_part, net = key
+    canonical = json.dumps(
+        [
+            list(topo_part),
+            [
+                net.num_vcs,
+                net.buffer_depth_flits,
+                net.router_pipeline_cycles,
+                net.packet_size_flits,
+            ],
+        ],
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return "gang-" + hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+def plan_gangs(
+    specs: Iterable[ExperimentSpec],
+    engines: Sequence[str] = ("vec",),
+    min_size: int = 2,
+) -> list[list[ExperimentSpec]]:
+    """Group ``specs`` into gangs worth fusing (order-preserving).
+
+    ``engines`` restricts which explicit ``sim["engine"]`` choices opt a
+    spec into ganging — the runner fuses only ``engine="vec"`` specs (the
+    documented batched path), while the queue worker passes a wider set.
+    Groups smaller than ``min_size`` are dropped: a width-1 "gang" loses to
+    the solo sweep, whose coarse stage already batches six lanes wide.
+    """
+    groups: dict[tuple, list[ExperimentSpec]] = {}
+    for spec in specs:
+        if spec.sim.get("engine") not in engines:
+            continue
+        key = gang_key(spec)
+        if key is None:
+            continue
+        groups.setdefault(key, []).append(spec)
+    return [members for members in groups.values() if len(members) >= min_size]
+
+
+class _SpecDriver:
+    """Feeds one spec's simulation rounds into the shared kernel.
+
+    Sweep specs wrap a :func:`~repro.simulator.sweep.saturation_plan`
+    generator; workload specs issue a single trace-replay round.  The gang
+    loop calls :meth:`next_round` with the previous round's statistics and
+    arms the returned configs as fresh lanes.
+    """
+
+    def __init__(self, spec: ExperimentSpec) -> None:
+        self.spec = spec
+        self.config = spec.build_simulation_config()
+        self.trace = spec.build_workload_trace()
+        self.round_stats: list[SimulationStats | None] = []
+        self.outstanding = 0
+        self.replay_stats: SimulationStats | None = None
+        self.sweep: LoadSweepResult | None = None
+        self._plan = None if self.trace is not None else saturation_plan(
+            self.config, batch_coarse=True
+        )
+        self._replay_issued = False
+
+    def next_round(
+        self, stats: "list[SimulationStats] | None"
+    ) -> "list[SimulationConfig] | None":
+        """Advance with the finished round's stats; return the next round."""
+        if self._plan is not None:
+            try:
+                return self._plan.send(stats)
+            except StopIteration as stop:
+                self.sweep = stop.value
+                return None
+        if not self._replay_issued:
+            self._replay_issued = True
+            return [self.config]
+        (self.replay_stats,) = stats
+        return None
+
+
+def run_gang_detailed(
+    specs: Sequence[ExperimentSpec],
+    max_width: int = DEFAULT_MAX_WIDTH,
+) -> tuple[list[PredictionResult], int]:
+    """:func:`run_gang` plus the total lane count (for progress reporting)."""
+    specs = list(specs)
+    if not specs:
+        return [], 0
+    key = gang_key(specs[0])
+    if key is None:
+        raise ValidationError(
+            "run_gang needs simulation-mode specs (analytical and "
+            "sanitizer-engine specs cannot be fused)"
+        )
+    for spec in specs[1:]:
+        if gang_key(spec) != key:
+            raise ValidationError(
+                "all specs of a gang must share one gang_key(); "
+                "group with plan_gangs() first"
+            )
+
+    topology = specs[0].build_topology()
+    routing = build_routing_tables(topology)
+    # Evaluate the physical model per spec (each PredictionResult carries
+    # its own physical record, exactly like the sequential path).  The gang
+    # key forces identical architecture overrides, so the link latencies
+    # agree; any spec that still diverges falls back to solo execution.
+    physicals = [
+        NoCPhysicalModel(spec.build_parameters()).evaluate(topology)
+        for spec in specs
+    ]
+    link_latencies = physicals[0].link_latencies
+    fused_indices = [
+        index
+        for index in range(len(specs))
+        if physicals[index].link_latencies == link_latencies
+    ]
+    solo_indices = [
+        index for index in range(len(specs)) if index not in set(fused_indices)
+    ]
+
+    network = build_network(
+        topology,
+        config=specs[0].build_simulation_config().network_config(),
+        link_latencies=link_latencies,
+        routing=routing,
+    )
+
+    drivers = [_SpecDriver(specs[index]) for index in fused_indices]
+    engine_meta: dict[int, tuple[_SpecDriver, int]] = {}
+    lanes_used = 0
+
+    def make_engines(driver: _SpecDriver, configs) -> list:
+        nonlocal lanes_used
+        driver.outstanding = len(configs)
+        driver.round_stats = [None] * len(configs)
+        engines = []
+        for position, config in enumerate(configs):
+            simulator = Simulator(
+                topology,
+                replace(config, engine="vec"),
+                network=network,
+                trace=driver.trace,
+            )
+            engine_meta[id(simulator.engine)] = (driver, position)
+            engines.append(simulator.engine)
+            lanes_used += 1
+        return engines
+
+    initial: list = []
+    for driver in drivers:
+        configs = driver.next_round(None)
+        if configs:
+            initial.extend(make_engines(driver, configs))
+
+    def on_finish(engine, stats):
+        driver, position = engine_meta.pop(id(engine))
+        driver.round_stats[position] = stats
+        driver.outstanding -= 1
+        if driver.outstanding:
+            return []
+        configs = driver.next_round(driver.round_stats)
+        if configs is None:
+            return []
+        return make_engines(driver, configs)
+
+    if initial:
+        run_batched(
+            initial[:max_width], pending=initial[max_width:], on_finish=on_finish
+        )
+
+    results: list[PredictionResult | None] = [None] * len(specs)
+    for driver_index, spec_index in enumerate(fused_indices):
+        spec = specs[spec_index]
+        driver = drivers[driver_index]
+        physical = physicals[spec_index]
+        if driver.trace is not None:
+            stats = driver.replay_stats
+            zero_load = stats.average_packet_latency
+            saturation = stats.accepted_load
+            details = {"replay": stats, "workload": dict(spec.workload)}
+        else:
+            sweep = driver.sweep
+            zero_load = sweep.zero_load_latency
+            saturation = sweep.saturation_throughput
+            details = {
+                "sweep_points": [(rate, stats) for rate, stats in sweep.points]
+            }
+        results[spec_index] = PredictionResult(
+            topology_name=topology.name,
+            area_overhead=physical.area_overhead,
+            total_area_mm2=physical.area.total_area_mm2,
+            noc_power_w=physical.noc_power_w,
+            zero_load_latency_cycles=zero_load,
+            saturation_throughput=saturation,
+            performance_mode=spec.performance_mode,
+            physical=physical,
+            details=details,
+        )
+    for spec_index in solo_indices:
+        results[spec_index] = specs[spec_index].run()
+    return results, lanes_used
+
+
+def run_gang(
+    specs: Sequence[ExperimentSpec],
+    max_width: int = DEFAULT_MAX_WIDTH,
+) -> list[PredictionResult]:
+    """Execute a gang of compatible specs through one lane-recycled kernel.
+
+    All specs must share one :func:`gang_key` (raises
+    :class:`~repro.utils.validation.ValidationError` otherwise).  Returns
+    one :class:`~repro.toolchain.results.PredictionResult` per spec, in
+    input order, bit-identical to ``[spec.run() for spec in specs]`` — the
+    sweep points, replay statistics (phases included), and every scalar
+    metric match the sequential path exactly.
+    """
+    return run_gang_detailed(specs, max_width=max_width)[0]
+
+
+__all__ = [
+    "DEFAULT_MAX_WIDTH",
+    "UNFUSABLE_ENGINES",
+    "gang_key",
+    "gang_key_id",
+    "plan_gangs",
+    "run_gang",
+    "run_gang_detailed",
+]

@@ -329,13 +329,18 @@ class ExperimentSpec:
     def _identity_dict(self) -> dict[str, Any]:
         identity = self.to_dict()
         identity.pop("label")  # labels are cosmetic, not part of the identity
-        if "engine" in identity["sim"]:
+        if "engine" in identity["sim"] or "audit_interval" in identity["sim"]:
             # Engines are bit-identical (enforced by the cross-engine
             # differential tests), so the engine choice must not split the
             # identity: specs differing only in engine share one spec_id —
             # and with it the runner's on-disk memoization cache entry.
+            # The sanitizer's audit sampling interval only changes how often
+            # the (read-only) invariant checks run, never the statistics,
+            # so it is excluded for the same reason.
             identity["sim"] = {
-                key: value for key, value in identity["sim"].items() if key != "engine"
+                key: value
+                for key, value in identity["sim"].items()
+                if key not in ("engine", "audit_interval")
             }
         if identity["workload"] is None:
             # Workload-less specs hash exactly as they did before the

@@ -246,6 +246,10 @@ class ReproServer(ThreadingHTTPServer):
         Background worker threads draining the queue inside this process;
         ``0`` serves the store read-only and leaves draining to external
         ``repro work`` processes.
+    batch_size:
+        Jobs each background worker leases per claim; values above ``1``
+        make miss storms of gang-compatible specs drain as fused vec
+        batches (see :func:`~repro.service.worker.run_worker`).
     verbose:
         Emit per-request access-log lines.
     """
@@ -259,6 +263,7 @@ class ReproServer(ThreadingHTTPServer):
         queue: WorkQueue | None = None,
         workers: int = 0,
         lease_seconds: float = DEFAULT_LEASE_SECONDS,
+        batch_size: int = 1,
         verbose: bool = False,
     ) -> None:
         super().__init__(address, ServiceHandler)
@@ -277,6 +282,7 @@ class ReproServer(ThreadingHTTPServer):
                     "idle_exit": False,
                     "poll_seconds": 0.2,
                     "stop": self._stop,
+                    "batch_size": batch_size,
                 },
                 daemon=True,
                 name=f"repro-serve-worker-{index}",
@@ -297,6 +303,7 @@ def make_server(
     host: str = "127.0.0.1",
     port: int = 8321,
     workers: int = 0,
+    batch_size: int = 1,
     verbose: bool = False,
 ) -> ReproServer:
     """Build a :class:`ReproServer` bound to ``(host, port)`` (not yet serving).
@@ -310,7 +317,13 @@ def make_server(
     """
     if not isinstance(store, ResultStore):
         store = ResultStore(store)
-    return ReproServer((host, port), store=store, workers=workers, verbose=verbose)
+    return ReproServer(
+        (host, port),
+        store=store,
+        workers=workers,
+        batch_size=batch_size,
+        verbose=verbose,
+    )
 
 
 __all__ = ["ReproServer", "ServiceHandler", "make_server"]

@@ -9,6 +9,10 @@ same queue without duplicating work:
 * **Claiming is atomic.** :meth:`WorkQueue.claim` selects and marks one
   runnable job inside a single ``BEGIN IMMEDIATE`` transaction, so two
   workers can never claim the same job concurrently.
+  :meth:`WorkQueue.claim_batch` extends this to gangs: up to ``batch_size``
+  jobs sharing one ``gang_key`` (compiled-network compatibility, see
+  :func:`~repro.experiments.scheduler.gang_key_id`) lease together in one
+  transaction, so a batch worker can fuse them into a single vec kernel.
 * **Ownership is a lease, not a lock.** A claimed job carries
   ``(worker_id, lease_expires)``.  A worker that dies — SIGKILL, OOM, power
   loss — simply stops renewing its lease; once the lease expires the job
@@ -30,6 +34,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import sqlite3
 import time
 from contextlib import closing
 from dataclasses import dataclass
@@ -37,6 +42,7 @@ from pathlib import Path
 from typing import Any, Callable, Iterable, Sequence
 
 from repro.experiments.campaign import Campaign
+from repro.experiments.scheduler import gang_key_id
 from repro.experiments.spec import ExperimentSpec
 from repro.service.store import ResultStore
 from repro.utils.validation import ValidationError
@@ -77,6 +83,10 @@ class Job:
         Unix time at which the lease lapses.
     attempts:
         Total claims so far, including this one.
+    gang_key:
+        Compiled-network compatibility hash
+        (:func:`~repro.experiments.scheduler.gang_key_id`); ``None`` for
+        jobs that cannot fuse (analytical mode, sanitizer engine).
     """
 
     spec_id: str
@@ -85,6 +95,7 @@ class Job:
     worker_id: str
     lease_expires: float
     attempts: int
+    gang_key: str | None = None
 
     def build_spec(self) -> ExperimentSpec:
         """Rebuild the live :class:`ExperimentSpec` to execute."""
@@ -220,8 +231,8 @@ class WorkQueue:
                 conn.execute(
                     """
                     INSERT INTO jobs (spec_id, campaign_id, spec_json, status,
-                                      attempts, completions, enqueued_at)
-                    VALUES (?, ?, ?, 'pending', 0, 0, ?)
+                                      attempts, completions, enqueued_at, gang_key)
+                    VALUES (?, ?, ?, 'pending', 0, 0, ?, ?)
                     ON CONFLICT (spec_id) DO UPDATE SET
                         campaign_id = excluded.campaign_id,
                         status      = 'pending',
@@ -229,9 +240,10 @@ class WorkQueue:
                         lease_expires = NULL,
                         attempts    = 0,
                         error       = NULL,
-                        enqueued_at = excluded.enqueued_at
+                        enqueued_at = excluded.enqueued_at,
+                        gang_key    = excluded.gang_key
                     """,
-                    (spec_id, campaign_id, spec.to_json(), now),
+                    (spec_id, campaign_id, spec.to_json(), now, gang_key_id(spec)),
                 )
                 report.enqueued += 1
             conn.execute("COMMIT")
@@ -251,48 +263,89 @@ class WorkQueue:
         claimed ``max_attempts`` times without completing is parked as
         ``failed`` rather than retried forever.
         """
+        jobs = self.claim_batch(worker_id, 1, lease_seconds=lease_seconds)
+        return jobs[0] if jobs else None
+
+    def claim_batch(
+        self,
+        worker_id: str,
+        batch_size: int,
+        lease_seconds: float = DEFAULT_LEASE_SECONDS,
+        compatible_with: str | None = None,
+    ) -> list[Job]:
+        """Atomically lease up to ``batch_size`` gang-compatible jobs.
+
+        One ``BEGIN IMMEDIATE`` transaction claims the oldest runnable job
+        (the *seed*) and then keeps claiming the oldest runnable job with
+        the **same non-NULL** ``gang_key`` until the batch is full or the
+        gang is exhausted — so either every returned job fuses into one
+        batched kernel, or the batch is a singleton (a job with
+        ``gang_key IS NULL`` can never fuse and always claims alone).
+        Other workers see all-or-nothing: the transaction commits every
+        lease at once, and two concurrent batch claims can never share a
+        job.
+
+        ``compatible_with`` restricts the seed to a specific gang key (for
+        a worker that wants to top up a gang it is already running);
+        ``None`` means any runnable job seeds the batch.  Each claimed
+        job's attempt counter increments exactly as with :meth:`claim`,
+        and jobs over their attempt budget are parked as ``failed`` and
+        skipped inside the same transaction.
+        """
+        if batch_size < 1:
+            raise ValidationError("batch_size must be at least 1")
         now = self._clock()
         expires = now + float(lease_seconds)
+        claimed: list[sqlite3.Row] = []
         with closing(self._connect()) as conn:
             conn.execute("BEGIN IMMEDIATE")
             try:
-                row = conn.execute(
-                    """
-                    SELECT spec_id, campaign_id, spec_json, attempts FROM jobs
-                    WHERE status = 'pending'
-                       OR (status = 'running' AND lease_expires < ?)
-                    ORDER BY enqueued_at, rowid LIMIT 1
-                    """,
-                    (now,),
-                ).fetchone()
-                if row is None:
-                    return None
-                if row["attempts"] + 1 > self.max_attempts:
-                    conn.execute(
-                        "UPDATE jobs SET status = 'failed', worker_id = NULL, "
-                        "error = COALESCE(error, 'exceeded max attempts') "
-                        "WHERE spec_id = ?",
-                        (row["spec_id"],),
+                while len(claimed) < batch_size:
+                    sql = (
+                        "SELECT spec_id, campaign_id, spec_json, attempts, "
+                        "gang_key FROM jobs WHERE (status = 'pending' "
+                        "OR (status = 'running' AND lease_expires < ?))"
                     )
-                    # Recurse for the next runnable job after parking this one.
-                    conn.execute("COMMIT")
-                    return self.claim(worker_id, lease_seconds)
-                conn.execute(
-                    "UPDATE jobs SET status = 'running', worker_id = ?, "
-                    "lease_expires = ?, attempts = attempts + 1 WHERE spec_id = ?",
-                    (worker_id, expires, row["spec_id"]),
-                )
+                    params: list[Any] = [now]
+                    seed_key = claimed[0]["gang_key"] if claimed else compatible_with
+                    if seed_key is not None:
+                        sql += " AND gang_key = ?"
+                        params.append(seed_key)
+                    sql += " ORDER BY enqueued_at, rowid LIMIT 1"
+                    row = conn.execute(sql, params).fetchone()
+                    if row is None:
+                        break
+                    if row["attempts"] + 1 > self.max_attempts:
+                        conn.execute(
+                            "UPDATE jobs SET status = 'failed', worker_id = NULL, "
+                            "error = COALESCE(error, 'exceeded max attempts') "
+                            "WHERE spec_id = ?",
+                            (row["spec_id"],),
+                        )
+                        continue
+                    conn.execute(
+                        "UPDATE jobs SET status = 'running', worker_id = ?, "
+                        "lease_expires = ?, attempts = attempts + 1 WHERE spec_id = ?",
+                        (worker_id, expires, row["spec_id"]),
+                    )
+                    claimed.append(row)
+                    if row["gang_key"] is None:
+                        break
             finally:
                 if conn.in_transaction:
                     conn.execute("COMMIT")
-        return Job(
-            spec_id=row["spec_id"],
-            spec=json.loads(row["spec_json"]),
-            campaign_id=row["campaign_id"],
-            worker_id=worker_id,
-            lease_expires=expires,
-            attempts=row["attempts"] + 1,
-        )
+        return [
+            Job(
+                spec_id=row["spec_id"],
+                spec=json.loads(row["spec_json"]),
+                campaign_id=row["campaign_id"],
+                worker_id=worker_id,
+                lease_expires=expires,
+                attempts=row["attempts"] + 1,
+                gang_key=row["gang_key"],
+            )
+            for row in claimed
+        ]
 
     def heartbeat(
         self,

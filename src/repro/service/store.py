@@ -50,12 +50,15 @@ from repro.experiments.serialization import (
     prediction_to_dict,
     validate_result_payload,
 )
+from repro.experiments.scheduler import gang_key_id
 from repro.experiments.spec import ExperimentSpec
 from repro.toolchain.results import PredictionResult
 from repro.utils.validation import ValidationError
 
 #: Version of the SQLite layout (tables/columns/indexes) itself.
-STORE_SCHEMA_VERSION = 1
+#: v2 added ``jobs.gang_key`` (compiled-network compatibility hash used by
+#: the batch-claiming gang worker); v1 stores are migrated in place on open.
+STORE_SCHEMA_VERSION = 2
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS meta (
@@ -93,10 +96,12 @@ CREATE TABLE IF NOT EXISTS jobs (
     completions  INTEGER NOT NULL DEFAULT 0,
     error        TEXT,
     enqueued_at  REAL NOT NULL,
-    completed_at REAL
+    completed_at REAL,
+    gang_key     TEXT
 );
 CREATE INDEX IF NOT EXISTS idx_jobs_status   ON jobs (status);
 CREATE INDEX IF NOT EXISTS idx_jobs_campaign ON jobs (campaign_id);
+CREATE INDEX IF NOT EXISTS idx_jobs_gang     ON jobs (gang_key);
 CREATE TABLE IF NOT EXISTS campaigns (
     campaign_id TEXT NOT NULL,
     position    INTEGER NOT NULL,
@@ -227,6 +232,13 @@ class ResultStore:
         with closing(self._connect()) as conn:
             # WAL lets readers (the serve API) proceed while a worker writes.
             conn.execute("PRAGMA journal_mode = WAL")
+            # Old tables must grow their new columns before _SCHEMA's
+            # CREATE INDEX statements reference them.
+            job_columns = {
+                row[1] for row in conn.execute("PRAGMA table_info(jobs)")
+            }
+            if job_columns and "gang_key" not in job_columns:
+                conn.execute("ALTER TABLE jobs ADD COLUMN gang_key TEXT")
             conn.executescript(_SCHEMA)
             row = conn.execute(
                 "SELECT value FROM meta WHERE key = 'store_schema_version'"
@@ -243,6 +255,28 @@ class ResultStore:
                     f"newer than this code understands ({STORE_SCHEMA_VERSION}); "
                     "upgrade repro instead of rewriting the store"
                 )
+            elif int(row["value"]) < STORE_SCHEMA_VERSION:
+                self._migrate_to_v2(conn)
+
+    @staticmethod
+    def _migrate_to_v2(conn: sqlite3.Connection) -> None:
+        """Backfill ``jobs.gang_key`` for a v1 store (column added above)."""
+        rows = conn.execute("SELECT spec_id, spec_json FROM jobs").fetchall()
+        for row in rows:
+            try:
+                key = gang_key_id(ExperimentSpec.from_dict(json.loads(row["spec_json"])))
+            except (ValidationError, ValueError, KeyError, TypeError):
+                # An undecodable legacy job simply never gangs.
+                key = None
+            conn.execute(
+                "UPDATE jobs SET gang_key = ? WHERE spec_id = ?",
+                (key, row["spec_id"]),
+            )
+        conn.execute(
+            "UPDATE meta SET value = ? WHERE key = 'store_schema_version'",
+            (str(STORE_SCHEMA_VERSION),),
+        )
+        conn.commit()
 
     # -------------------------------------------------------------- writes
     def put(

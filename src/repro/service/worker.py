@@ -13,6 +13,16 @@ The result is written to the store *before* the job is marked done: a crash
 between the two steps re-runs the job, which merely re-upserts the same
 payload — never the other way around, where a "done" job would have no
 result.
+
+With ``batch_size > 1`` (CLI ``repro work --batch N``) the worker leases up
+to N gang-compatible jobs per claim
+(:meth:`~repro.service.queue.WorkQueue.claim_batch`) and executes them as
+one fused vec kernel (:func:`~repro.experiments.scheduler.run_gang`); the
+heartbeat renews every lease of the batch, and each job still follows its
+own store-before-complete sequence, so crash semantics are identical to the
+single-job path.  If the fused run raises, the batch falls back to per-spec
+execution under the same leases — one poison spec fails alone instead of
+taking its gang down with it.
 """
 
 from __future__ import annotations
@@ -23,11 +33,14 @@ import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import TextIO
+from typing import Iterable, Sequence, TextIO
 
+from repro.experiments.scheduler import run_gang
 from repro.experiments.serialization import prediction_to_dict
+from repro.experiments.spec import ExperimentSpec
 from repro.service.queue import DEFAULT_LEASE_SECONDS, WorkQueue
 from repro.service.store import ResultStore
+from repro.utils.validation import ValidationError
 
 
 @dataclass
@@ -64,31 +77,45 @@ class WorkerStats:
 
 
 class _LeaseHeartbeat:
-    """Daemon thread renewing the lease while a job executes.
+    """Daemon thread renewing one or more leases while their jobs execute.
 
     Simulations can outlast any fixed lease; renewing at a third of the
     lease period keeps ownership alive for as long as the worker process
     actually lives — which is exactly the semantics a lease should have.
+    A batch worker holds every lease of its gang through one heartbeat
+    thread: :attr:`lost` collects the spec_ids whose lease could not be
+    renewed (another worker reclaimed them), and the thread keeps renewing
+    the rest.
     """
 
     def __init__(
-        self, queue: WorkQueue, spec_id: str, worker_id: str, lease_seconds: float
+        self,
+        queue: WorkQueue,
+        spec_ids: str | Iterable[str],
+        worker_id: str,
+        lease_seconds: float,
     ) -> None:
         self._queue = queue
-        self._spec_id = spec_id
+        self._spec_ids = (
+            [spec_ids] if isinstance(spec_ids, str) else list(spec_ids)
+        )
         self._worker_id = worker_id
         self._lease_seconds = lease_seconds
         self._stop = threading.Event()
-        self.lost = False
+        self.lost: set[str] = set()
         self._thread = threading.Thread(target=self._run, daemon=True)
 
     def _run(self) -> None:
         interval = max(self._lease_seconds / 3.0, 0.05)
         while not self._stop.wait(interval):
-            if not self._queue.heartbeat(
-                self._spec_id, self._worker_id, self._lease_seconds
-            ):
-                self.lost = True
+            for spec_id in self._spec_ids:
+                if spec_id in self.lost:
+                    continue
+                if not self._queue.heartbeat(
+                    spec_id, self._worker_id, self._lease_seconds
+                ):
+                    self.lost.add(spec_id)
+            if len(self.lost) == len(self._spec_ids):
                 return
 
     def __enter__(self) -> "_LeaseHeartbeat":
@@ -105,6 +132,35 @@ def default_worker_id() -> str:
     return f"pid-{os.getpid()}"
 
 
+def _execute_specs(
+    specs: Sequence[ExperimentSpec],
+) -> tuple[dict[str, dict], dict[str, str]]:
+    """Run ``specs`` (fused when >1), returning per-spec payloads and errors.
+
+    A multi-spec batch first attempts one fused :func:`run_gang` kernel; any
+    exception there (including a single poison spec crashing the batch)
+    falls back to per-spec execution so the failure is attributed to the
+    one job that actually raises, not the whole gang.
+    """
+    payloads: dict[str, dict] = {}
+    errors: dict[str, str] = {}
+    if len(specs) > 1:
+        try:
+            predictions = run_gang(specs)
+        except Exception:  # noqa: BLE001 — isolate the poison spec below
+            predictions = None
+        if predictions is not None:
+            for spec, prediction in zip(specs, predictions):
+                payloads[spec.spec_id] = prediction_to_dict(prediction)
+            return payloads, errors
+    for spec in specs:
+        try:
+            payloads[spec.spec_id] = prediction_to_dict(spec.run())
+        except Exception as error:  # noqa: BLE001 — any failure is job data
+            errors[spec.spec_id] = repr(error)
+    return payloads, errors
+
+
 def run_worker(
     queue: WorkQueue | ResultStore | str | Path,
     worker_id: str | None = None,
@@ -115,6 +171,7 @@ def run_worker(
     stop: threading.Event | None = None,
     progress: bool = False,
     stream: TextIO | None = None,
+    batch_size: int = 1,
 ) -> WorkerStats:
     """Drain jobs from a queue until it is empty (or told to stop).
 
@@ -138,7 +195,13 @@ def run_worker(
     stop:
         Cooperative stop signal (checked between jobs).
     progress:
-        Emit one line per processed job on ``stream`` (default stderr).
+        Emit one line per processed claim on ``stream`` (default stderr).
+    batch_size:
+        Lease up to this many gang-compatible jobs per claim and execute
+        them as one fused vec kernel.  ``1`` (the default) preserves the
+        classic one-job-at-a-time loop; higher values change throughput
+        only — every job's payload, store write, and completion are
+        identical to the single-job path.
 
     Returns
     -------
@@ -146,6 +209,8 @@ def run_worker(
         Per-worker counters; ``stats.failed`` jobs remain in the queue as
         ``pending``/``failed`` for inspection.
     """
+    if batch_size < 1:
+        raise ValidationError("batch_size must be >= 1")
     if not isinstance(queue, WorkQueue):
         queue = WorkQueue(queue)
     worker_id = worker_id or default_worker_id()
@@ -153,37 +218,54 @@ def run_worker(
     stats = WorkerStats(worker_id=worker_id)
 
     while stop is None or not stop.is_set():
-        if max_jobs is not None and stats.computed + stats.failed >= max_jobs:
+        processed = stats.computed + stats.failed
+        if max_jobs is not None and processed >= max_jobs:
             break
-        job = queue.claim(worker_id, lease_seconds=lease_seconds)
-        if job is None:
+        want = batch_size
+        if max_jobs is not None:
+            want = min(want, max_jobs - processed)
+        jobs = queue.claim_batch(worker_id, want, lease_seconds=lease_seconds)
+        if not jobs:
             if idle_exit:
                 break
             time.sleep(poll_seconds)
             continue
-        spec = job.build_spec()
+        specs = [job.build_spec() for job in jobs]
         if progress:
-            print(
-                f"[repro.worker {worker_id}] {job.spec_id} "
-                f"(attempt {job.attempts}): {spec.describe()}",
-                file=stream,
-                flush=True,
-            )
-        with _LeaseHeartbeat(queue, job.spec_id, worker_id, lease_seconds) as beat:
-            try:
-                payload = prediction_to_dict(spec.run())
-            except Exception as error:  # noqa: BLE001 — any failure is job data
-                queue.fail(job.spec_id, worker_id, repr(error))
+            if len(jobs) == 1:
+                print(
+                    f"[repro.worker {worker_id}] {jobs[0].spec_id} "
+                    f"(attempt {jobs[0].attempts}): {specs[0].describe()}",
+                    file=stream,
+                    flush=True,
+                )
+            else:
+                print(
+                    f"[repro.worker {worker_id}] batch of {len(jobs)} "
+                    f"({jobs[0].gang_key}): {specs[0].describe()}",
+                    file=stream,
+                    flush=True,
+                )
+        with _LeaseHeartbeat(
+            queue, [job.spec_id for job in jobs], worker_id, lease_seconds
+        ) as beat:
+            payloads, errors = _execute_specs(specs)
+        for job, spec in zip(jobs, specs):
+            if job.spec_id in errors:
+                queue.fail(job.spec_id, worker_id, errors[job.spec_id])
                 stats.failed += 1
-                stats.errors.append((job.spec_id, repr(error)))
+                stats.errors.append((job.spec_id, errors[job.spec_id]))
                 continue
-        queue.store.put(spec, payload)
-        if beat.lost or not queue.complete(job.spec_id, worker_id):
-            # Lease expired mid-run and someone else owns (or finished) the
-            # job now; our store write was idempotent, so just account for it.
-            stats.lost_leases += 1
-        else:
-            stats.computed += 1
+            queue.store.put(spec, payloads[job.spec_id])
+            if job.spec_id in beat.lost or not queue.complete(
+                job.spec_id, worker_id
+            ):
+                # Lease expired mid-run and someone else owns (or finished)
+                # the job now; our store write was idempotent, so just
+                # account for it.
+                stats.lost_leases += 1
+            else:
+                stats.computed += 1
     if progress:
         print(f"[repro.worker] {stats.summary()}", file=stream, flush=True)
     return stats

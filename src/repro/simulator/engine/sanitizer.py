@@ -29,7 +29,14 @@ corrupted — not at the statistics that later looked wrong.
 
 The checks are intentionally exhaustive rather than incremental: the
 sanitizer is a debugging/CI engine, not a performance engine.  Its per-cycle
-cost is ``O(routers * ports * VCs + wheel)``.
+cost is ``O(routers * ports * VCs + wheel)``.  For long campaigns the cost
+can be amortised with ``audit_interval=N``
+(:class:`~repro.simulator.simulation.SimulationConfig`): the full state
+audit then runs every N-th cycle (plus the cheap per-ejection timestamp
+checks, which stay on every flit).  Conservation violations persist in the
+state until repaired, so a sampled audit still catches leaks — it only
+reports them up to N-1 cycles late; and because the audit never writes
+state, the statistics are bit-identical for every interval.
 """
 
 from __future__ import annotations
@@ -61,11 +68,17 @@ class SanitizerEngine(ReferenceEngine):
 
     def __init__(self, topology, config, network, trace=None) -> None:
         super().__init__(topology, config, network, trace=trace)
-        self._cycle_end_hook = self._check_invariants
+        self._cycle_end_hook = self._maybe_check_invariants
+        self._audit_interval = config.audit_interval
         #: Total flits handed to source queues so far.
         self._audit_created_flits = 0
         #: Total flits ejected so far (warmup, measurement and drain alike).
         self._audit_ejected_flits = 0
+
+    def _maybe_check_invariants(self) -> None:
+        """Run the full audit on every ``audit_interval``-th cycle."""
+        if self._cycle % self._audit_interval == 0:
+            self._check_invariants()
 
     # ------------------------------------------------------- accounting taps
     def _create_packets(self, measured: bool) -> None:

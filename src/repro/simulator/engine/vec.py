@@ -65,6 +65,33 @@ frozen (masked out of injection, routing and accounting) while the others
 run on.  Wheel events that land in a frozen lane only touch its dead buffer
 state, never its statistics.
 
+Lane recycling and local cycles
+-------------------------------
+A finished lane is *retired* rather than merely frozen: its statistics are
+finalized immediately, every pending wheel event targeting it is purged, and
+its slot's state is scrubbed back to pristine so a fresh engine can be
+re-armed into the slot mid-run (:meth:`_VecKernel.run` takes a ``pending``
+queue and an ``on_finish`` hook).  That keeps the batch axis full instead of
+waiting on the slowest lane — the mechanism behind the gang scheduler in
+:mod:`repro.experiments.scheduler`.  To make a lane's observable timeline
+independent of *when* its slot was armed, each lane carries a cycle offset:
+packet creation/injection stamps and all latency arithmetic use the lane's
+**local** cycle (``kernel cycle - offset``), while buffers and event wheels
+keep kernel-absolute timestamps.  A lane armed at kernel cycle ``c`` is
+therefore bit-identical to the same engine run in a fresh kernel.
+
+Quiescent fast-forward
+----------------------
+The kernel tracks three idle counters (queued packets, packets mid-
+injection, buffered flits).  When all are zero, the event wheels are empty,
+and no running lane draws Bernoulli randomness every cycle (only trace lanes
+and rate-0 lanes qualify — a ``p > 0`` injector consumes RNG each cycle, so
+skipping would change the draw sequence), the cycle counter jumps straight
+to the next event: the earliest wheel entry, the next trace record's
+creation cycle, or a lane's phase boundary.  This mirrors the ``soa``
+engine's quiescent-router parking at whole-kernel granularity and removes
+the dead cycles that dominated long drains and sparse trace replays.
+
 Single-point runs use the same kernel with a batch of one.  Bit-identity
 with the reference engine — batched and single — is enforced by the goldens
 in ``tests/unit/test_simulation_golden.py`` and the randomized differential
@@ -325,21 +352,49 @@ class _VecKernel:
             [] for _ in range(net.wheel_size)
         ]
 
+        self._network = network
         self._bounds = [lane._phase_bounds() for lane in lanes]
         self._trace_mode = [lane.trace_mode for lane in lanes]
+        #: Kernel cycle where each lane's local cycle 0 begins (0 for the
+        #: initial lanes; the arming cycle for recycled slots).  The numpy
+        #: copy serves the vectorized gathers in injection/ejection, the
+        #: list the scalar per-lane loops.
+        self._offsets = np.zeros(num_lanes, dtype=_I64)
+        self._offset_list = [0] * num_lanes
+        #: Idle counters: queued-but-unsegmented packets, packets mid-
+        #: injection, and flits sitting in input buffers.  All zero (plus
+        #: empty wheels) means the kernel is quiescent; they also gate the
+        #: injection and router passes, which are provably no-ops then.
+        self._queued_total = 0
+        self._inflight_injections = 0
+        self._buffered_total = 0
+        #: Running lanes whose injector draws randomness every cycle
+        #: (Bernoulli with p > 0).  Any such lane forbids fast-forwarding.
+        self._num_unjumpable_running = sum(
+            1 for lane in lanes if self._lane_unjumpable(lane)
+        )
+
+    @staticmethod
+    def _lane_unjumpable(lane: "Engine") -> bool:
+        return (
+            lane.injection is not None
+            and lane.injection._packet_probability > 0.0
+        )
 
     # ------------------------------------------------------------- creation
     def _create_packets(self, cycle: int, in_measurement: list[bool], running) -> None:
         num_nodes = self._net.num_nodes
+        offsets = self._offset_list
         for lane_index, lane in enumerate(self._lanes):
             if not running[lane_index]:
                 continue
+            local = cycle - offsets[lane_index]
             trace_mode = self._trace_mode[lane_index]
             if trace_mode:
-                records = lane._trace_injector.packets_for_cycle(cycle)
+                records = lane._trace_injector.packets_for_cycle(local)
                 measured = True
             else:
-                records = lane.injection.packets_for_cycle(cycle)
+                records = lane.injection.packets_for_cycle(local)
                 measured = in_measurement[lane_index]
             if not records:
                 continue
@@ -357,7 +412,7 @@ class _VecKernel:
                 self._pkt_size.data[base:end] = columns[:, 2]
             else:
                 self._pkt_size.data[base:end] = lane.config.packet_size_flits
-            self._pkt_created.data[base:end] = cycle
+            self._pkt_created.data[base:end] = local
             self._pkt_injected.data[base:end] = -1
             self._pkt_measured.data[base:end] = 1 if measured else 0
             # pkt_escape: reserved entries are already zero.
@@ -367,9 +422,10 @@ class _VecKernel:
                 lane._packets_measured += count
                 lane._measured_in_flight += count
             queues = self._inj_queue[lane_index]
-            for offset, record in enumerate(records):
-                queues[record[0]].append(base + offset)
+            for position, record in enumerate(records):
+                queues[record[0]].append(base + position)
             np.add.at(self._queue_len, lane_index * num_nodes + columns[:, 0], 1)
+            self._queued_total += count
 
     def _segment_packets(self, packet_ids: np.ndarray) -> np.ndarray:
         """Append flit columns for ``packet_ids`` (in order); return first-flit ids."""
@@ -426,6 +482,8 @@ class _VecKernel:
                         nodes[position]
                     ].pop(0)
                 self._queue_len[starters] -= 1
+                self._queued_total -= len(starters)
+                self._inflight_injections += len(starters)
                 firsts = self._segment_packets(packet_ids)
                 inj_cur[starters] = firsts
                 self._inj_end[starters] = firsts + self._pkt_size.data[packet_ids]
@@ -451,12 +509,17 @@ class _VecKernel:
         fid = inj_cur[flat]
         heads = self._flit_head.data[fid] == 1
         if heads.any():
-            self._pkt_injected.data[self._flit_pkt.data[fid[heads]]] = cycle
+            # Injection stamps are lane-local cycles (latency arithmetic in
+            # ``_eject`` is local too, so recycled lanes stay bit-identical).
+            self._pkt_injected.data[self._flit_pkt.data[fid[heads]]] = (
+                cycle - self._offsets[self._g_n_lane[flat[heads]]]
+            )
         slot = gi * net.depth + (self._buf_head[gi] + length) % net.depth
         ready_at = cycle + net.pipeline
         self._buf_fid[slot] = fid
         self._buf_ready[slot] = ready_at
         buf_len[gi] = length + 1
+        self._buffered_total += len(gi)
         was_empty = length == 0
         if was_empty.any():
             empty_gi = gi[was_empty]
@@ -465,8 +528,10 @@ class _VecKernel:
         nxt = fid + 1
         done = nxt >= self._inj_end[flat]
         inj_cur[flat] = np.where(done, -1, nxt)
-        if done.any():
+        done_count = int(done.sum())
+        if done_count:
             inj_vc[flat[done]] = -1
+            self._inflight_injections -= done_count
 
     # ------------------------------------------------------- event delivery
     def _deliver_events(self, cycle: int) -> None:
@@ -489,6 +554,7 @@ class _VecKernel:
             self._buf_fid[index] = fid
             self._buf_ready[index] = ready_at
             self._buf_len[gi] = length + 1
+            self._buffered_total += len(gi)
             was_empty = length == 0
             if not self._all_running:
                 was_empty &= self._gate[gi]
@@ -728,6 +794,7 @@ class _VecKernel:
         self._buf_head[w_gi] = new_head
         new_length = buf_len[w_gi] - 1
         buf_len[w_gi] = new_length
+        self._buffered_total -= len(w_gi)
         emptied = new_length == 0
         self._front_ready[w_gi[emptied]] = _NEVER
         refill = ~emptied
@@ -830,8 +897,11 @@ class _VecKernel:
         t_lane = t_lane[order]
         packet_id = self._flit_pkt.data[t_fid]
         created = self._pkt_created.data[packet_id]
-        total_latency = cycle - created
-        network_latency = cycle - self._pkt_injected.data[packet_id]
+        # Creation/injection stamps are lane-local, so latencies must be
+        # computed against each flit's lane-local delivery cycle.
+        local = cycle - self._offsets[t_lane]
+        total_latency = local - created
+        network_latency = local - self._pkt_injected.data[packet_id]
         hops = self._flit_hops.data[t_fid]
         measured = self._pkt_measured.data[packet_id] == 1
         escaped = self._pkt_escape.data[packet_id] == 1
@@ -879,59 +949,216 @@ class _VecKernel:
                         accumulator.phase_hops[index].append(int(hops[position]))
         self._ivc_out_ch[t_gi] = _UNROUTED
 
-    # ------------------------------------------------------------------ run
-    def run(self) -> list[SimulationStats]:
-        lanes = self._lanes
+    # -------------------------------------------------------- lane recycling
+    def _retire_lane(self, slot: int) -> None:
+        """Freeze a finished lane and scrub its slot back to pristine.
+
+        Pending wheel events targeting the lane are purged and its stale
+        contributions (an undrained lane can end with queued packets and
+        buffered flits) are subtracted from the idle counters, so the
+        counters stay exact for the surviving lanes and a future
+        :meth:`_arm` starts from the same state as a fresh kernel.
+        """
         net = self._net
+        cv = net.num_channels * net.num_vcs
+        ivcs = slice(slot * net.num_ivcs, (slot + 1) * net.num_ivcs)
+        nodes = slice(slot * net.num_nodes, (slot + 1) * net.num_nodes)
+        chans = slice(slot * net.num_channels, (slot + 1) * net.num_channels)
+        self._buffered_total -= int(self._buf_len[ivcs].sum())
+        self._queued_total -= int(self._queue_len[nodes].sum())
+        self._inflight_injections -= int((self._inj_cur[nodes] >= 0).sum())
+        self._purge_lane_events(slot)
+        self._buf_head[ivcs] = 0
+        self._buf_len[ivcs] = 0
+        self._ivc_out_ch[ivcs] = _UNROUTED
+        self._ivc_out_vc[ivcs] = 0
+        self._front_fid[ivcs] = 0
+        self._front_ready[ivcs] = _NEVER
+        self._gate[ivcs] = False
+        self._out_alloc[slot * cv : (slot + 1) * cv] = -1
+        self._credits[slot * cv : (slot + 1) * cv] = net.depth
+        self._adaptive_free[chans] = net.num_vcs - 1
+        self._escape_free[chans] = True
+        self._rr[slot * net.num_ports : (slot + 1) * net.num_ports] = 0
+        self._inj_queue[slot] = [[] for _ in range(net.num_nodes)]
+        self._queue_len[nodes] = 0
+        self._inj_cur[nodes] = -1
+        self._inj_end[nodes] = 0
+        self._inj_vc[nodes] = -1
+        self._node_gate[nodes] = False
+
+    def _purge_lane_events(self, slot: int) -> None:
+        """Drop every pending wheel event that targets ``slot``'s lane."""
+        net = self._net
+        ivc_lo = slot * net.num_ivcs
+        ivc_hi = ivc_lo + net.num_ivcs
+        cv = net.num_channels * net.num_vcs
+        credit_lo = slot * cv
+        credit_hi = credit_lo + cv
+        for wheel_slot in range(net.wheel_size):
+            events = self._flit_wheel[wheel_slot]
+            if events:
+                kept = []
+                for gi, fid in events:
+                    mask = (gi < ivc_lo) | (gi >= ivc_hi)
+                    if mask.all():
+                        kept.append((gi, fid))
+                    elif mask.any():
+                        kept.append((gi[mask], fid[mask]))
+                self._flit_wheel[wheel_slot] = kept
+            credits = self._credit_wheel[wheel_slot]
+            if credits:
+                kept = []
+                for index in credits:
+                    mask = (index < credit_lo) | (index >= credit_hi)
+                    if mask.all():
+                        kept.append(index)
+                    elif mask.any():
+                        kept.append(index[mask])
+                self._credit_wheel[wheel_slot] = kept
+
+    def _arm(self, slot: int, engine: "Engine", cycle: int) -> None:
+        """Start ``engine`` in retired slot ``slot`` at kernel cycle ``cycle``."""
+        if engine.network is not self._network:
+            raise ValueError("every batch lane must share the compiled network")
+        net = self._net
+        self._lanes[slot] = engine
+        self._offsets[slot] = cycle
+        self._offset_list[slot] = cycle
+        self._bounds[slot] = engine._phase_bounds()
+        self._trace_mode[slot] = engine.trace_mode
+        self._gate[slot * net.num_ivcs : (slot + 1) * net.num_ivcs] = True
+        self._node_gate[slot * net.num_nodes : (slot + 1) * net.num_nodes] = True
+        if self._lane_unjumpable(engine):
+            self._num_unjumpable_running += 1
+
+    # ------------------------------------------------------ quiescent jumps
+    def _quiescent_target(self, cycle: int, running: list[bool]) -> int | None:
+        """Earliest kernel cycle at which a quiescent kernel can act again.
+
+        Only meaningful when the idle counters are all zero and no running
+        lane draws randomness per cycle: the next observable action is then
+        a wheel delivery, a trace record's creation, or a phase boundary
+        (``- 1`` because the finish check runs post-increment, so landing
+        one cycle short reproduces the sequential ``lane._cycle``).
+        """
+        net = self._net
+        target = None
+        for delta in range(net.wheel_size):
+            wheel_slot = (cycle + delta) % net.wheel_size
+            if self._flit_wheel[wheel_slot] or self._credit_wheel[wheel_slot]:
+                target = cycle + delta
+                break
+        for lane_index, lane in enumerate(self._lanes):
+            if not running[lane_index]:
+                continue
+            offset = self._offset_list[lane_index]
+            if self._trace_mode[lane_index] and not lane._trace_injector.exhausted:
+                candidate = offset + lane._trace_injector.next_cycle
+            elif lane._measured_in_flight == 0:
+                candidate = offset + self._bounds[lane_index][1] - 1
+            else:
+                candidate = offset + self._bounds[lane_index][2] - 1
+            if target is None or candidate < target:
+                target = candidate
+        return target
+
+    # ------------------------------------------------------------------ run
+    def run(
+        self,
+        pending: "list[Engine] | None" = None,
+        on_finish=None,
+    ) -> list[SimulationStats]:
+        """Run every lane to completion, recycling freed slots from ``pending``.
+
+        ``on_finish(engine, stats)`` is invoked as each lane finishes (its
+        statistics are finalized immediately); it may return an iterable of
+        new engines to append to the pending queue.  The returned list holds
+        one :class:`SimulationStats` per engine in submission order (initial
+        lanes first, then pending engines in arming order).
+        """
+        lanes = self._lanes
         num_lanes = self._num_lanes
+        queue: list[Engine] = list(pending) if pending else []
+        order = list(lanes)
+        stats_by_id: dict[int, SimulationStats] = {}
         running = [True] * num_lanes
-        drained = [True] * num_lanes
+        free_slots: list[int] = []
         unfinished = num_lanes
         cycle = 0
         bounds = self._bounds
         trace_mode = self._trace_mode
-        while unfinished:
+        offsets = self._offset_list
+        while unfinished or queue:
+            if queue and free_slots:
+                free_slots.sort()
+                while queue and free_slots:
+                    slot = free_slots.pop(0)
+                    engine = queue.pop(0)
+                    self._arm(slot, engine, cycle)
+                    order.append(engine)
+                    running[slot] = True
+                    unfinished += 1
+                self._all_running = unfinished == num_lanes
+            if (
+                self._num_unjumpable_running == 0
+                and self._buffered_total == 0
+                and self._queued_total == 0
+                and self._inflight_injections == 0
+            ):
+                target = self._quiescent_target(cycle, running)
+                if target is not None and target > cycle:
+                    cycle = target
             in_measurement = [
                 trace_mode[lane_index]
-                or bounds[lane_index][0] <= cycle < bounds[lane_index][1]
+                or bounds[lane_index][0]
+                <= cycle - offsets[lane_index]
+                < bounds[lane_index][1]
                 for lane_index in range(num_lanes)
             ]
             self._deliver_events(cycle)
             self._create_packets(cycle, in_measurement, running)
-            self._inject_flits(cycle)
-            self._route(cycle, in_measurement)
+            if self._queued_total or self._inflight_injections:
+                self._inject_flits(cycle)
+            if self._buffered_total:
+                self._route(cycle, in_measurement)
             cycle += 1
             for lane_index, lane in enumerate(lanes):
                 if not running[lane_index]:
                     continue
+                local = cycle - offsets[lane_index]
                 _, measurement_end, hard_end = bounds[lane_index]
-                if cycle >= measurement_end and lane._measured_in_flight == 0:
+                if local >= measurement_end and lane._measured_in_flight == 0:
+                    lane_drained = True
                     finished = True
-                elif cycle >= hard_end:
-                    drained[lane_index] = lane._measured_in_flight == 0
+                elif local >= hard_end:
+                    lane_drained = lane._measured_in_flight == 0
                     finished = True
                 else:
                     finished = False
                 if finished:
                     running[lane_index] = False
-                    lane._cycle = cycle
+                    lane._cycle = local
                     unfinished -= 1
                     self._all_running = False
-                    lane_ivcs = slice(
-                        lane_index * net.num_ivcs, (lane_index + 1) * net.num_ivcs
-                    )
-                    self._gate[lane_ivcs] = False
-                    self._front_ready[lane_ivcs] = _NEVER
-                    self._node_gate[
-                        lane_index * net.num_nodes : (lane_index + 1) * net.num_nodes
-                    ] = False
-        return [
-            lane._finalize(drained[lane_index])
-            for lane_index, lane in enumerate(lanes)
-        ]
+                    if self._lane_unjumpable(lane):
+                        self._num_unjumpable_running -= 1
+                    self._retire_lane(lane_index)
+                    free_slots.append(lane_index)
+                    stats = lane._finalize(lane_drained)
+                    stats_by_id[id(lane)] = stats
+                    if on_finish is not None:
+                        extra = on_finish(lane, stats)
+                        if extra:
+                            queue.extend(extra)
+        return [stats_by_id[id(engine)] for engine in order]
 
 
-def run_batched(engines: "list[Engine]") -> list[SimulationStats]:
+def run_batched(
+    engines: "list[Engine]",
+    pending: "list[Engine] | tuple[Engine, ...]" = (),
+    on_finish=None,
+) -> list[SimulationStats]:
     """Run many lanes of one compiled network in a single fused kernel.
 
     Every engine must be a ``vec`` lane sharing the *same* prebuilt
@@ -939,10 +1166,21 @@ def run_batched(engines: "list[Engine]") -> list[SimulationStats]:
     own traffic generator, phase bounds and statistics accumulator, so the
     result list is bit-identical to running each engine alone (asserted by
     ``tests/unit/test_batch.py`` and the differential suite).
+
+    ``engines`` fixes the kernel width; ``pending`` engines are armed into
+    slots as lanes finish (lane recycling), and ``on_finish(engine, stats)``
+    — called as each lane's statistics are finalized — may return further
+    engines to append to the pending queue.  Results come back in
+    submission order: ``engines`` first, then recycled engines in arming
+    order.
     """
+    engines = list(engines)
+    pending = list(pending)
     if not engines:
-        return []
-    return _VecKernel(engines[0].network, engines).run()
+        if not pending:
+            return []
+        engines = [pending.pop(0)]
+    return _VecKernel(engines[0].network, engines).run(pending, on_finish)
 
 
 class VecEngine(Engine):

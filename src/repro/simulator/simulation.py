@@ -82,6 +82,13 @@ class SimulationConfig:
         checks, bit-identical and slower).  Because all engines produce
         identical statistics, the engine is *not* part of an experiment's
         identity hash.
+    audit_interval:
+        Sampling period of the sanitizer engine's invariant audit: the full
+        state audit runs every ``audit_interval`` cycles instead of every
+        cycle.  ``1`` (the default) audits every cycle.  The audit only
+        *reads* state, so the statistics are bit-identical for any value;
+        like ``engine``, the interval is excluded from experiment identity.
+        Ignored by the other engines.
     """
 
     injection_rate: float = 0.05
@@ -95,6 +102,7 @@ class SimulationConfig:
     drain_max_cycles: int = 3000
     seed: int = 1
     engine: str = DEFAULT_ENGINE
+    audit_interval: int = 1
 
     def __post_init__(self) -> None:
         check_traffic_name(self.traffic)
@@ -103,6 +111,9 @@ class SimulationConfig:
         check_type("warmup_cycles", self.warmup_cycles, int)
         check_type("measurement_cycles", self.measurement_cycles, int)
         check_type("drain_max_cycles", self.drain_max_cycles, int)
+        check_type("audit_interval", self.audit_interval, int)
+        if self.audit_interval < 1:
+            raise ValidationError("audit_interval must be >= 1")
         if self.measurement_cycles < 1:
             raise ValidationError("measurement_cycles must be >= 1")
         if self.warmup_cycles < 0 or self.drain_max_cycles < 0:

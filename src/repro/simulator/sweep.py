@@ -166,35 +166,50 @@ def _is_saturated(
     return stats.average_packet_latency > latency_blowup * max(zero_load_latency, 1.0)
 
 
-def find_saturation_throughput(
-    topology: Topology,
-    config: SimulationConfig | None = None,
-    link_latencies: dict[Link, int] | None = None,
-    routing: RoutingTables | None = None,
+def saturation_plan(
+    base: SimulationConfig,
     latency_blowup: float = 3.0,
     coarse_steps: int = 6,
     refine_steps: int = 3,
     max_rate: float = 1.0,
-    network: Network | None = None,
-) -> LoadSweepResult:
-    """Estimate zero-load latency and saturation throughput by simulation.
+    batch_coarse: bool = False,
+):
+    """The saturation search as a resumable generator of simulation rounds.
 
-    The sweep first probes a geometric sequence of injection rates to bracket
-    the saturation point, then bisects the bracket ``refine_steps`` times.
-    When the probe load itself is already saturated, the bracket degenerates
-    to the probe rate and the reported saturation throughput is the probe
-    rate (the network sustains no less than what it was shown to carry).
+    Yields lists of :class:`SimulationConfig` (one round of load points);
+    the driver sends back the parallel list of :class:`SimulationStats`
+    (``generator.send``), and the generator finishes with the
+    :class:`LoadSweepResult` as its ``StopIteration`` value.  This decouples
+    the search's control flow — probe, coarse bracket, bisection — from
+    *how* the points are executed: :func:`find_saturation_throughput` runs
+    the rounds directly, while the gang scheduler
+    (:mod:`repro.experiments.scheduler`) interleaves the rounds of many
+    specs through one lane-recycled kernel.  The emitted rounds and the
+    resulting ``points`` list are identical either way.
+
+    With ``batch_coarse`` the whole coarse stage is emitted as one round
+    (the vec engine fuses it into a single kernel); results past the first
+    saturated rate are trimmed exactly as the sequential walk would have
+    stopped, so downstream consumers see the same points.
     """
     if coarse_steps < 2:
         raise ValidationError("coarse_steps must be >= 2")
-    base = config or SimulationConfig()
-    network = _shared_network(topology, base, link_latencies, routing, network)
+    return _saturation_plan(
+        base, latency_blowup, coarse_steps, refine_steps, max_rate, batch_coarse
+    )
 
+
+def _saturation_plan(
+    base: SimulationConfig,
+    latency_blowup: float,
+    coarse_steps: int,
+    refine_steps: int,
+    max_rate: float,
+    batch_coarse: bool,
+):
     points: list[tuple[float, SimulationStats]] = []
     probe_rate = min(0.01, max_rate)
-    zero_load_stats = measure_zero_load_latency(
-        topology, base, probe_rate=probe_rate, network=network
-    )
+    (zero_load_stats,) = yield [replace(base, injection_rate=probe_rate)]
     zero_load_latency = zero_load_stats.average_packet_latency
     points.append((probe_rate, zero_load_stats))
 
@@ -215,30 +230,31 @@ def find_saturation_throughput(
         min(max_rate, 0.02 * (max_rate / 0.02) ** (step / coarse_steps))
         for step in range(1, coarse_steps + 1)
     ]
-    coarse_stats: list[SimulationStats] | None = None
-    if base.engine == "vec" and len(coarse_rates) > 1:
-        # Batched fast path: fuse the whole coarse stage into one kernel.
-        # Each lane is bit-identical to its solo run, and the walk below
-        # still stops at the first saturated rate, so the ``points`` list
-        # (and everything derived from it) matches the sequential loop
-        # exactly — the lanes past the break are simply discarded.
-        coarse_stats = run_batch(
-            topology,
-            [replace(base, injection_rate=rate) for rate in coarse_rates],
-            network=network,
-        )
     lo, hi = None, None
     last_good = probe_rate
-    for step_index, rate in enumerate(coarse_rates):
-        if coarse_stats is not None:
-            stats = coarse_stats[step_index]
-        else:
-            stats = _simulate(topology, replace(base, injection_rate=rate), network)
-        points.append((rate, stats))
-        if _is_saturated(stats, zero_load_latency, latency_blowup):
-            lo, hi = last_good, rate
-            break
-        last_good = rate
+    if batch_coarse and len(coarse_rates) > 1:
+        # Batched fast path: emit the whole coarse stage as one round.  Each
+        # lane is bit-identical to its solo run, and the walk below still
+        # stops at the first saturated rate, so the ``points`` list (and
+        # everything derived from it) matches the sequential loop exactly —
+        # the lanes past the break are simply discarded.
+        coarse_stats = yield [
+            replace(base, injection_rate=rate) for rate in coarse_rates
+        ]
+        for rate, stats in zip(coarse_rates, coarse_stats):
+            points.append((rate, stats))
+            if _is_saturated(stats, zero_load_latency, latency_blowup):
+                lo, hi = last_good, rate
+                break
+            last_good = rate
+    else:
+        for rate in coarse_rates:
+            (stats,) = yield [replace(base, injection_rate=rate)]
+            points.append((rate, stats))
+            if _is_saturated(stats, zero_load_latency, latency_blowup):
+                lo, hi = last_good, rate
+                break
+            last_good = rate
     if lo is None:
         # Never saturated up to max_rate: the network sustains full injection.
         return LoadSweepResult(
@@ -250,7 +266,7 @@ def find_saturation_throughput(
     # Bisection refinement of the bracket [lo, hi].
     for _ in range(refine_steps):
         mid = (lo + hi) / 2.0
-        stats = _simulate(topology, replace(base, injection_rate=mid), network)
+        (stats,) = yield [replace(base, injection_rate=mid)]
         points.append((mid, stats))
         if _is_saturated(stats, zero_load_latency, latency_blowup):
             hi = mid
@@ -261,6 +277,55 @@ def find_saturation_throughput(
         saturation_throughput=lo,
         points=points,
     )
+
+
+def find_saturation_throughput(
+    topology: Topology,
+    config: SimulationConfig | None = None,
+    link_latencies: dict[Link, int] | None = None,
+    routing: RoutingTables | None = None,
+    latency_blowup: float = 3.0,
+    coarse_steps: int = 6,
+    refine_steps: int = 3,
+    max_rate: float = 1.0,
+    network: Network | None = None,
+) -> LoadSweepResult:
+    """Estimate zero-load latency and saturation throughput by simulation.
+
+    The sweep first probes a geometric sequence of injection rates to bracket
+    the saturation point, then bisects the bracket ``refine_steps`` times.
+    When the probe load itself is already saturated, the bracket degenerates
+    to the probe rate and the reported saturation throughput is the probe
+    rate (the network sustains no less than what it was shown to carry).
+
+    The search logic lives in :func:`saturation_plan`; this function drives
+    the plan's rounds — fused through :func:`run_batch` when the configured
+    engine is ``vec`` and a round holds more than one point, sequentially
+    otherwise.
+    """
+    base = config or SimulationConfig()
+    plan = saturation_plan(
+        base,
+        latency_blowup=latency_blowup,
+        coarse_steps=coarse_steps,
+        refine_steps=refine_steps,
+        max_rate=max_rate,
+        batch_coarse=base.engine == "vec",
+    )
+    network = _shared_network(topology, base, link_latencies, routing, network)
+    response: list[SimulationStats] | None = None
+    while True:
+        try:
+            batch = plan.send(response)
+        except StopIteration as stop:
+            return stop.value
+        if base.engine == "vec" and len(batch) > 1:
+            response = run_batch(topology, batch, network=network)
+        else:
+            response = [
+                _simulate(topology, batch_config, network)
+                for batch_config in batch
+            ]
 
 
 def replay_trace(

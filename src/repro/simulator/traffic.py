@@ -320,6 +320,17 @@ class TraceInjector:
         """``True`` once every record has been handed out."""
         return self._position >= len(self._cycles)
 
+    @property
+    def next_cycle(self) -> int:
+        """Creation cycle of the next unreleased record (``-1`` when exhausted).
+
+        Lets a quiescent simulator fast-forward to the next injection
+        without querying every intermediate cycle.
+        """
+        if self._position >= len(self._cycles):
+            return -1
+        return self._cycles[self._position]
+
     def packets_for_cycle(self, cycle: int) -> list[tuple[int, int, int]]:
         """Return ``(source, destination, size_flits)`` of this cycle's records.
 

@@ -659,6 +659,18 @@ class TestEngineThreading:
         assert base.build_simulation_config().engine == "reference"
         assert soa.build_simulation_config().engine == "soa"
 
+    def test_audit_interval_excluded_from_spec_id(self):
+        base = small_spec(performance_mode="simulation", sim=self.FAST_SIM)
+        sampled = base.with_overrides(
+            sim={**self.FAST_SIM, "engine": "sanitizer", "audit_interval": 25}
+        )
+        # The sanitizer's audit sampling period never changes statistics, so
+        # (like the engine) it must not split the identity.
+        assert base.spec_id == sampled.spec_id
+        assert base == sampled
+        assert sampled.build_simulation_config().audit_interval == 25
+        assert base.build_simulation_config().audit_interval == 1
+
     def test_engine_survives_json_round_trip(self):
         spec = small_spec(
             performance_mode="simulation", sim={**self.FAST_SIM, "engine": "soa"}

@@ -68,6 +68,43 @@ def test_bit_identical_to_reference_synthetic():
     assert sanitized == reference
 
 
+def test_audit_interval_sampling_is_bit_identical():
+    topology = MeshTopology(4, 4)
+    reference = Simulator(
+        topology, SimulationConfig(engine="reference", **_SIM)
+    ).run()
+    sampled = Simulator(
+        topology, SimulationConfig(engine="sanitizer", audit_interval=7, **_SIM)
+    ).run()
+    # The audit only reads state, so any sampling period leaves the
+    # statistics bit-identical to every other engine.
+    assert sampled == reference
+
+
+def test_audit_interval_samples_the_audit():
+    config = SimulationConfig(engine="sanitizer", audit_interval=10, **_SIM)
+    engine = _sanitizer(config=config)
+    audits = 0
+    real_audit = engine._check_invariants
+
+    def counting_audit():
+        nonlocal audits
+        audits += 1
+        real_audit()
+
+    engine._check_invariants = counting_audit
+    engine.run()
+    total = engine._cycle
+    # One audit per interval (± the partial last window), not one per cycle.
+    assert audits <= total // 10 + 1
+    assert audits > 0
+
+
+def test_audit_interval_validated():
+    with pytest.raises(Exception, match="audit_interval"):
+        SimulationConfig(engine="sanitizer", audit_interval=0)
+
+
 def test_bit_identical_to_reference_trace_replay():
     topology = MeshTopology(4, 4)
     trace = make_workload_trace("dnn_inference", 4, 4, seed=5)
